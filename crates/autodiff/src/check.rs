@@ -1,0 +1,76 @@
+//! Numeric gradient checking utilities.
+
+/// Central finite difference of a scalar function at `x` along coordinate
+/// `i`, with step `h`.
+pub fn central_difference(
+    f: &dyn Fn(&[f64]) -> f64,
+    x: &[f64],
+    i: usize,
+    h: f64,
+) -> f64 {
+    let mut xp = x.to_vec();
+    let mut xm = x.to_vec();
+    xp[i] += h;
+    xm[i] -= h;
+    (f(&xp) - f(&xm)) / (2.0 * h)
+}
+
+/// Checks an analytic gradient against central differences on every
+/// coordinate. Returns the worst absolute-or-relative discrepancy.
+///
+/// `tol` is advisory: the function does not panic; callers assert on the
+/// returned value so test failures show the actual worst error.
+pub fn gradient_check(
+    f: &dyn Fn(&[f64]) -> f64,
+    grad: &[f64],
+    x: &[f64],
+    h: f64,
+) -> f64 {
+    assert_eq!(grad.len(), x.len(), "gradient length mismatch");
+    let mut worst = 0.0_f64;
+    for (i, &gi) in grad.iter().enumerate() {
+        let fd = central_difference(f, x, i, h);
+        let denom = fd.abs().max(gi.abs()).max(1.0);
+        worst = worst.max((fd - gi).abs() / denom);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    #[test]
+    fn central_difference_quadratic() {
+        let f = |x: &[f64]| x[0] * x[0] + 3.0 * x[1];
+        let d0 = central_difference(&f, &[2.0, 5.0], 0, 1e-5);
+        let d1 = central_difference(&f, &[2.0, 5.0], 1, 1e-5);
+        assert!((d0 - 4.0).abs() < 1e-8);
+        assert!((d1 - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn gradient_check_flags_wrong_gradient() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let good = gradient_check(&f, &[4.0], &[2.0], 1e-5);
+        let bad = gradient_check(&f, &[1.0], &[2.0], 1e-5);
+        assert!(good < 1e-7);
+        assert!(bad > 0.5);
+    }
+
+    #[test]
+    fn tape_gradient_passes_check_on_composite() {
+        // f(x, y) = exp(x·y) + ln(x+2) — compare tape vs finite diff.
+        let x0 = [0.7, -0.3];
+        let f = |x: &[f64]| (x[0] * x[1]).exp() + (x[0] + 2.0).ln();
+        let tape = Tape::new();
+        let x = tape.var(x0[0]);
+        let y = tape.var(x0[1]);
+        let out = (x * y).exp() + (x + 2.0).ln();
+        let g = out.backward();
+        let grad = [g.wrt(x), g.wrt(y)];
+        let worst = gradient_check(&f, &grad, &x0, 1e-6);
+        assert!(worst < 1e-7, "worst discrepancy {worst}");
+    }
+}

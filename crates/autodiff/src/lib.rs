@@ -1,0 +1,41 @@
+//! # ba-autodiff
+//!
+//! A small reverse-mode (tape-based) automatic-differentiation engine.
+//!
+//! ## Why this exists
+//!
+//! The BinarizedAttack objective is a *bi-level* function of the adjacency
+//! matrix: the OLS regression parameters `(β0, β1)` are themselves
+//! functions of every node's features (paper Eq. (5)). `ba-core`
+//! differentiates it analytically (closed form through the normal
+//! equations) for speed; this crate exists to *prove that derivation
+//! correct*. The test-suite of `ba-core` rebuilds the full objective out
+//! of [`Var`] operations — features, logs, the 2×2 normal-equation solve,
+//! exponentials, the squared targets — runs `backward()`, and checks the
+//! tape gradients against the closed form on many random graphs.
+//!
+//! The calibration note for this reproduction flags Rust's autodiff
+//! ecosystem as thin; building the engine ourselves (≈ a few hundred
+//! lines) was cheaper than fighting that.
+//!
+//! ## Example
+//!
+//! ```
+//! use ba_autodiff::Tape;
+//! let tape = Tape::new();
+//! let x = tape.var(2.0);
+//! let y = tape.var(3.0);
+//! let z = (x * y + x.sin()).exp();   // z = e^{xy + sin x}
+//! let grads = z.backward();
+//! let dz_dx = grads.wrt(x);
+//! let expected = (2.0f64 * 3.0 + 2.0f64.sin()).exp() * (3.0 + 2.0f64.cos());
+//! assert!((dz_dx - expected).abs() < 1e-9);
+//! ```
+
+mod check;
+mod ops;
+mod tape;
+
+pub use check::{central_difference, gradient_check};
+pub use ops::sum;
+pub use tape::{Grads, Tape, Var};

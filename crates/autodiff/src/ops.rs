@@ -1,0 +1,264 @@
+//! Arithmetic and transcendental operations on [`Var`].
+
+use crate::tape::Var;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+impl<'t> Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        let index = self.tape.binary(self.index, 1.0, rhs.index, 1.0);
+        Var { tape: self.tape, index, value: self.value + rhs.value }
+    }
+}
+
+impl<'t> Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        let index = self.tape.binary(self.index, 1.0, rhs.index, -1.0);
+        Var { tape: self.tape, index, value: self.value - rhs.value }
+    }
+}
+
+impl<'t> Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        let index = self.tape.binary(self.index, rhs.value, rhs.index, self.value);
+        Var { tape: self.tape, index, value: self.value * rhs.value }
+    }
+}
+
+impl<'t> Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        let inv = 1.0 / rhs.value;
+        let index = self
+            .tape
+            .binary(self.index, inv, rhs.index, -self.value * inv * inv);
+        Var { tape: self.tape, index, value: self.value * inv }
+    }
+}
+
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        let index = self.tape.unary(self.index, -1.0);
+        Var { tape: self.tape, index, value: -self.value }
+    }
+}
+
+// Scalar-on-the-right convenience ops.
+impl<'t> Add<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: f64) -> Var<'t> {
+        let index = self.tape.unary(self.index, 1.0);
+        Var { tape: self.tape, index, value: self.value + rhs }
+    }
+}
+
+impl<'t> Sub<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: f64) -> Var<'t> {
+        let index = self.tape.unary(self.index, 1.0);
+        Var { tape: self.tape, index, value: self.value - rhs }
+    }
+}
+
+impl<'t> Mul<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: f64) -> Var<'t> {
+        let index = self.tape.unary(self.index, rhs);
+        Var { tape: self.tape, index, value: self.value * rhs }
+    }
+}
+
+impl<'t> Div<f64> for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: f64) -> Var<'t> {
+        let index = self.tape.unary(self.index, 1.0 / rhs);
+        Var { tape: self.tape, index, value: self.value / rhs }
+    }
+}
+
+impl<'t> Var<'t> {
+    /// Natural logarithm. The caller must keep the argument positive —
+    /// the attack objective only ever takes logs of `N_i ≥ 1`, `E_i ≥ 1`.
+    pub fn ln(self) -> Var<'t> {
+        debug_assert!(self.value > 0.0, "ln of non-positive value {}", self.value);
+        let index = self.tape.unary(self.index, 1.0 / self.value);
+        Var { tape: self.tape, index, value: self.value.ln() }
+    }
+
+    /// Exponential.
+    pub fn exp(self) -> Var<'t> {
+        let v = self.value.exp();
+        let index = self.tape.unary(self.index, v);
+        Var { tape: self.tape, index, value: v }
+    }
+
+    /// Square.
+    pub fn sq(self) -> Var<'t> {
+        self * self
+    }
+
+    /// Power with a constant exponent.
+    pub fn powf(self, p: f64) -> Var<'t> {
+        let v = self.value.powf(p);
+        let index = self.tape.unary(self.index, p * self.value.powf(p - 1.0));
+        Var { tape: self.tape, index, value: v }
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Var<'t> {
+        self.powf(0.5)
+    }
+
+    /// Sine (used only by doc-examples/tests).
+    pub fn sin(self) -> Var<'t> {
+        let index = self.tape.unary(self.index, self.value.cos());
+        Var { tape: self.tape, index, value: self.value.sin() }
+    }
+
+    /// Absolute value, with the subgradient `sign(x)` at 0.
+    pub fn abs(self) -> Var<'t> {
+        let sign = if self.value >= 0.0 { 1.0 } else { -1.0 };
+        let index = self.tape.unary(self.index, sign);
+        Var { tape: self.tape, index, value: self.value.abs() }
+    }
+
+    /// ReLU with subgradient 0 at the kink.
+    pub fn relu(self) -> Var<'t> {
+        let active = self.value > 0.0;
+        let index = self.tape.unary(self.index, if active { 1.0 } else { 0.0 });
+        Var { tape: self.tape, index, value: if active { self.value } else { 0.0 } }
+    }
+
+    /// Pairwise maximum (subgradient routes to the larger argument; ties
+    /// route to `self`).
+    pub fn max(self, rhs: Var<'t>) -> Var<'t> {
+        if self.value >= rhs.value {
+            let index = self.tape.binary(self.index, 1.0, rhs.index, 0.0);
+            Var { tape: self.tape, index, value: self.value }
+        } else {
+            let index = self.tape.binary(self.index, 0.0, rhs.index, 1.0);
+            Var { tape: self.tape, index, value: rhs.value }
+        }
+    }
+
+    /// Pairwise minimum.
+    pub fn min(self, rhs: Var<'t>) -> Var<'t> {
+        if self.value <= rhs.value {
+            let index = self.tape.binary(self.index, 1.0, rhs.index, 0.0);
+            Var { tape: self.tape, index, value: self.value }
+        } else {
+            let index = self.tape.binary(self.index, 0.0, rhs.index, 1.0);
+            Var { tape: self.tape, index, value: rhs.value }
+        }
+    }
+}
+
+/// Sums an iterator of `Var`s (returns `tape.constant(0.0)` when empty).
+pub fn sum<'t>(tape: &'t crate::Tape, vars: impl IntoIterator<Item = Var<'t>>) -> Var<'t> {
+    let mut it = vars.into_iter();
+    match it.next() {
+        None => tape.constant(0.0),
+        Some(first) => it.fold(first, |acc, v| acc + v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+
+    fn grad_of(f: impl Fn(Var<'_>) -> Var<'_>, x0: f64) -> f64 {
+        let tape = Tape::new();
+        let x = tape.var(x0);
+        f(x).backward().wrt(x)
+    }
+
+    #[test]
+    fn basic_arithmetic_partials() {
+        assert_eq!(grad_of(|x| x + x, 1.0), 2.0);
+        assert_eq!(grad_of(|x| x - x, 1.0), 0.0);
+        assert_eq!(grad_of(|x| x * x * x, 2.0), 12.0);
+        assert!((grad_of(|x| x / (x + 1.0), 1.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        assert_eq!(grad_of(|x| x * 3.0 + 1.0, 5.0), 3.0);
+        assert_eq!(grad_of(|x| x / 4.0 - 2.0, 5.0), 0.25);
+        assert_eq!(grad_of(|x| -x, 5.0), -1.0);
+    }
+
+    #[test]
+    fn transcendental_partials() {
+        assert!((grad_of(|x| x.ln(), 2.0) - 0.5).abs() < 1e-12);
+        assert!((grad_of(|x| x.exp(), 1.0) - std::f64::consts::E).abs() < 1e-12);
+        assert!((grad_of(|x| x.sqrt(), 4.0) - 0.25).abs() < 1e-12);
+        assert!((grad_of(|x| x.powf(3.0), 2.0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abs_and_relu_subgradients() {
+        assert_eq!(grad_of(|x| x.abs(), -2.0), -1.0);
+        assert_eq!(grad_of(|x| x.abs(), 2.0), 1.0);
+        assert_eq!(grad_of(|x| x.relu(), 2.0), 1.0);
+        assert_eq!(grad_of(|x| x.relu(), -2.0), 0.0);
+    }
+
+    #[test]
+    fn max_min_route_gradients() {
+        let tape = Tape::new();
+        let x = tape.var(3.0);
+        let y = tape.var(5.0);
+        let m = x.max(y);
+        let g = m.backward();
+        assert_eq!(g.wrt(x), 0.0);
+        assert_eq!(g.wrt(y), 1.0);
+        let m2 = x.min(y);
+        let g2 = m2.backward();
+        assert_eq!(g2.wrt(x), 1.0);
+        assert_eq!(g2.wrt(y), 0.0);
+    }
+
+    #[test]
+    fn sum_helper() {
+        let tape = Tape::new();
+        let xs: Vec<_> = (1..=4).map(|i| tape.var(i as f64)).collect();
+        let s = sum(&tape, xs.iter().copied());
+        assert_eq!(s.value, 10.0);
+        let g = s.backward();
+        for x in xs {
+            assert_eq!(g.wrt(x), 1.0);
+        }
+        let empty = sum(&tape, std::iter::empty());
+        assert_eq!(empty.value, 0.0);
+    }
+
+    #[test]
+    fn composite_chain_rule() {
+        // f(x) = ln(x² + 1) → f'(x) = 2x/(x²+1)
+        let x0 = 1.5;
+        let g = grad_of(|x| (x * x + 1.0).ln(), x0);
+        assert!((g - 2.0 * x0 / (x0 * x0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oddball_score_shape_differentiable() {
+        // The true anomaly score max/min * ln(|E-C|+1) — exercised end to
+        // end through the tape.
+        let tape = Tape::new();
+        let e = tape.var(10.0);
+        let c = tape.var(4.0);
+        let ratio = e.max(c) / e.min(c);
+        let score = ratio * ((e - c).abs() + 1.0).ln();
+        assert!((score.value - 2.5 * 7.0f64.ln()).abs() < 1e-12);
+        let g = score.backward();
+        // Finite difference on E.
+        let f = |ev: f64| (ev.max(4.0) / ev.min(4.0)) * ((ev - 4.0).abs() + 1.0).ln();
+        let h = 1e-6;
+        let fd = (f(10.0 + h) - f(10.0 - h)) / (2.0 * h);
+        assert!((g.wrt(e) - fd).abs() < 1e-5);
+    }
+}

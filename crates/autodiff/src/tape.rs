@@ -1,0 +1,167 @@
+//! The tape (Wengert list) and the `Var` handle.
+
+use std::cell::RefCell;
+
+/// One recorded operation: up to two parents, with the local partial
+/// derivative of the node's value with respect to each parent.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Node {
+    pub parents: [usize; 2],
+    pub partials: [f64; 2],
+}
+
+/// A reverse-mode autodiff tape. Create variables with [`Tape::var`],
+/// combine them with the usual operators and the methods on [`Var`], then
+/// call [`Var::backward`] on the scalar output.
+///
+/// The tape uses interior mutability so that `Var` can be `Copy` — this
+/// keeps expression code looking like plain arithmetic.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: RefCell<Vec<Node>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes (leaves + intermediates).
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers a new leaf variable with the given value.
+    pub fn var(&self, value: f64) -> Var<'_> {
+        let index = self.push(Node { parents: [0, 0], partials: [0.0, 0.0] });
+        Var { tape: self, index, value }
+    }
+
+    /// Registers a constant. Constants are leaves too; their gradient is
+    /// simply never read.
+    pub fn constant(&self, value: f64) -> Var<'_> {
+        self.var(value)
+    }
+
+    pub(crate) fn push(&self, node: Node) -> usize {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.push(node);
+        nodes.len() - 1
+    }
+
+    pub(crate) fn unary(&self, parent: usize, partial: f64) -> usize {
+        self.push(Node { parents: [parent, parent], partials: [partial, 0.0] })
+    }
+
+    pub(crate) fn binary(&self, p0: usize, d0: f64, p1: usize, d1: f64) -> usize {
+        self.push(Node { parents: [p0, p1], partials: [d0, d1] })
+    }
+}
+
+/// A differentiable scalar bound to a [`Tape`].
+#[derive(Debug, Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) index: usize,
+    /// The primal value.
+    pub value: f64,
+}
+
+/// Gradient of one output with respect to every tape node.
+#[derive(Debug, Clone)]
+pub struct Grads {
+    adjoints: Vec<f64>,
+}
+
+impl Grads {
+    /// The derivative of the output with respect to `v`.
+    pub fn wrt(&self, v: Var<'_>) -> f64 {
+        self.adjoints[v.index]
+    }
+}
+
+impl<'t> Var<'t> {
+    /// Runs the reverse sweep from this node, producing the adjoint of
+    /// every node on the tape (seeded with `∂self/∂self = 1`).
+    pub fn backward(&self) -> Grads {
+        let nodes = self.tape.nodes.borrow();
+        let mut adjoints = vec![0.0; nodes.len()];
+        adjoints[self.index] = 1.0;
+        // The tape is topologically ordered by construction: children
+        // always come after parents, so a single reverse pass suffices.
+        for i in (0..=self.index).rev() {
+            let adj = adjoints[i];
+            if adj == 0.0 {
+                continue;
+            }
+            let node = nodes[i];
+            // Leaves have partials [0,0] pointing at themselves; the
+            // updates below are then no-ops.
+            adjoints[node.parents[0]] += node.partials[0] * adj;
+            adjoints[node.parents[1]] += node.partials[1] * adj;
+        }
+        Grads { adjoints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_gradient_is_one() {
+        let tape = Tape::new();
+        let x = tape.var(5.0);
+        let g = x.backward();
+        assert_eq!(g.wrt(x), 1.0);
+    }
+
+    #[test]
+    fn unused_leaf_gradient_is_zero() {
+        let tape = Tape::new();
+        let x = tape.var(1.0);
+        let y = tape.var(2.0);
+        let z = x * x;
+        let g = z.backward();
+        assert_eq!(g.wrt(y), 0.0);
+        assert_eq!(g.wrt(x), 2.0);
+    }
+
+    #[test]
+    fn fan_out_accumulates() {
+        // z = x*x + x → dz/dx = 2x + 1
+        let tape = Tape::new();
+        let x = tape.var(3.0);
+        let z = x * x + x;
+        let g = z.backward();
+        assert_eq!(g.wrt(x), 7.0);
+    }
+
+    #[test]
+    fn deep_chain() {
+        // y = (((x+1)+1)...+1) 100 times; dy/dx = 1.
+        let tape = Tape::new();
+        let x = tape.var(0.0);
+        let mut y = x;
+        for _ in 0..100 {
+            y = y + tape.constant(1.0);
+        }
+        assert_eq!(y.value, 100.0);
+        assert_eq!(y.backward().wrt(x), 1.0);
+    }
+
+    #[test]
+    fn tape_len_counts_nodes() {
+        let tape = Tape::new();
+        assert!(tape.is_empty());
+        let x = tape.var(1.0);
+        let _y = x * x;
+        assert_eq!(tape.len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests: tape gradients must match finite differences for
+//! randomly generated compositions.
+
+use ba_autodiff::{gradient_check, Tape};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn polynomial_gradients(x0 in -3.0..3.0f64, a in -2.0..2.0f64, b in -2.0..2.0f64) {
+        let f = |x: &[f64]| a * x[0] * x[0] * x[0] + b * x[0] * x[0] + x[0];
+        let tape = Tape::new();
+        let x = tape.var(x0);
+        let out = x * x * x * a + x * x * b + x;
+        let g = out.backward();
+        let worst = gradient_check(&f, &[g.wrt(x)], &[x0], 1e-5);
+        prop_assert!(worst < 1e-5, "worst {worst}");
+    }
+
+    #[test]
+    fn exp_ln_composites(x0 in 0.1..5.0f64, y0 in 0.1..5.0f64) {
+        let f = |v: &[f64]| (v[0].ln() * v[1]).exp() + v[1] / v[0];
+        let tape = Tape::new();
+        let x = tape.var(x0);
+        let y = tape.var(y0);
+        let out = (x.ln() * y).exp() + y / x;
+        let g = out.backward();
+        let worst = gradient_check(&f, &[g.wrt(x), g.wrt(y)], &[x0, y0], 1e-6);
+        prop_assert!(worst < 1e-4, "worst {worst}");
+    }
+
+    #[test]
+    fn gradient_linearity(x0 in -2.0..2.0f64, s in -4.0..4.0f64) {
+        // d(s·f)/dx = s · df/dx for f = x·exp(x)
+        let tape = Tape::new();
+        let x = tape.var(x0);
+        let f = x * x.exp();
+        let gf = f.backward().wrt(x);
+        let tape2 = Tape::new();
+        let x2 = tape2.var(x0);
+        let sf = x2 * x2.exp() * s;
+        let gsf = sf.backward().wrt(x2);
+        prop_assert!((gsf - s * gf).abs() < 1e-9 * (1.0 + gsf.abs()));
+    }
+
+    #[test]
+    fn sum_rule(x0 in -2.0..2.0f64) {
+        // d(f+g) = df + dg with f = x², g = sin-like (use exp)
+        let tape = Tape::new();
+        let x = tape.var(x0);
+        let total = x.sq() + x.exp();
+        let g_total = total.backward().wrt(x);
+        prop_assert!((g_total - (2.0 * x0 + x0.exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn min_max_partition(x0 in -5.0..5.0f64, y0 in -5.0..5.0f64) {
+        // max(x,y) + min(x,y) = x + y, so gradients must each be exactly 1.
+        let tape = Tape::new();
+        let x = tape.var(x0);
+        let y = tape.var(y0);
+        let z = x.max(y) + x.min(y);
+        let g = z.backward();
+        prop_assert_eq!(g.wrt(x), 1.0);
+        prop_assert_eq!(g.wrt(y), 1.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benches for the transfer-target systems: ReFeX extraction,
+//! GAL training epochs, MLP training, t-SNE.
+
+use ba_datasets::Dataset;
+use ba_gad::{
+    pipeline::oddball_labels, train_test_split, Gal, GalConfig, Mlp, MlpConfig, Refex,
+    RefexConfig, TsneConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_refex(c: &mut Criterion) {
+    let g = Dataset::Wikivote.build(7);
+    let mut group = c.benchmark_group("refex_extract_n1012");
+    group.sample_size(10);
+    group.bench_function("default", |b| {
+        b.iter(|| black_box(Refex::extract(&g, RefexConfig::default())))
+    });
+    group.finish();
+}
+
+fn bench_gal_training(c: &mut Criterion) {
+    let g = Dataset::BitcoinAlpha.build_scaled(400, 900, 7);
+    let labels = oddball_labels(&g, 0.1);
+    let (train, _) = train_test_split(g.num_nodes(), 0.7, 3);
+    let mut group = c.benchmark_group("gal_train_n400");
+    group.sample_size(10);
+    group.bench_function("20_epochs", |b| {
+        let cfg = GalConfig { epochs: 20, ..GalConfig::default() };
+        b.iter(|| black_box(Gal::train(&g, &labels, &train, cfg)))
+    });
+    group.finish();
+}
+
+fn bench_mlp_and_tsne(c: &mut Criterion) {
+    let g = Dataset::BitcoinAlpha.build_scaled(400, 900, 7);
+    let labels = oddball_labels(&g, 0.1);
+    let emb = Refex::extract(&g, RefexConfig::default()).embedding;
+    let train: Vec<usize> = (0..280).collect();
+    let mut group = c.benchmark_group("heads_n400");
+    group.sample_size(10);
+    group.bench_function("mlp_train_100_epochs", |b| {
+        let cfg = MlpConfig { epochs: 100, ..MlpConfig::default() };
+        b.iter(|| black_box(Mlp::train(&emb, &labels, &train, cfg)))
+    });
+    group.bench_function("tsne_120_nodes", |b| {
+        let sub = ba_linalg::Matrix::from_fn(120, emb.cols(), |i, j| emb[(i, j)]);
+        let cfg = TsneConfig { iterations: 100, ..TsneConfig::default() };
+        b.iter(|| black_box(ba_gad::tsne(&sub, cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_refex, bench_gal_training, bench_mlp_and_tsne);
+criterion_main!(benches);

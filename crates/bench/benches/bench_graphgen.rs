@@ -1,0 +1,46 @@
+//! Criterion benches for the graph substrate: generation, sampling, and
+//! the incremental egonet updater (the attacks' hot path).
+
+use ba_graph::egonet::IncrementalEgonet;
+use ba_graph::{generators, sample};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_n1000");
+    group.sample_size(20);
+    group.bench_function("erdos_renyi", |b| {
+        b.iter(|| black_box(generators::erdos_renyi(1000, 0.02, 7)))
+    });
+    group.bench_function("barabasi_albert", |b| {
+        b.iter(|| black_box(generators::barabasi_albert(1000, 5, 7)))
+    });
+    group.bench_function("chung_lu", |b| {
+        b.iter(|| black_box(generators::power_law_chung_lu(1000, 5000, 2.3, 7)))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let big = generators::barabasi_albert(10_000, 5, 3);
+    c.bench_function("bfs_sample_1000_of_10000", |b| {
+        b.iter(|| black_box(sample::bfs_sample(&big, 1000, 9)))
+    });
+}
+
+fn bench_incremental_egonet(c: &mut Criterion) {
+    let g0 = generators::barabasi_albert(1000, 5, 3);
+    c.bench_function("incremental_egonet_100_toggles", |b| {
+        b.iter(|| {
+            let mut g = g0.clone();
+            let mut inc = IncrementalEgonet::new(&g);
+            for k in 0..100u32 {
+                inc.toggle(&mut g, k % 997, (k * 7 + 1) % 997);
+            }
+            black_box(inc.features().e[0])
+        })
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_sampling, bench_incremental_egonet);
+criterion_main!(benches);

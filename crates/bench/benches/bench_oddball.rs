@@ -1,0 +1,43 @@
+//! Criterion benches for the OddBall detector: feature extraction,
+//! fitting (OLS / Huber / RANSAC), scoring at Table-I scale.
+
+use ba_datasets::Dataset;
+use ba_graph::egonet::egonet_features;
+use ba_oddball::{OddBall, Regressor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("egonet_features");
+    for d in [Dataset::Er, Dataset::Ba, Dataset::Wikivote] {
+        let g = d.build(7);
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &g, |b, g| {
+            b.iter(|| black_box(egonet_features(g)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let g = Dataset::Wikivote.build(7);
+    let mut group = c.benchmark_group("oddball_fit");
+    group.bench_function("ols", |b| {
+        b.iter(|| black_box(OddBall::default().fit(&g).unwrap()))
+    });
+    group.bench_function("huber", |b| {
+        b.iter(|| black_box(OddBall::new(Regressor::default_huber()).fit(&g).unwrap()))
+    });
+    group.bench_function("ransac", |b| {
+        b.iter(|| black_box(OddBall::new(Regressor::default_ransac(3)).fit(&g).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let g = Dataset::Ba.build(7);
+    let model = OddBall::default().fit(&g).unwrap();
+    c.bench_function("oddball_top50", |b| b.iter(|| black_box(model.top_k(50))));
+}
+
+criterion_group!(benches, bench_feature_extraction, bench_fit, bench_topk);
+criterion_main!(benches);

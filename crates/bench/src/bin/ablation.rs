@@ -1,0 +1,103 @@
+//! Ablations of BinarizedAttack's design choices (DESIGN.md §6):
+//!
+//! 1. **λ grid** — single λ values vs the swept grid.
+//! 2. **Iteration budget T** and **learning rate η**.
+//! 3. **Candidate scoping** — full pair space vs target neighbourhood.
+//! 4. **Gradient guidance** — BinarizedAttack / GradMaxSearch vs the
+//!    structural CliqueBreaker heuristic and the random floor.
+//!
+//! Run: `cargo run -p ba-bench --release --bin ablation`
+
+use ba_bench::{f4, mean_tau_curve, sample_targets, ExpOptions};
+use ba_core::{
+    AttackConfig, BinarizedAttack, CandidateScope, CliqueBreaker, GradMaxSearch, RandomAttack,
+    StructuralAttack,
+};
+use ba_datasets::Dataset;
+use ba_graph::NodeId;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let (n, m) = Dataset::Ba.paper_statistics();
+    let g = if opts.paper {
+        Dataset::Ba.build(opts.seed)
+    } else {
+        Dataset::Ba.build_scaled(n / 2, m / 2, opts.seed)
+    };
+    let budget = (g.num_edges() as f64 * 0.02).round() as usize;
+    let target_sets: Vec<Vec<NodeId>> = (0..opts.samples)
+        .map(|s| sample_targets(&g, 10, 50, opts.seed + 300 + s as u64))
+        .collect();
+    println!(
+        "ABLATIONS on BA-like graph (n={}, m={}, budget={budget}, {} samples)",
+        g.num_nodes(),
+        g.num_edges(),
+        opts.samples
+    );
+    let mut csv = Vec::new();
+    let mut run = |name: &str, attack: &dyn StructuralAttack| {
+        let t0 = std::time::Instant::now();
+        let curve = mean_tau_curve(attack, &g, &target_sets, budget);
+        let tau = curve.last().copied().unwrap_or(0.0);
+        let secs = t0.elapsed().as_secs_f64();
+        println!("{name:>34}  tau_as = {}  ({secs:.1}s)", f4(tau));
+        csv.push(format!("{name},{tau},{secs:.2}"));
+        tau
+    };
+
+    println!("\n[1] lambda grid");
+    for lam in [0.002, 0.01, 0.05, 0.2] {
+        run(
+            &format!("binarized lambda={lam}"),
+            &BinarizedAttack::default().with_iterations(80).with_lambdas(vec![lam]),
+        );
+    }
+    run(
+        "binarized swept grid",
+        &BinarizedAttack::default()
+            .with_iterations(80)
+            .with_lambdas(vec![0.002, 0.01, 0.05]),
+    );
+
+    println!("\n[2] iterations and learning rate");
+    for iters in [20, 80, 200] {
+        run(
+            &format!("binarized T={iters}"),
+            &BinarizedAttack::default().with_iterations(iters).with_lambdas(vec![0.01, 0.05]),
+        );
+    }
+    for lr in [0.01, 0.05, 0.2] {
+        run(
+            &format!("binarized lr={lr}"),
+            &BinarizedAttack::default()
+                .with_iterations(80)
+                .with_learning_rate(lr)
+                .with_lambdas(vec![0.01, 0.05]),
+        );
+    }
+
+    println!("\n[3] candidate scope");
+    let scoped = AttackConfig {
+        scope: CandidateScope::TargetNeighborhood,
+        ..AttackConfig::default()
+    };
+    run(
+        "binarized full scope",
+        &BinarizedAttack::default().with_iterations(80).with_lambdas(vec![0.01, 0.05]),
+    );
+    run(
+        "binarized target-neighborhood",
+        &BinarizedAttack::new(scoped).with_iterations(80).with_lambdas(vec![0.01, 0.05]),
+    );
+
+    println!("\n[4] gradient guidance vs heuristics");
+    run(
+        "binarized (default)",
+        &BinarizedAttack::default().with_iterations(80).with_lambdas(vec![0.01, 0.05]),
+    );
+    run("gradmaxsearch", &GradMaxSearch::default());
+    run("cliquebreaker heuristic", &CliqueBreaker::default());
+    run("random floor", &RandomAttack::default());
+
+    opts.write_csv("ablation.csv", "variant,tau_as,seconds", &csv);
+}

@@ -1,0 +1,86 @@
+//! Fig. 10 — countermeasures: OddBall with robust estimators (Huber,
+//! RANSAC) vs plain OLS under BinarizedAttack, on the
+//! Bitcoin-Alpha-like and Wikivote-like graphs with 10 targets.
+//!
+//! τ_as is re-evaluated under each estimator: the attack is optimised
+//! against OLS-OddBall, then scored by the robust variants. Paper
+//! finding: both robust estimators *slightly* mitigate the attack, which
+//! remains very effective.
+//!
+//! Run: `cargo run -p ba-bench --release --bin fig10 [--paper]`
+
+use ba_bench::{f4, sample_targets, ExpOptions};
+use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
+use ba_datasets::Dataset;
+use ba_graph::NodeId;
+use ba_oddball::{OddBall, Regressor};
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    println!("FIG 10: defence with robust estimators (mean over {} runs)", opts.samples);
+    let mut csv = Vec::new();
+    for d in [Dataset::BitcoinAlpha, Dataset::Wikivote] {
+        let g = d.build(opts.seed);
+        let budget = (g.num_edges() as f64 * 0.0175).round() as usize;
+        println!("\n--- {} (budget {} = 1.75% of edges) ---", d.name(), budget);
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>12}",
+            "budget", "no defence", "huber", "ransac"
+        );
+
+        // Mean curves across target resamples.
+        let detectors = [
+            ("no_defence", OddBall::default()),
+            ("huber", OddBall::new(Regressor::default_huber())),
+            ("ransac", OddBall::new(Regressor::default_ransac(opts.seed + 17))),
+        ];
+        let mut sums = vec![vec![0.0f64; budget + 1]; detectors.len()];
+        let mut runs = 0usize;
+        for s in 0..opts.samples {
+            let targets: Vec<NodeId> =
+                sample_targets(&g, 10, 50, opts.seed + 31 + s as u64);
+            let attack = BinarizedAttack::new(AttackConfig::default())
+                .with_iterations(if opts.paper { 400 } else { 120 }).with_lambdas(if opts.paper { vec![0.002, 0.02] } else { vec![0.004, 0.04] });
+            let Ok(outcome) = attack.attack(&g, &targets, budget) else {
+                continue;
+            };
+            runs += 1;
+            for (k, (_, det)) in detectors.iter().enumerate() {
+                let curve = outcome.ascore_curve(&g, &targets, det);
+                for (b, slot) in sums[k].iter_mut().enumerate() {
+                    *slot += ba_core::AttackOutcome::tau_as(&curve, b);
+                }
+            }
+        }
+        assert!(runs > 0, "all attack runs failed");
+        for row in &mut sums {
+            for v in row.iter_mut() {
+                *v /= runs as f64;
+            }
+        }
+        let step = (budget / 8).max(1);
+        for b in (0..=budget).step_by(step) {
+            println!(
+                "{:>8}  {:>12}  {:>12}  {:>12}",
+                b,
+                f4(sums[0][b]),
+                f4(sums[1][b]),
+                f4(sums[2][b])
+            );
+            csv.push(format!(
+                "{},{b},{},{},{}",
+                d.name(),
+                sums[0][b],
+                sums[1][b],
+                sums[2][b]
+            ));
+        }
+        let mitig_h = sums[0][budget] - sums[1][budget];
+        let mitig_r = sums[0][budget] - sums[2][budget];
+        println!(
+            "mitigation at max budget: huber {:.4}, ransac {:.4} (paper: slight, attack stays effective)",
+            mitig_h, mitig_r
+        );
+    }
+    opts.write_csv("fig10.csv", "dataset,budget,tau_ols,tau_huber,tau_ransac", &csv);
+}

@@ -1,0 +1,119 @@
+//! Figs. 8–9 — t-SNE scatterplots of the penultimate MLP features of the
+//! test nodes, for GAL (Fig. 8) and ReFeX (Fig. 9), clean vs poisoned
+//! (B = 50 on Bitcoin-Alpha-like, B = 100 on Wikivote-like).
+//!
+//! The paper's qualitative claim: on the clean graph the target nodes
+//! sit on one side of a (near-linear) boundary; after poisoning they mix
+//! into the benign mass. We emit the 2-D coordinates as CSV and print a
+//! quantitative separation score — the ratio of mean cross-class to mean
+//! within-class distance of the targets — which must *drop* under attack.
+//!
+//! Run: `cargo run -p ba-bench --release --bin fig8_fig9 [--paper]`
+
+use ba_bench::ExpOptions;
+use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
+use ba_datasets::Dataset;
+use ba_gad::{
+    evaluate_system, identify_targets, pipeline::oddball_labels, train_test_split, tsne,
+    GadSystem, GalConfig, RefexConfig, TransferConfig, TsneConfig,
+};
+use ba_graph::NodeId;
+use ba_linalg::Matrix;
+
+/// Mean 2-D distance ratio: targets→rest / targets→targets. Larger ⇒
+/// the targets form their own separated cluster.
+fn separation(coords: &Matrix, test_nodes: &[NodeId], targets: &[NodeId]) -> f64 {
+    let is_target: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+    let mut within = (0.0, 0.0);
+    let mut cross = (0.0, 0.0);
+    for a in 0..coords.rows() {
+        for b in (a + 1)..coords.rows() {
+            let dx = coords[(a, 0)] - coords[(b, 0)];
+            let dy = coords[(a, 1)] - coords[(b, 1)];
+            let dist = (dx * dx + dy * dy).sqrt();
+            let ta = is_target.contains(&test_nodes[a]);
+            let tb = is_target.contains(&test_nodes[b]);
+            match (ta, tb) {
+                (true, true) => {
+                    within.0 += dist;
+                    within.1 += 1.0;
+                }
+                (true, false) | (false, true) => {
+                    cross.0 += dist;
+                    cross.1 += 1.0;
+                }
+                _ => {}
+            }
+        }
+    }
+    if within.1 == 0.0 || cross.1 == 0.0 {
+        return 1.0;
+    }
+    (cross.0 / cross.1) / (within.0 / within.1).max(1e-9)
+}
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let tcfg = TransferConfig { seed: opts.seed + 11, ..TransferConfig::default() };
+    let tsne_cfg = TsneConfig {
+        iterations: if opts.paper { 400 } else { 200 },
+        ..TsneConfig::default()
+    };
+    println!("FIGS 8-9: embedding separation before/after poisoning");
+    println!(
+        "{:>7} {:>16} {:>12} {:>12} {:>10}",
+        "system", "dataset", "sep_clean", "sep_poison", "drop?"
+    );
+    let mut csv = Vec::new();
+    for (fig, system) in [
+        ("fig8", GadSystem::Gal(GalConfig { epochs: if opts.paper { 120 } else { 60 }, ..GalConfig::default() })),
+        ("fig9", GadSystem::Refex(RefexConfig::default())),
+    ] {
+        for (d, budget) in [(Dataset::BitcoinAlpha, 50usize), (Dataset::Wikivote, 100)] {
+            let g = d.build(opts.seed);
+            let labels = oddball_labels(&g, tcfg.label_fraction);
+            let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, tcfg.seed);
+            let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &tcfg);
+            if targets.len() < 3 {
+                eprintln!("warning: too few targets on {}; skipping", d.name());
+                continue;
+            }
+            let attack = BinarizedAttack::new(AttackConfig::default())
+                .with_iterations(if opts.paper { 400 } else { 120 }).with_lambdas(if opts.paper { vec![0.002, 0.02] } else { vec![0.004, 0.04] });
+            let outcome = attack.attack(&g, &targets, budget).expect("attack");
+            let poisoned = outcome.poisoned_graph(&g, budget);
+            let after =
+                evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
+
+            let y_clean = tsne(&clean.penultimate_test, tsne_cfg);
+            let y_pois = tsne(&after.penultimate_test, tsne_cfg);
+            let sep_c = separation(&y_clean, &clean.test_nodes, &targets);
+            let sep_p = separation(&y_pois, &after.test_nodes, &targets);
+            println!(
+                "{:>7} {:>16} {:>12.3} {:>12.3} {:>10}",
+                system.name(),
+                d.name(),
+                sep_c,
+                sep_p,
+                if sep_p < sep_c { "yes" } else { "NO" }
+            );
+            // Emit coordinates for plotting.
+            let is_target: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+            for (tag, coords, nodes) in [
+                ("clean", &y_clean, &clean.test_nodes),
+                ("poisoned", &y_pois, &after.test_nodes),
+            ] {
+                for (r, &node) in nodes.iter().enumerate() {
+                    csv.push(format!(
+                        "{fig},{},{tag},{node},{:.5},{:.5},{}",
+                        d.name(),
+                        coords[(r, 0)],
+                        coords[(r, 1)],
+                        u8::from(is_target.contains(&node))
+                    ));
+                }
+            }
+        }
+    }
+    opts.write_csv("fig8_fig9_tsne.csv", "figure,dataset,graph,node,x,y,is_target", &csv);
+}

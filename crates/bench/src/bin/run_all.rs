@@ -1,0 +1,32 @@
+//! Runs every experiment binary in sequence (quick profile), mirroring
+//! the paper's full evaluation section. Useful as a one-shot smoke run:
+//!
+//! `cargo run -p ba-bench --release --bin run_all`
+//!
+//! Pass `--paper` to forward the full-scale flag to every stage.
+
+use std::process::Command;
+
+fn main() {
+    let forward: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1", "fig2", "fig4", "fig5", "fig6", "fig7_table2", "table3", "table4",
+        "fig8_fig9", "fig10", "ablation",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================ {bin} ================");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&forward)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("warning: {bin} exited with {status}");
+        }
+    }
+    println!("\nAll experiments complete. CSVs in target/experiments/.");
+}

@@ -1,0 +1,48 @@
+//! Table I — statistics of the five evaluation datasets, compared with
+//! the counts the paper reports.
+//!
+//! Run: `cargo run -p ba-bench --release --bin table1 [--seed N]`
+
+use ba_bench::{print_row, ExpOptions};
+use ba_datasets::table_one;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let rows = table_one(opts.seed);
+    println!("TABLE I: Statistics of datasets (built vs paper)");
+    let widths = [14, 8, 8, 12, 12, 12];
+    print_row(
+        &[
+            "dataset".into(),
+            "nodes".into(),
+            "edges".into(),
+            "paper_nodes".into(),
+            "paper_edges".into(),
+            "clustering".into(),
+        ],
+        &widths,
+    );
+    let mut csv = Vec::new();
+    for r in &rows {
+        print_row(
+            &[
+                r.name.to_string(),
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                r.paper_nodes.to_string(),
+                r.paper_edges.to_string(),
+                format!("{:.4}", r.avg_clustering),
+            ],
+            &widths,
+        );
+        csv.push(format!(
+            "{},{},{},{},{},{:.6}",
+            r.name, r.nodes, r.edges, r.paper_nodes, r.paper_edges, r.avg_clustering
+        ));
+    }
+    opts.write_csv(
+        "table1.csv",
+        "dataset,nodes,edges,paper_nodes,paper_edges,avg_clustering",
+        &csv,
+    );
+}

@@ -1,0 +1,233 @@
+//! # ba-bench
+//!
+//! Experiment harness for the BinarizedAttack reproduction: one binary
+//! per paper table/figure (see DESIGN.md §5 for the index) plus Criterion
+//! micro-benchmarks. This library holds the shared plumbing: CLI flags,
+//! target sampling (paper Sec. VIII-A3), attack-curve averaging, and CSV
+//! emission under `target/experiments/`.
+
+use ba_core::{AttackOutcome, StructuralAttack};
+use ba_graph::{Graph, NodeId};
+use ba_oddball::OddBall;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Common experiment options parsed from `std::env::args`.
+///
+/// Flags: `--paper` (full Table-I scale; default is a faster `quick`
+/// profile), `--seed N`, `--samples N`, `--out DIR`.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Full paper-scale run (1000-node graphs, 5 target samples, paper
+    /// budgets) vs the quick profile.
+    pub paper: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Target-set resamples (paper uses 5).
+    pub samples: usize,
+    /// Output directory for CSV artefacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        Self {
+            paper: false,
+            seed: 0xedc0de,
+            samples: 3,
+            out_dir: PathBuf::from("target/experiments"),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parses options from the process arguments.
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => {
+                    opts.paper = true;
+                    opts.samples = 5;
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.seed);
+                }
+                "--samples" => {
+                    i += 1;
+                    opts.samples =
+                        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.samples);
+                }
+                "--out" => {
+                    i += 1;
+                    if let Some(dir) = args.get(i) {
+                        opts.out_dir = PathBuf::from(dir);
+                    }
+                }
+                other => eprintln!("warning: unknown flag {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Writes a CSV artefact, creating the output directory on demand.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        std::fs::create_dir_all(&self.out_dir).expect("create experiment output dir");
+        let path = self.out_dir.join(name);
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(&path).expect("create csv file"),
+        );
+        writeln!(f, "{header}").unwrap();
+        for row in rows {
+            writeln!(f, "{row}").unwrap();
+        }
+        f.flush().unwrap();
+        println!("[csv] wrote {}", path.display());
+    }
+}
+
+/// Samples `count` target nodes from the top-`pool` AScore ranking, as
+/// the paper does ("sampling 10 or 30 target nodes from the top-50 nodes
+/// based on AScore rankings", Sec. VIII-A3).
+pub fn sample_targets(g: &Graph, count: usize, pool: usize, seed: u64) -> Vec<NodeId> {
+    let model = OddBall::default().fit(g).expect("OddBall fit for target sampling");
+    let mut top: Vec<NodeId> = model.top_k(pool).into_iter().map(|(i, _)| i).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    top.shuffle(&mut rng);
+    top.truncate(count);
+    top.sort_unstable();
+    top
+}
+
+/// One attack's τ_as curve: `curve[b] = τ_as` after budget `b`
+/// (`curve[0] = 0`).
+pub fn tau_curve(outcome: &AttackOutcome, g0: &Graph, targets: &[NodeId]) -> Vec<f64> {
+    let scores = outcome.ascore_curve(g0, targets, &OddBall::default());
+    (0..scores.len()).map(|b| AttackOutcome::tau_as(&scores, b)).collect()
+}
+
+/// Runs one attack over several target samples and averages the τ_as
+/// curves point-wise (shorter curves are padded with their final value,
+/// mirroring "attack saturated").
+pub fn mean_tau_curve(
+    attack: &dyn StructuralAttack,
+    g0: &Graph,
+    target_sets: &[Vec<NodeId>],
+    budget: usize,
+) -> Vec<f64> {
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for targets in target_sets {
+        match attack.attack(g0, targets, budget) {
+            Ok(outcome) => curves.push(tau_curve(&outcome, g0, targets)),
+            Err(e) => eprintln!("warning: {} failed on one sample: {e}", attack.name()),
+        }
+    }
+    average_padded(&curves, budget + 1)
+}
+
+/// Point-wise average of curves, padding each with its last value up to
+/// `len`. Returns an empty vector when no curves succeeded.
+pub fn average_padded(curves: &[Vec<f64>], len: usize) -> Vec<f64> {
+    if curves.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; len];
+    for curve in curves {
+        for (b, slot) in out.iter_mut().enumerate() {
+            let v = if curve.is_empty() {
+                0.0
+            } else {
+                curve[b.min(curve.len() - 1)]
+            };
+            *slot += v;
+        }
+    }
+    for v in &mut out {
+        *v /= curves.len() as f64;
+    }
+    out
+}
+
+/// Pretty-prints a fixed-width table row.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>w$}  ", w = w));
+    }
+    println!("{line}");
+}
+
+/// Formats a float with 4 decimals for table output.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_core::{GradMaxSearch, RandomAttack};
+    use ba_graph::generators;
+
+    fn planted(seed: u64) -> Graph {
+        let mut g = generators::erdos_renyi(120, 0.05, seed);
+        generators::attach_isolated(&mut g, seed + 1);
+        generators::plant_near_clique(&mut g, &(0..8).collect::<Vec<_>>(), 1.0, seed + 2);
+        g
+    }
+
+    #[test]
+    fn sample_targets_from_top_pool() {
+        let g = planted(3);
+        let targets = sample_targets(&g, 5, 20, 7);
+        assert_eq!(targets.len(), 5);
+        let model = OddBall::default().fit(&g).unwrap();
+        let top20: Vec<NodeId> = model.top_k(20).into_iter().map(|(i, _)| i).collect();
+        for t in &targets {
+            assert!(top20.contains(t), "target {t} not in top-20");
+        }
+        // Deterministic.
+        assert_eq!(targets, sample_targets(&g, 5, 20, 7));
+        assert_ne!(targets, sample_targets(&g, 5, 20, 8));
+    }
+
+    #[test]
+    fn average_padded_handles_uneven_curves() {
+        let curves = vec![vec![0.0, 1.0], vec![0.0, 3.0, 5.0]];
+        let avg = average_padded(&curves, 4);
+        assert_eq!(avg, vec![0.0, 2.0, 3.0, 3.0]);
+        assert!(average_padded(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn mean_tau_curve_runs_attacks() {
+        let g = planted(9);
+        let t1 = sample_targets(&g, 2, 10, 1);
+        let t2 = sample_targets(&g, 2, 10, 2);
+        let curve = mean_tau_curve(&GradMaxSearch::default(), &g, &[t1, t2], 5);
+        assert_eq!(curve.len(), 6);
+        assert_eq!(curve[0], 0.0);
+        assert!(curve[5] > 0.0, "greedy attack had no effect: {curve:?}");
+    }
+
+    #[test]
+    fn random_attack_curve_weaker_than_greedy() {
+        let g = planted(11);
+        let sets: Vec<Vec<NodeId>> =
+            (0..2).map(|i| sample_targets(&g, 2, 10, i)).collect();
+        let greedy = mean_tau_curve(&GradMaxSearch::default(), &g, &sets, 8);
+        let random = mean_tau_curve(&RandomAttack::default(), &g, &sets, 8);
+        assert!(
+            greedy[8] > random[8],
+            "greedy {} vs random {}",
+            greedy[8],
+            random[8]
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! `binattack` — command-line interface to the BinarizedAttack library.
+//!
+//! Subcommands:
+//!
+//! * `generate` — build a synthetic dataset and save it as an edge list
+//! * `score` — run OddBall on an edge list and print the top anomalies
+//! * `attack` — poison an edge list so given targets evade OddBall
+//! * `transfer` — run the GAL/ReFeX transfer-attack pipeline end to end
+//!
+//! Run `binattack help` for usage. Argument parsing is hand-rolled (the
+//! approved dependency set has no CLI parser; the grammar is small).
+
+use ba_core::{
+    AttackConfig, AttackOutcome, BinarizedAttack, ContinuousA, EdgeOpKind, GradMaxSearch,
+    RandomAttack, StructuralAttack,
+};
+use ba_datasets::Dataset;
+use ba_graph::io::{load_edge_list, save_edge_list};
+use ba_graph::{Graph, NodeId};
+use ba_oddball::{OddBall, Regressor};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+binattack — structural poisoning attacks on graph anomaly detection
+
+USAGE:
+  binattack generate --dataset <er|ba|blogcatalog|wikivote|bitcoin-alpha>
+                     --out <file> [--seed N]
+  binattack score    --graph <file> [--top K] [--regressor <ols|huber|ransac>]
+  binattack attack   --graph <file> --out <file> --budget B
+                     [--targets a,b,c | --auto-targets K]
+                     [--method <binarized|gradmax|continuous|random>]
+                     [--ops <both|add|delete>] [--seed N]
+  binattack transfer --graph <file> --budget B --system <gal|refex> [--seed N]
+  binattack help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "score" => cmd_score(&flags),
+        "attack" => cmd_attack(&flags),
+        "transfer" => cmd_transfer(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--key value` flag map.
+struct Flags(std::collections::BTreeMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut map = std::collections::BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = args.get(i + 1).cloned().unwrap_or_default();
+                map.insert(key.to_string(), value);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Flags(map)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn load_graph(flags: &Flags) -> Result<Graph, String> {
+    let path = flags.require("graph")?;
+    let loaded = load_edge_list(path).map_err(|e| format!("loading {path}: {e}"))?;
+    Ok(loaded.graph)
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let name = flags.require("dataset")?;
+    let dataset = match name {
+        "er" => Dataset::Er,
+        "ba" => Dataset::Ba,
+        "blogcatalog" => Dataset::Blogcatalog,
+        "wikivote" => Dataset::Wikivote,
+        "bitcoin-alpha" => Dataset::BitcoinAlpha,
+        other => return Err(format!("unknown dataset {other:?}")),
+    };
+    let out = flags.require("out")?;
+    let seed = flags.u64_or("seed", 7);
+    let g = dataset.build(seed);
+    save_edge_list(&g, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} edges, seed {seed})",
+        out,
+        g.num_nodes(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_score(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let top = flags.usize_or("top", 20);
+    let regressor = match flags.get("regressor").unwrap_or("ols") {
+        "ols" => Regressor::Ols,
+        "huber" => Regressor::default_huber(),
+        "ransac" => Regressor::default_ransac(flags.u64_or("seed", 7)),
+        other => return Err(format!("unknown regressor {other:?}")),
+    };
+    let model = OddBall::new(regressor).fit(&g).map_err(|e| e.to_string())?;
+    println!(
+        "fit: beta0 = {:.4}, beta1 = {:.4}  (n = {}, m = {})",
+        model.beta0(),
+        model.beta1(),
+        g.num_nodes(),
+        g.num_edges()
+    );
+    println!("{:>8}  {:>10}  {:>6}  {:>6}", "node", "ascore", "N", "E");
+    for (node, score) in model.top_k(top) {
+        let f = model.features();
+        println!(
+            "{:>8}  {:>10.4}  {:>6.0}  {:>6.0}",
+            node, score, f.n[node as usize], f.e[node as usize]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_attack(flags: &Flags) -> Result<(), String> {
+    let g = load_graph(flags)?;
+    let out = flags.require("out")?;
+    let budget = flags.usize_or("budget", 10);
+    let seed = flags.u64_or("seed", 7);
+    let targets: Vec<NodeId> = if let Some(list) = flags.get("targets") {
+        list.split(',')
+            .map(|t| t.trim().parse().map_err(|_| format!("bad target id {t:?}")))
+            .collect::<Result<_, _>>()?
+    } else {
+        let k = flags.usize_or("auto-targets", 10);
+        let model = OddBall::default().fit(&g).map_err(|e| e.to_string())?;
+        model.top_k(k).into_iter().map(|(i, _)| i).collect()
+    };
+    let op_kind = match flags.get("ops").unwrap_or("both") {
+        "both" => EdgeOpKind::Both,
+        "add" => EdgeOpKind::AddOnly,
+        "delete" => EdgeOpKind::DeleteOnly,
+        other => return Err(format!("unknown ops mode {other:?}")),
+    };
+    let cfg = AttackConfig { op_kind, seed, ..AttackConfig::default() };
+    let method = flags.get("method").unwrap_or("binarized");
+    let outcome: AttackOutcome = match method {
+        "binarized" => BinarizedAttack::new(cfg).attack(&g, &targets, budget),
+        "gradmax" => GradMaxSearch::new(cfg).attack(&g, &targets, budget),
+        "continuous" => ContinuousA::new(cfg).attack(&g, &targets, budget),
+        "random" => RandomAttack::new(cfg).attack(&g, &targets, budget),
+        other => return Err(format!("unknown method {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    let b = outcome.max_budget();
+    let poisoned = outcome.poisoned_graph(&g, b);
+    save_edge_list(&poisoned, out).map_err(|e| e.to_string())?;
+    let before = OddBall::default().fit(&g).map_err(|e| e.to_string())?;
+    let after = OddBall::default().fit(&poisoned).map_err(|e| e.to_string())?;
+    let s0 = before.target_score_sum(&targets);
+    let sb = after.target_score_sum(&targets);
+    println!("method: {}   targets: {:?}", outcome.name, targets);
+    println!("applied {} edge flips (budget {budget})", outcome.ops(b).len());
+    println!(
+        "target AScore sum: {s0:.4} -> {sb:.4}  (tau_as = {:.2}%)",
+        100.0 * (s0 - sb) / s0.max(1e-12)
+    );
+    println!("wrote poisoned graph to {out}");
+    Ok(())
+}
+
+fn cmd_transfer(flags: &Flags) -> Result<(), String> {
+    use ba_gad::{
+        evaluate_system, identify_targets, pipeline::delta_b, pipeline::oddball_labels,
+        train_test_split, GadSystem, GalConfig, RefexConfig, TransferConfig,
+    };
+    let g = load_graph(flags)?;
+    let budget = flags.usize_or("budget", 50);
+    let seed = flags.u64_or("seed", 7);
+    let system = match flags.require("system")? {
+        "gal" => GadSystem::Gal(GalConfig::default()),
+        "refex" => GadSystem::Refex(RefexConfig::default()),
+        other => return Err(format!("unknown system {other:?}")),
+    };
+    let tcfg = TransferConfig { seed, ..TransferConfig::default() };
+    let labels = oddball_labels(&g, tcfg.label_fraction);
+    let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, seed);
+    let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &tcfg);
+    println!(
+        "{}: clean AUC {:.3}, F1 {:.3}, {} identified targets",
+        system.name(),
+        clean.auc,
+        clean.f1,
+        targets.len()
+    );
+    if targets.is_empty() {
+        return Err("no anomalous test nodes identified; nothing to attack".into());
+    }
+    let attack = BinarizedAttack::new(AttackConfig { seed, ..AttackConfig::default() });
+    let outcome = attack.attack(&g, &targets, budget).map_err(|e| e.to_string())?;
+    let poisoned = outcome.poisoned_graph(&g, budget);
+    let after = evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
+    println!(
+        "after B = {budget}: AUC {:.3}, F1 {:.3}, delta_B = {:.1}%",
+        after.auc,
+        after.f1,
+        100.0 * delta_b(clean.target_soft_sum, after.target_soft_sum)
+    );
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Integration tests for the `binattack` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn binattack() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_binattack"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("binattack_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = binattack().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("binattack attack"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = binattack().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = binattack().args(["generate", "--dataset", "er"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--out"));
+}
+
+#[test]
+fn generate_then_score() {
+    let path = tmp("gen_score.edges");
+    let out = binattack()
+        .args(["generate", "--dataset", "ba", "--out", path.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(path.exists());
+
+    let out = binattack()
+        .args(["score", "--graph", path.to_str().unwrap(), "--top", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("beta0"));
+    // 5 ranked rows follow the header.
+    assert!(text.lines().count() >= 7);
+}
+
+#[test]
+fn generate_rejects_unknown_dataset() {
+    let out = binattack()
+        .args(["generate", "--dataset", "nonsense", "--out", "/tmp/x.edges"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn attack_reduces_scores_end_to_end() {
+    let clean = tmp("attack_in.edges");
+    let poisoned = tmp("attack_out.edges");
+    let status = binattack()
+        .args(["generate", "--dataset", "bitcoin-alpha", "--out", clean.to_str().unwrap(), "--seed", "5"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+
+    // Use the fast greedy method to keep the test quick.
+    let out = binattack()
+        .args([
+            "attack",
+            "--graph",
+            clean.to_str().unwrap(),
+            "--out",
+            poisoned.to_str().unwrap(),
+            "--budget",
+            "10",
+            "--auto-targets",
+            "3",
+            "--method",
+            "gradmax",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tau_as"));
+    assert!(poisoned.exists());
+    // The reported decrease must be positive.
+    let tau_line = text.lines().find(|l| l.contains("tau_as")).unwrap();
+    let pct: f64 = tau_line
+        .split("tau_as = ")
+        .nth(1)
+        .unwrap()
+        .trim_end_matches(|c| c == '%' || c == ')')
+        .parse()
+        .unwrap();
+    assert!(pct > 0.0, "reported tau_as {pct} not positive: {tau_line}");
+}
+
+#[test]
+fn attack_with_explicit_targets_and_ops_mode() {
+    let clean = tmp("explicit_in.edges");
+    let poisoned = tmp("explicit_out.edges");
+    binattack()
+        .args(["generate", "--dataset", "er", "--out", clean.to_str().unwrap(), "--seed", "9"])
+        .status()
+        .unwrap();
+    let out = binattack()
+        .args([
+            "attack",
+            "--graph",
+            clean.to_str().unwrap(),
+            "--out",
+            poisoned.to_str().unwrap(),
+            "--budget",
+            "5",
+            "--targets",
+            "1,2,3",
+            "--method",
+            "random",
+            "--ops",
+            "add",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[1, 2, 3]"));
+}
+
+#[test]
+fn score_on_missing_file_fails_gracefully() {
+    let out = binattack()
+        .args(["score", "--graph", "/definitely/not/here.edges"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"));
+}

@@ -1,0 +1,216 @@
+//! The common attack interface, configuration, and result types.
+
+use crate::loss::LossError;
+use crate::pair::{CandidateScope, EdgeOpKind};
+use ba_graph::{EdgeOp, Graph, NodeId};
+use ba_oddball::OddBall;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all structural attacks.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Which pairs the optimiser may touch.
+    pub scope: CandidateScope,
+    /// Which edge operations are allowed (paper Fig. 5 explores all three).
+    pub op_kind: EdgeOpKind,
+    /// Never delete an edge whose removal would isolate a node (the
+    /// paper's GradMaxSearch explicitly avoids singleton nodes; we apply
+    /// the rule to every method).
+    pub forbid_singletons: bool,
+    /// RNG seed for any stochastic component.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self {
+            scope: CandidateScope::Full,
+            op_kind: EdgeOpKind::Both,
+            forbid_singletons: true,
+            seed: 0xb1a5,
+        }
+    }
+}
+
+/// Errors an attack can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// No targets supplied.
+    NoTargets,
+    /// A target id is out of range for the graph.
+    TargetOutOfRange(NodeId),
+    /// The surrogate objective is degenerate on this graph (e.g. a
+    /// regular graph where the regression is singular).
+    Loss(LossError),
+    /// The candidate set is empty under the configured scope/mask.
+    NoCandidates,
+}
+
+impl std::fmt::Display for AttackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackError::NoTargets => write!(f, "no target nodes supplied"),
+            AttackError::TargetOutOfRange(t) => write!(f, "target {t} out of range"),
+            AttackError::Loss(e) => write!(f, "objective error: {e}"),
+            AttackError::NoCandidates => write!(f, "no candidate pairs to modify"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<LossError> for AttackError {
+    fn from(e: LossError) -> Self {
+        AttackError::Loss(e)
+    }
+}
+
+/// The result of an attack run with maximum budget `B`: for every budget
+/// `b ∈ 1..=B`, the set of edge flips the attack commits to and the
+/// surrogate loss it achieves.
+///
+/// Greedy attacks produce nested (prefix) op sets; BinarizedAttack and
+/// ContinuousA may produce unrelated sets per budget — hence the explicit
+/// per-budget storage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Attack name (for reports).
+    pub name: String,
+    /// `ops_per_budget[b-1]` = ops for budget `b`. May be shorter than
+    /// requested if the attack saturated (no more useful flips).
+    pub ops_per_budget: Vec<Vec<EdgeOp>>,
+    /// Surrogate loss after applying each budget's ops.
+    pub surrogate_loss_per_budget: Vec<f64>,
+    /// Optimiser trace (objective per iteration), for ablations. Empty
+    /// for non-iterative methods.
+    pub loss_trajectory: Vec<f64>,
+}
+
+impl AttackOutcome {
+    /// Largest budget with recorded ops.
+    pub fn max_budget(&self) -> usize {
+        self.ops_per_budget.len()
+    }
+
+    /// The ops for budget `b` (clamped to the largest recorded budget;
+    /// budget 0 yields no ops).
+    pub fn ops(&self, budget: usize) -> &[EdgeOp] {
+        if budget == 0 || self.ops_per_budget.is_empty() {
+            return &[];
+        }
+        let idx = budget.min(self.ops_per_budget.len()) - 1;
+        &self.ops_per_budget[idx]
+    }
+
+    /// Applies the budget-`b` ops to a clean graph.
+    pub fn poisoned_graph(&self, g0: &Graph, budget: usize) -> Graph {
+        g0.with_ops(self.ops(budget))
+    }
+
+    /// Evaluates the *true* OddBall anomaly-score sum of `targets` at
+    /// every recorded budget (plus budget 0 first), as the paper's
+    /// evaluation metric τ_as requires. Returns `scores[b] = S_T` after
+    /// budget `b`.
+    pub fn ascore_curve(&self, g0: &Graph, targets: &[NodeId], detector: &OddBall) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.max_budget() + 1);
+        let clean = detector.fit(g0).expect("detector fit on clean graph");
+        out.push(clean.target_score_sum(targets));
+        for b in 1..=self.max_budget() {
+            let poisoned = self.poisoned_graph(g0, b);
+            let model = detector.fit(&poisoned).expect("detector fit on poisoned graph");
+            out.push(model.target_score_sum(targets));
+        }
+        out
+    }
+
+    /// τ_as at budget `b`: `(S⁰_T − S^b_T) / S⁰_T` for a precomputed
+    /// AScore curve.
+    pub fn tau_as(curve: &[f64], b: usize) -> f64 {
+        let s0 = curve[0];
+        if s0 == 0.0 {
+            return 0.0;
+        }
+        (s0 - curve[b.min(curve.len() - 1)]) / s0
+    }
+}
+
+/// Validates target set against the graph.
+pub(crate) fn validate_targets(g: &Graph, targets: &[NodeId]) -> Result<(), AttackError> {
+    if targets.is_empty() {
+        return Err(AttackError::NoTargets);
+    }
+    for &t in targets {
+        if t as usize >= g.num_nodes() {
+            return Err(AttackError::TargetOutOfRange(t));
+        }
+    }
+    Ok(())
+}
+
+/// A targeted structural poisoning attack against OddBall.
+pub trait StructuralAttack {
+    /// Human-readable method name (as used in the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Runs the attack on clean graph `g0` for the given targets and
+    /// maximum budget, producing per-budget op sets.
+    fn attack(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        budget: usize,
+    ) -> Result<AttackOutcome, AttackError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_outcome() -> AttackOutcome {
+        AttackOutcome {
+            name: "dummy".into(),
+            ops_per_budget: vec![
+                vec![EdgeOp::new(0, 1, false)],
+                vec![EdgeOp::new(0, 1, false), EdgeOp::new(0, 2, true)],
+            ],
+            surrogate_loss_per_budget: vec![5.0, 3.0],
+            loss_trajectory: vec![],
+        }
+    }
+
+    #[test]
+    fn ops_clamping() {
+        let o = dummy_outcome();
+        assert!(o.ops(0).is_empty());
+        assert_eq!(o.ops(1).len(), 1);
+        assert_eq!(o.ops(2).len(), 2);
+        assert_eq!(o.ops(99).len(), 2); // clamped
+    }
+
+    #[test]
+    fn poisoned_graph_applies_ops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let o = dummy_outcome();
+        let p = o.poisoned_graph(&g, 2);
+        assert!(!p.has_edge(0, 1));
+        assert!(p.has_edge(0, 2));
+        assert_eq!(p.num_edges(), 2);
+    }
+
+    #[test]
+    fn tau_as_formula() {
+        let curve = [10.0, 8.0, 5.0];
+        assert!((AttackOutcome::tau_as(&curve, 1) - 0.2).abs() < 1e-12);
+        assert!((AttackOutcome::tau_as(&curve, 2) - 0.5).abs() < 1e-12);
+        assert!((AttackOutcome::tau_as(&curve, 9) - 0.5).abs() < 1e-12);
+        assert_eq!(AttackOutcome::tau_as(&[0.0, 0.0], 1), 0.0);
+    }
+
+    #[test]
+    fn validate_targets_errors() {
+        let g = Graph::new(3);
+        assert_eq!(validate_targets(&g, &[]), Err(AttackError::NoTargets));
+        assert_eq!(validate_targets(&g, &[5]), Err(AttackError::TargetOutOfRange(5)));
+        assert_eq!(validate_targets(&g, &[0, 2]), Ok(()));
+    }
+}

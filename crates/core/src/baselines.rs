@@ -1,0 +1,248 @@
+//! Non-gradient baselines used in the ablation benches: a uniformly
+//! random attacker and a structural heuristic (clique breaking).
+
+use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
+use crate::pair::Candidates;
+use ba_graph::egonet::IncrementalEgonet;
+use ba_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Flips uniformly random valid candidate pairs. A floor that any
+/// gradient-guided attack must clear.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAttack {
+    config: AttackConfig,
+}
+
+impl RandomAttack {
+    /// Creates the baseline with the given config (seed matters).
+    pub fn new(config: AttackConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Default for RandomAttack {
+    fn default() -> Self {
+        Self::new(AttackConfig::default())
+    }
+}
+
+impl StructuralAttack for RandomAttack {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn attack(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        budget: usize,
+    ) -> Result<AttackOutcome, AttackError> {
+        validate_targets(g0, targets)?;
+        let candidates = Candidates::build(self.config.scope, g0, targets);
+        if candidates.is_empty() {
+            return Err(AttackError::NoCandidates);
+        }
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        order.shuffle(&mut rng);
+
+        let mut g = g0.clone();
+        let mut inc = IncrementalEgonet::new(&g);
+        let mut ops = Vec::new();
+        let mut ops_per_budget = Vec::new();
+        let mut loss_per_budget = Vec::new();
+        for idx in order {
+            if ops.len() >= budget {
+                break;
+            }
+            let (i, j) = candidates.pair(idx);
+            let is_edge = g.has_edge(i, j);
+            if !self.config.op_kind.allows(is_edge) {
+                continue;
+            }
+            if is_edge
+                && self.config.forbid_singletons
+                && !g.deletion_keeps_no_singletons(i, j)
+            {
+                continue;
+            }
+            let op = inc.toggle(&mut g, i, j).expect("not a self-loop");
+            ops.push(op);
+            let feats = inc.features();
+            let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+            ops_per_budget.push(ops.clone());
+            loss_per_budget.push(loss);
+        }
+        Ok(AttackOutcome {
+            name: self.name().to_string(),
+            ops_per_budget,
+            surrogate_loss_per_budget: loss_per_budget,
+            loss_trajectory: vec![],
+        })
+    }
+}
+
+/// A structural heuristic: per step, pick the target with the highest
+/// current proxy anomaly score and delete its incident edge with the
+/// most common neighbours (near-clique edges first). Knows the OddBall
+/// anomaly patterns but uses no gradients — isolates how much the
+/// gradient machinery actually buys.
+#[derive(Debug, Clone, Copy)]
+pub struct CliqueBreaker {
+    config: AttackConfig,
+}
+
+impl CliqueBreaker {
+    /// Creates the heuristic with the given config.
+    pub fn new(config: AttackConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Default for CliqueBreaker {
+    fn default() -> Self {
+        Self::new(AttackConfig::default())
+    }
+}
+
+impl StructuralAttack for CliqueBreaker {
+    fn name(&self) -> &'static str {
+        "cliquebreaker"
+    }
+
+    fn attack(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        budget: usize,
+    ) -> Result<AttackOutcome, AttackError> {
+        validate_targets(g0, targets)?;
+        let mut g = g0.clone();
+        let mut inc = IncrementalEgonet::new(&g);
+        let mut ops = Vec::new();
+        let mut ops_per_budget = Vec::new();
+        let mut loss_per_budget = Vec::new();
+
+        for _ in 0..budget {
+            // Rank targets by current squared residual from the fitted law.
+            let feats = inc.features();
+            let ng = crate::grad::node_grads(&feats.n, &feats.e, targets)?;
+            let (b0, b1) = (ng.beta0, ng.beta1);
+            let mut ranked: Vec<NodeId> = targets.to_vec();
+            ranked.sort_by(|&x, &y| {
+                let rx = ba_oddball::surrogate_score(
+                    feats.e[x as usize],
+                    feats.n[x as usize],
+                    b0,
+                    b1,
+                );
+                let ry = ba_oddball::surrogate_score(
+                    feats.e[y as usize],
+                    feats.n[y as usize],
+                    b0,
+                    b1,
+                );
+                ry.partial_cmp(&rx).expect("NaN score").then(x.cmp(&y))
+            });
+            // For the worst target, delete the incident edge with the most
+            // common neighbours.
+            let mut choice: Option<(NodeId, NodeId, usize)> = None;
+            'outer: for &t in &ranked {
+                let nbrs: Vec<NodeId> = g.neighbors(t).iter().copied().collect();
+                for x in nbrs {
+                    if self.config.forbid_singletons && !g.deletion_keeps_no_singletons(t, x) {
+                        continue;
+                    }
+                    let cn = g.common_neighbors(t, x);
+                    if choice.is_none_or(|(_, _, bc)| cn > bc) {
+                        choice = Some((t, x, cn));
+                    }
+                }
+                if choice.is_some() {
+                    break 'outer;
+                }
+            }
+            let Some((t, x, _)) = choice else { break };
+            let op = inc.toggle(&mut g, t, x).expect("distinct nodes");
+            ops.push(op);
+            let feats = inc.features();
+            let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+            ops_per_budget.push(ops.clone());
+            loss_per_budget.push(loss);
+        }
+        Ok(AttackOutcome {
+            name: self.name().to_string(),
+            ops_per_budget,
+            surrogate_loss_per_budget: loss_per_budget,
+            loss_trajectory: vec![],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_graph::generators;
+    use ba_oddball::OddBall;
+
+    fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {
+        let mut g = generators::erdos_renyi(120, 0.05, seed);
+        generators::attach_isolated(&mut g, seed + 1);
+        let members: Vec<NodeId> = (0..9).collect();
+        generators::plant_near_clique(&mut g, &members, 1.0, seed + 2);
+        let model = OddBall::default().fit(&g).unwrap();
+        let targets: Vec<NodeId> = model.top_k(3).into_iter().map(|(i, _)| i).collect();
+        (g, targets)
+    }
+
+    #[test]
+    fn random_attack_within_budget_and_valid() {
+        let (g, targets) = anomalous_graph(61);
+        let outcome = RandomAttack::default().attack(&g, &targets, 12).unwrap();
+        assert!(outcome.max_budget() <= 12);
+        let poisoned = outcome.poisoned_graph(&g, 12);
+        for u in 0..poisoned.num_nodes() as u32 {
+            if g.degree(u) > 0 {
+                assert!(poisoned.degree(u) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn random_attack_seed_determinism() {
+        let (g, targets) = anomalous_graph(63);
+        let a = RandomAttack::default().attack(&g, &targets, 6).unwrap();
+        let b = RandomAttack::default().attack(&g, &targets, 6).unwrap();
+        assert_eq!(a.ops_per_budget, b.ops_per_budget);
+        let cfg = AttackConfig { seed: 999, ..AttackConfig::default() };
+        let c = RandomAttack::new(cfg).attack(&g, &targets, 6).unwrap();
+        assert_ne!(a.ops_per_budget, c.ops_per_budget);
+    }
+
+    #[test]
+    fn clique_breaker_reduces_score_on_planted_clique() {
+        let (g, targets) = anomalous_graph(65);
+        let outcome = CliqueBreaker::default().attack(&g, &targets, 12).unwrap();
+        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let tau = AttackOutcome::tau_as(&curve, outcome.max_budget());
+        assert!(tau > 0.05, "clique breaker ineffective: τ = {tau}, curve = {curve:?}");
+        // All ops are deletions incident to a target.
+        for op in outcome.ops(outcome.max_budget()) {
+            assert!(!op.added);
+            assert!(targets.contains(&op.u) || targets.contains(&op.v));
+        }
+    }
+
+    #[test]
+    fn clique_breaker_stops_when_no_deletable_edges() {
+        // Targets with only degree-1 neighbours cannot lose edges under
+        // the singleton rule... construct a tiny star.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let outcome = CliqueBreaker::default().attack(&g, &[0], 3).unwrap();
+        // Deleting any spoke isolates the leaf ⇒ no ops possible.
+        assert_eq!(outcome.max_budget(), 0);
+    }
+}

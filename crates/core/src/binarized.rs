@@ -1,0 +1,409 @@
+//! BinarizedAttack (paper Sec. V-B, Alg. 1) — the proposed method.
+//!
+//! Every candidate pair `{i,j}` carries a continuous soft decision
+//! variable `Ż ∈ [0,1]` and a discrete dummy `Z = −binarized(2Ż − 1)`;
+//! `Z = −1` means "flip this entry of A₀". The poisoned adjacency is
+//! `A = (A₀ − ½) ⊙ Z + ½` (Eq. (6)), i.e. entries with `Ż > ½` are
+//! flipped. Each iteration:
+//!
+//! * **forward** — evaluate the surrogate objective on the *discrete*
+//!   poisoned graph (this is the paper's key difference from ContinuousA:
+//!   the objective always sees a realisable graph);
+//! * **backward** — compute `dL/dŻ = G_ij·(1 − 2A₀_ij)` through the
+//!   straight-through estimator (`∂binarized/∂x :≈ 1`, so
+//!   `∂Z/∂Ż = −2`, and `∂A/∂Z = A₀ − ½`), add the LASSO subgradient `λ`,
+//!   and take a projected gradient step on `Ż` (Eq. (8)).
+//!
+//! After sweeping the penalty grid `Λ`, the per-budget solution is
+//! extracted by ranking candidates by `Ż` and flipping the top-`b` valid
+//! pairs, keeping the best λ for each budget (Alg. 1, lines 16–19).
+//!
+//! Implementation notes vs the paper: gradients are normalised by their
+//! max-abs before the step (the paper does not specify a step-size
+//! schedule), and λ is therefore expressed in normalised-gradient units.
+//! The `ablation` bench quantifies both choices.
+
+use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
+use crate::grad::{correction_map, node_grads, pair_grad_with_corrections};
+use crate::pair::{static_mask, Candidates};
+use ba_graph::egonet::IncrementalEgonet;
+use ba_graph::{EdgeOp, Graph, NodeId};
+
+/// The BinarizedAttack optimiser.
+#[derive(Debug, Clone)]
+pub struct BinarizedAttack {
+    config: AttackConfig,
+    /// LASSO penalty grid `Λ` (normalised-gradient units).
+    pub lambdas: Vec<f64>,
+    /// PGD iterations `T` per λ.
+    pub iterations: usize,
+    /// Learning rate `η` (step size after gradient normalisation).
+    pub learning_rate: f64,
+}
+
+impl BinarizedAttack {
+    /// Creates the attack with default hyper-parameters
+    /// (`Λ = {0.002, 0.02}`, `T = 300`, `η = 0.05`). The small-λ/long-T
+    /// regime matters: large penalties cap how many soft decisions can
+    /// accumulate, which is exactly where GradMaxSearch would otherwise
+    /// overtake at big budgets (see the `ablation` bench).
+    pub fn new(config: AttackConfig) -> Self {
+        Self {
+            config,
+            lambdas: vec![0.002, 0.02],
+            iterations: 300,
+            learning_rate: 0.05,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Builder-style override of the λ grid.
+    pub fn with_lambdas(mut self, lambdas: Vec<f64>) -> Self {
+        assert!(!lambdas.is_empty(), "need at least one lambda");
+        self.lambdas = lambdas;
+        self
+    }
+
+    /// Builder-style override of the iteration count.
+    pub fn with_iterations(mut self, iters: usize) -> Self {
+        self.iterations = iters;
+        self
+    }
+
+    /// Builder-style override of the learning rate.
+    pub fn with_learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Runs the PGD loop for one λ, returning `Ż` snapshots (periodic +
+    /// final — Alg. 1 extracts the best discrete solution over the whole
+    /// sweep, and intermediate iterates often dominate for small budgets)
+    /// and the loss trajectory.
+    fn optimise_one_lambda(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        candidates: &Candidates,
+        mask: &[bool],
+        lambda: f64,
+    ) -> Result<(Vec<Vec<f64>>, Vec<f64>), AttackError> {
+        let mut zdot = vec![0.0f64; candidates.len()];
+        let mut grads = vec![0.0f64; candidates.len()];
+        let mut g = g0.clone();
+        let mut inc = IncrementalEgonet::new(&g);
+        // Current flip set (candidate indices with Ż > ½).
+        let mut flipped = vec![false; candidates.len()];
+        let mut trajectory = Vec::with_capacity(self.iterations);
+        let mut snapshots: Vec<Vec<f64>> = Vec::new();
+        let snap_every = (self.iterations / 4).max(10);
+
+        for t in 0..self.iterations {
+            if t > 0 && t % snap_every == 0 {
+                snapshots.push(zdot.clone());
+            }
+            // Forward: objective and node grads on the *discrete* graph.
+            let feats = inc.features();
+            let ng = node_grads(&feats.n, &feats.e, targets)?;
+            trajectory.push(ng.loss);
+            let corrections = correction_map(&g, &ng.g_e);
+
+            // Backward: dL/dŻ per candidate (STE), normalised step.
+            let mut max_abs = 0.0f64;
+            candidates.for_each(|idx, i, j| {
+                if !mask[idx] {
+                    grads[idx] = 0.0;
+                    return;
+                }
+                let s = if g0.has_edge(i, j) { -1.0 } else { 1.0 }; // 1 − 2A₀
+                let gr = pair_grad_with_corrections(&ng, &corrections, i, j) * s;
+                grads[idx] = gr;
+                max_abs = max_abs.max(gr.abs());
+            });
+            if max_abs == 0.0 {
+                break; // zero gradient everywhere: nothing to optimise
+            }
+            let scale = self.learning_rate / max_abs;
+            let shrink = self.learning_rate * lambda;
+            for idx in 0..zdot.len() {
+                if !mask[idx] {
+                    continue;
+                }
+                // PGD step with the LASSO subgradient (Ż ≥ 0 always, so
+                // sign(Ż) = +1) and projection onto [0,1].
+                zdot[idx] = (zdot[idx] - scale * grads[idx] - shrink).clamp(0.0, 1.0);
+            }
+
+            // Re-binarise: toggle the graph wherever the flip set changed.
+            let mut changed = Vec::new();
+            candidates.for_each(|idx, i, j| {
+                let want = zdot[idx] > 0.5;
+                if want != flipped[idx] {
+                    changed.push((idx, i, j, want));
+                }
+            });
+            for (idx, i, j, want) in changed {
+                inc.toggle(&mut g, i, j).expect("candidate pairs are not self-loops");
+                flipped[idx] = want;
+            }
+        }
+        snapshots.push(zdot);
+        Ok((snapshots, trajectory))
+    }
+}
+
+impl Default for BinarizedAttack {
+    fn default() -> Self {
+        Self::new(AttackConfig::default())
+    }
+}
+
+/// Extracts the top-`b` flips from a soft decision vector, applying
+/// dynamic validity (op kind via the static mask, singleton protection
+/// against the *evolving* poisoned graph). Returns the ops and the
+/// resulting surrogate loss.
+pub(crate) fn extract_budget(
+    g0: &Graph,
+    targets: &[NodeId],
+    candidates: &Candidates,
+    mask: &[bool],
+    scores: &[f64],
+    b: usize,
+    forbid_singletons: bool,
+) -> Result<(Vec<EdgeOp>, f64), AttackError> {
+    // Rank candidates by soft score, descending; ties by index for
+    // determinism.
+    let mut order: Vec<usize> = (0..scores.len()).filter(|&i| mask[i] && scores[i] > 0.0).collect();
+    order.sort_by(|&a, &bidx| {
+        scores[bidx].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&bidx))
+    });
+    let mut g = g0.clone();
+    let mut inc = IncrementalEgonet::new(&g);
+    let mut ops = Vec::with_capacity(b);
+    for idx in order {
+        if ops.len() >= b {
+            break;
+        }
+        let (i, j) = candidates.pair(idx);
+        if g.has_edge(i, j) && forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
+            continue;
+        }
+        let op = inc.toggle(&mut g, i, j).expect("not a self-loop");
+        ops.push(op);
+    }
+    let feats = inc.features();
+    let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+    Ok((ops, loss))
+}
+
+impl StructuralAttack for BinarizedAttack {
+    fn name(&self) -> &'static str {
+        "binarizedattack"
+    }
+
+    fn attack(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        budget: usize,
+    ) -> Result<AttackOutcome, AttackError> {
+        validate_targets(g0, targets)?;
+        let candidates = Candidates::build(self.config.scope, g0, targets);
+        if candidates.is_empty() {
+            return Err(AttackError::NoCandidates);
+        }
+        let mask = static_mask(&candidates, g0, self.config.op_kind, self.config.forbid_singletons);
+
+        // Optimise per λ, collecting Ż snapshots across the whole sweep.
+        let mut sweep: Vec<Vec<f64>> = Vec::new();
+        let mut trajectory = Vec::new();
+        for &lambda in &self.lambdas {
+            let (snapshots, traj) =
+                self.optimise_one_lambda(g0, targets, &candidates, &mask, lambda)?;
+            if traj.len() > trajectory.len() {
+                trajectory = traj; // keep the longest trace for ablations
+            }
+            sweep.extend(snapshots);
+        }
+
+        // Per-budget extraction: best λ wins (Alg. 1 lines 16–19). The
+        // budget constraint is `≤ b`, not `= b`, so if the top-b flips of
+        // every λ are worse than the best smaller solution we keep the
+        // smaller one — this makes the surrogate loss monotone in budget
+        // (forcing weak extra flips can otherwise *hurt*).
+        let mut ops_per_budget: Vec<Vec<EdgeOp>> = Vec::with_capacity(budget);
+        let mut loss_per_budget: Vec<f64> = Vec::with_capacity(budget);
+        for b in 1..=budget {
+            let mut best: Option<(Vec<EdgeOp>, f64)> = None;
+            for zdot in &sweep {
+                let (ops, loss) = extract_budget(
+                    g0,
+                    targets,
+                    &candidates,
+                    &mask,
+                    zdot,
+                    b,
+                    self.config.forbid_singletons,
+                )?;
+                if best.as_ref().is_none_or(|(_, bl)| loss < *bl) {
+                    best = Some((ops, loss));
+                }
+            }
+            let (mut ops, mut loss) = best.expect("at least one lambda");
+            if let Some(prev_loss) = loss_per_budget.last().copied() {
+                if prev_loss < loss {
+                    ops = ops_per_budget.last().expect("previous ops").clone();
+                    loss = prev_loss;
+                }
+            }
+            ops_per_budget.push(ops);
+            loss_per_budget.push(loss);
+        }
+        Ok(AttackOutcome {
+            name: self.name().to_string(),
+            ops_per_budget,
+            surrogate_loss_per_budget: loss_per_budget,
+            loss_trajectory: trajectory,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::{CandidateScope, EdgeOpKind};
+    use ba_graph::generators;
+    use ba_oddball::OddBall;
+
+    fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {
+        let mut g = generators::erdos_renyi(150, 0.04, seed);
+        generators::attach_isolated(&mut g, seed + 1);
+        let members: Vec<NodeId> = (0..10).collect();
+        generators::plant_near_clique(&mut g, &members, 1.0, seed + 2);
+        let model = OddBall::default().fit(&g).unwrap();
+        let targets: Vec<NodeId> = model.top_k(3).into_iter().map(|(i, _)| i).collect();
+        (g, targets)
+    }
+
+    fn fast_attack() -> BinarizedAttack {
+        BinarizedAttack::default()
+            .with_iterations(60)
+            .with_lambdas(vec![0.01, 0.05])
+    }
+
+    #[test]
+    fn reduces_true_anomaly_score() {
+        let (g, targets) = anomalous_graph(31);
+        let outcome = fast_attack().attack(&g, &targets, 15).unwrap();
+        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let tau = AttackOutcome::tau_as(&curve, 15);
+        assert!(tau > 0.25, "τ_as = {tau}; curve = {curve:?}");
+    }
+
+    #[test]
+    fn budget_respected_exactly() {
+        let (g, targets) = anomalous_graph(33);
+        let outcome = fast_attack().attack(&g, &targets, 10).unwrap();
+        assert_eq!(outcome.max_budget(), 10);
+        for (b, ops) in outcome.ops_per_budget.iter().enumerate() {
+            assert!(ops.len() <= b + 1, "budget {b} exceeded: {} ops", ops.len());
+            // Ops must be unique pairs.
+            let mut seen = std::collections::HashSet::new();
+            for op in ops {
+                assert!(seen.insert((op.u, op.v)));
+            }
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_budget_on_average() {
+        let (g, targets) = anomalous_graph(35);
+        let outcome = fast_attack().attack(&g, &targets, 12).unwrap();
+        let losses = &outcome.surrogate_loss_per_budget;
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "losses: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn optimiser_trajectory_recorded_and_improving() {
+        let (g, targets) = anomalous_graph(37);
+        let outcome = fast_attack().attack(&g, &targets, 5).unwrap();
+        assert!(outcome.loss_trajectory.len() > 10);
+        let first = outcome.loss_trajectory[0];
+        let min = outcome.loss_trajectory.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < first, "trajectory never improved: {first} -> min {min}");
+    }
+
+    #[test]
+    fn add_only_mode_only_adds() {
+        let (g, targets) = anomalous_graph(39);
+        let cfg = AttackConfig { op_kind: EdgeOpKind::AddOnly, ..AttackConfig::default() };
+        let outcome = BinarizedAttack::new(cfg)
+            .with_iterations(40)
+            .with_lambdas(vec![0.02])
+            .attack(&g, &targets, 8)
+            .unwrap();
+        for op in outcome.ops(8) {
+            assert!(op.added);
+        }
+    }
+
+    #[test]
+    fn delete_only_mode_only_deletes() {
+        let (g, targets) = anomalous_graph(41);
+        let cfg = AttackConfig { op_kind: EdgeOpKind::DeleteOnly, ..AttackConfig::default() };
+        let outcome = BinarizedAttack::new(cfg)
+            .with_iterations(40)
+            .with_lambdas(vec![0.02])
+            .attack(&g, &targets, 8)
+            .unwrap();
+        for op in outcome.ops(8) {
+            assert!(!op.added);
+        }
+        // Delete-only on a planted clique should still help.
+        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        assert!(AttackOutcome::tau_as(&curve, 8) > 0.1, "curve = {curve:?}");
+    }
+
+    #[test]
+    fn scoped_run_matches_interface() {
+        let (g, targets) = anomalous_graph(43);
+        let cfg = AttackConfig {
+            scope: CandidateScope::TargetNeighborhood,
+            ..AttackConfig::default()
+        };
+        let outcome = BinarizedAttack::new(cfg)
+            .with_iterations(40)
+            .with_lambdas(vec![0.02])
+            .attack(&g, &targets, 10)
+            .unwrap();
+        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        assert!(AttackOutcome::tau_as(&curve, 10) > 0.1, "curve = {curve:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_config() {
+        let (g, targets) = anomalous_graph(45);
+        let a = fast_attack().attack(&g, &targets, 6).unwrap();
+        let b = fast_attack().attack(&g, &targets, 6).unwrap();
+        assert_eq!(a.ops_per_budget, b.ops_per_budget);
+    }
+
+    #[test]
+    fn no_singletons_created() {
+        let (g, targets) = anomalous_graph(47);
+        let outcome = fast_attack().attack(&g, &targets, 20).unwrap();
+        let poisoned = outcome.poisoned_graph(&g, 20);
+        for u in 0..poisoned.num_nodes() as NodeId {
+            if g.degree(u) > 0 {
+                assert!(poisoned.degree(u) > 0, "node {u} isolated");
+            }
+        }
+    }
+}

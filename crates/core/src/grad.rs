@@ -1,0 +1,351 @@
+//! Analytic gradient of the bi-level surrogate objective.
+//!
+//! Loss (paper Eq. (5a)): `L = Σ_{a∈T} (E_a − e^{ρ_a})²` with
+//! `ρ_a = β0 + β1 u_a`, `u = ln N`, `v = ln E`, and `β = S⁻¹ c` the OLS
+//! solution over all nodes (`S = XᵀX`, `c = Xᵀv`, `X = [1, u]`).
+//!
+//! Because the lower-level problem (OLS) has a closed form, the total
+//! derivative does too. With `r_a = E_a − e^{ρ_a}`:
+//!
+//! * `gβ = (−2 Σ_a r_a e^{ρ_a}, −2 Σ_a r_a e^{ρ_a} u_a)` and `w = S⁻¹ gβ`;
+//! * `dL/dv_k = w₀ + w₁ u_k` (β-path only);
+//! * `dL/du_k = [k∈T](−2 r_k e^{ρ_k} β₁) + (−β₁ w₀ + (v_k − β₀ − 2u_k β₁) w₁)`;
+//! * `gN_k = (dL/du_k) / N_k`, `gE_k = [k∈T] 2 r_k + (dL/dv_k) / E_k`;
+//! * for the unordered pair `{i,j}` (both `A_ij` and `A_ji` flip):
+//!   `G_ij = (h_i + h_j) + (A²)_ij (gE_i + gE_j) + (A·diag(gE)·A)_ij`
+//!   with `h = gN + gE`.
+//!
+//! The `(A²)`/`(A diag A)` terms come from `E_k = N_k + ½(A³)_kk`:
+//! differentiating `tr(diag(gE/2)·A³)` w.r.t. a symmetric pair
+//! perturbation yields exactly those common-neighbour sums. Everything
+//! here is verified against `ba-autodiff` and finite differences in
+//! `tests/grad_check.rs`.
+
+use crate::loss::{fit_beta, safe_exp, LossError};
+use ba_graph::{Graph, NodeId};
+use ba_oddball::log_features;
+use std::collections::HashMap;
+
+/// Per-node derivatives of the surrogate loss, plus the fitted regression
+/// and the loss value itself (the forward pass is a by-product).
+#[derive(Debug, Clone)]
+pub struct NodeGrads {
+    /// Surrogate loss at the evaluated features.
+    pub loss: f64,
+    /// Fitted intercept `β0`.
+    pub beta0: f64,
+    /// Fitted slope `β1`.
+    pub beta1: f64,
+    /// `dL/dN_k` (total derivative, including the regression path).
+    pub g_n: Vec<f64>,
+    /// `dL/dE_k` (total derivative, including the regression path).
+    pub g_e: Vec<f64>,
+    /// `h = g_n + g_e` — the per-endpoint part of the pair gradient.
+    pub h: Vec<f64>,
+}
+
+/// Computes [`NodeGrads`] from raw feature vectors.
+///
+/// `targets` must be in range; features may be fractional (ContinuousA).
+pub fn node_grads(n: &[f64], e: &[f64], targets: &[NodeId]) -> Result<NodeGrads, LossError> {
+    let n_nodes = n.len();
+    if targets.iter().any(|&t| (t as usize) >= n_nodes) {
+        return Err(LossError::TargetOutOfRange);
+    }
+    let (u, v) = log_features(n, e);
+    let (b0, b1) = fit_beta(&u, &v)?;
+
+    // Normal-equation sums (S entries).
+    let nn = n_nodes as f64;
+    let su: f64 = u.iter().sum();
+    let suu: f64 = u.iter().map(|x| x * x).sum();
+
+    // Target residuals and gβ.
+    let mut is_target = vec![false; n_nodes];
+    let mut loss = 0.0;
+    let mut gb0 = 0.0;
+    let mut gb1 = 0.0;
+    for &a in targets {
+        let k = a as usize;
+        is_target[k] = true;
+        let rho = b0 + b1 * u[k];
+        let exp_rho = safe_exp(rho);
+        let r = e[k].max(1.0) - exp_rho;
+        loss += r * r;
+        gb0 += -2.0 * r * exp_rho;
+        gb1 += -2.0 * r * exp_rho * u[k];
+    }
+
+    // w = S⁻¹ gβ (S is symmetric).
+    let (w0, w1) = ba_linalg::solve2(nn, su, su, suu, gb0, gb1)
+        .map_err(|_| LossError::DegenerateRegression)?;
+
+    let mut g_n = vec![0.0; n_nodes];
+    let mut g_e = vec![0.0; n_nodes];
+    let mut h = vec![0.0; n_nodes];
+    for k in 0..n_nodes {
+        // β-path derivatives.
+        let dl_dv = w0 + w1 * u[k];
+        let mut dl_du = -b1 * w0 + (v[k] - b0 - 2.0 * u[k] * b1) * w1;
+        let mut dl_de_direct = 0.0;
+        if is_target[k] {
+            let rho = b0 + b1 * u[k];
+            let exp_rho = safe_exp(rho);
+            let r = e[k].max(1.0) - exp_rho;
+            dl_du += -2.0 * r * exp_rho * b1;
+            dl_de_direct = 2.0 * r;
+        }
+        // Chain through the clamped logs: d ln(max(x,1))/dx = 1/x for
+        // x ≥ 1, 0 below the clamp.
+        let du_dn = if n[k] >= 1.0 { 1.0 / n[k] } else { 0.0 };
+        let dv_de = if e[k] >= 1.0 { 1.0 / e[k] } else { 0.0 };
+        g_n[k] = dl_du * du_dn;
+        g_e[k] = dl_de_direct + dl_dv * dv_de;
+        h[k] = g_n[k] + g_e[k];
+    }
+    Ok(NodeGrads { loss, beta0: b0, beta1: b1, g_n, g_e, h })
+}
+
+/// Gradient of the loss w.r.t. the single unordered pair `{i, j}` on a
+/// *binary* graph, computed sparsely from common neighbours.
+pub fn pair_grad(g: &Graph, ng: &NodeGrads, i: NodeId, j: NodeId) -> f64 {
+    debug_assert_ne!(i, j);
+    let mut cn = 0usize;
+    let mut wsum = 0.0;
+    let (a, b) = (g.neighbors(i), g.neighbors(j));
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    for &m in small {
+        if large.contains(&m) {
+            cn += 1;
+            wsum += ng.g_e[m as usize];
+        }
+    }
+    ng.h[i as usize]
+        + ng.h[j as usize]
+        + cn as f64 * (ng.g_e[i as usize] + ng.g_e[j as usize])
+        + wsum
+}
+
+/// Packs an unordered pair into a `u64` map key.
+#[inline]
+fn pair_key(i: NodeId, j: NodeId) -> u64 {
+    let (i, j) = if i < j { (i, j) } else { (j, i) };
+    ((i as u64) << 32) | j as u64
+}
+
+/// Builds the sparse second-order correction terms for *all* pairs with
+/// at least one common neighbour: for each such pair the map holds
+/// `(common-neighbour count, Σ_m gE_m over common neighbours)`.
+///
+/// Enumerating the middle node `m` and all pairs of its neighbours costs
+/// `O(Σ_m deg(m)²)` — cheap on the paper's sparse graphs, and *much*
+/// cheaper than a dense `A²` product.
+pub fn correction_map(g: &Graph, g_e: &[f64]) -> HashMap<u64, (f64, f64)> {
+    let mut map: HashMap<u64, (f64, f64)> =
+        HashMap::with_capacity(4 * g.num_edges());
+    for m in 0..g.num_nodes() as NodeId {
+        let gem = g_e[m as usize];
+        let nbrs: Vec<NodeId> = g.neighbors(m).iter().copied().collect();
+        for (ai, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[ai + 1..] {
+                let entry = map.entry(pair_key(a, b)).or_insert((0.0, 0.0));
+                entry.0 += 1.0;
+                entry.1 += gem;
+            }
+        }
+    }
+    map
+}
+
+/// Full pair gradient as a correction lookup: `G_ij = h_i + h_j +
+/// cn·(gE_i + gE_j) + Σ gE_m`, where the correction part comes from a
+/// prebuilt [`correction_map`].
+#[inline]
+pub fn pair_grad_with_corrections(
+    ng: &NodeGrads,
+    corrections: &HashMap<u64, (f64, f64)>,
+    i: NodeId,
+    j: NodeId,
+) -> f64 {
+    let base = ng.h[i as usize] + ng.h[j as usize];
+    match corrections.get(&pair_key(i, j)) {
+        Some(&(cn, wsum)) => base + cn * (ng.g_e[i as usize] + ng.g_e[j as usize]) + wsum,
+        None => base,
+    }
+}
+
+/// Dense pair gradient for a *fractional* symmetric adjacency matrix
+/// (ContinuousA). Returns an `n × n` symmetric matrix `G` whose `(i,j)`
+/// entry is the derivative w.r.t. the unordered pair; the diagonal is 0.
+///
+/// Uses two dense products: `A²` and `A·diag(gE)·A`.
+pub fn dense_pair_gradient(
+    a: &ba_linalg::Matrix,
+    ng: &NodeGrads,
+    threads: usize,
+) -> ba_linalg::Matrix {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "adjacency must be square");
+    assert_eq!(n, ng.h.len(), "gradient size mismatch");
+    let a2 = ba_linalg::par_matmul(a, a, threads);
+    // AW: scale columns of A by gE (W = diag(gE)); then (AW)·A.
+    let mut aw = a.clone();
+    for i in 0..n {
+        let row = aw.row_mut(i);
+        for (j, x) in row.iter_mut().enumerate() {
+            *x *= ng.g_e[j];
+        }
+    }
+    let awa = ba_linalg::par_matmul(&aw, a, threads);
+    let mut g = ba_linalg::Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            g[(i, j)] = ng.h[i] + ng.h[j] + a2[(i, j)] * (ng.g_e[i] + ng.g_e[j]) + awa[(i, j)];
+        }
+    }
+    g
+}
+
+/// Computes fractional egonet features `N = A·1`, `E = N + ½ diag(A³)`
+/// from a dense symmetric adjacency. Returns `(n, e)`.
+pub fn dense_features(a: &ba_linalg::Matrix, threads: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = a.rows();
+    let a2 = ba_linalg::par_matmul(a, a, threads);
+    let mut deg = vec![0.0; n];
+    let mut e = vec![0.0; n];
+    for i in 0..n {
+        let row = a.row(i);
+        deg[i] = row.iter().sum();
+        // diag(A³)_i = Σ_m (A²)_im A_mi = row_i(A²)·row_i(A) for symmetric A.
+        let a2row = a2.row(i);
+        let t: f64 = a2row.iter().zip(row).map(|(x, y)| x * y).sum();
+        e[i] = deg[i] + 0.5 * t;
+    }
+    (deg, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_graph::egonet::egonet_features;
+    use ba_graph::generators;
+
+    fn feature_vectors(g: &Graph) -> (Vec<f64>, Vec<f64>) {
+        let f = egonet_features(g);
+        (f.n, f.e)
+    }
+
+    #[test]
+    fn node_grads_loss_matches_direct_eval() {
+        let g = generators::erdos_renyi(60, 0.1, 1);
+        let (n, e) = feature_vectors(&g);
+        let targets = [0, 5, 9];
+        let ng = node_grads(&n, &e, &targets).unwrap();
+        let direct = crate::loss::surrogate_loss_from_features(&n, &e, &targets).unwrap();
+        assert!((ng.loss - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_grads_match_finite_difference_on_features() {
+        // Perturb N_k / E_k directly and compare with g_n / g_e.
+        let g = generators::erdos_renyi(40, 0.15, 2);
+        let (n, e) = feature_vectors(&g);
+        let targets = [1, 3];
+        let ng = node_grads(&n, &e, &targets).unwrap();
+        let h = 1e-5;
+        for k in [0usize, 1, 3, 10, 20] {
+            // dL/dN_k
+            let mut np = n.clone();
+            np[k] += h;
+            let mut nm = n.clone();
+            nm[k] -= h;
+            let lp = crate::loss::surrogate_loss_from_features(&np, &e, &targets).unwrap();
+            let lm = crate::loss::surrogate_loss_from_features(&nm, &e, &targets).unwrap();
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - ng.g_n[k]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "g_n[{k}]: analytic {} vs fd {fd}",
+                ng.g_n[k]
+            );
+            // dL/dE_k
+            let mut ep = e.clone();
+            ep[k] += h;
+            let mut em = e.clone();
+            em[k] -= h;
+            let lp = crate::loss::surrogate_loss_from_features(&n, &ep, &targets).unwrap();
+            let lm = crate::loss::surrogate_loss_from_features(&n, &em, &targets).unwrap();
+            let fd = (lp - lm) / (2.0 * h);
+            assert!(
+                (fd - ng.g_e[k]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "g_e[{k}]: analytic {} vs fd {fd}",
+                ng.g_e[k]
+            );
+        }
+    }
+
+    #[test]
+    fn pair_grad_agrees_with_correction_map() {
+        let g = generators::barabasi_albert(80, 3, 3);
+        let (n, e) = feature_vectors(&g);
+        let ng = node_grads(&n, &e, &[2, 7]).unwrap();
+        let corr = correction_map(&g, &ng.g_e);
+        for (i, j) in [(0u32, 1u32), (2, 3), (10, 40), (5, 6), (70, 79)] {
+            let direct = pair_grad(&g, &ng, i, j);
+            let via_map = pair_grad_with_corrections(&ng, &corr, i, j);
+            assert!(
+                (direct - via_map).abs() < 1e-12,
+                "pair ({i},{j}): {direct} vs {via_map}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_features_match_sparse_on_binary_graph() {
+        let g = generators::erdos_renyi(50, 0.1, 4);
+        let (n_sparse, e_sparse) = feature_vectors(&g);
+        let a = ba_linalg::Matrix::from_vec(
+            50,
+            50,
+            ba_graph::adjacency::to_row_major(&g),
+        );
+        let (n_dense, e_dense) = dense_features(&a, 2);
+        for k in 0..50 {
+            assert!((n_sparse[k] - n_dense[k]).abs() < 1e-9);
+            assert!((e_sparse[k] - e_dense[k]).abs() < 1e-9, "node {k}");
+        }
+    }
+
+    #[test]
+    fn dense_pair_gradient_matches_sparse_on_binary_graph() {
+        let g = generators::erdos_renyi(40, 0.12, 5);
+        let (n, e) = feature_vectors(&g);
+        let ng = node_grads(&n, &e, &[0, 8]).unwrap();
+        let a = ba_linalg::Matrix::from_vec(40, 40, ba_graph::adjacency::to_row_major(&g));
+        let dense = dense_pair_gradient(&a, &ng, 2);
+        for i in 0..40u32 {
+            for j in (i + 1)..40u32 {
+                let sparse = pair_grad(&g, &ng, i, j);
+                let d = dense[(i as usize, j as usize)];
+                assert!(
+                    (sparse - d).abs() < 1e-9,
+                    "pair ({i},{j}): sparse {sparse} vs dense {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_targets_zero_gradient() {
+        let g = generators::erdos_renyi(30, 0.15, 6);
+        let (n, e) = feature_vectors(&g);
+        let ng = node_grads(&n, &e, &[]).unwrap();
+        assert_eq!(ng.loss, 0.0);
+        for k in 0..30 {
+            assert_eq!(ng.g_n[k], 0.0);
+            assert_eq!(ng.g_e[k], 0.0);
+        }
+    }
+}

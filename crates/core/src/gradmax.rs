@@ -1,0 +1,259 @@
+//! GradMaxSearch (paper Sec. V-A1): the greedy gradient baseline.
+//!
+//! Per step: relax the integrality of `A`, compute the gradient of the
+//! surrogate loss w.r.t. every candidate pair, and flip the pair with the
+//! largest gradient magnitude whose *sign is consistent with a feasible
+//! move* — a non-edge (`A_ij = 0`) may only be added when its gradient is
+//! negative (increasing `A_ij` decreases the loss) and an edge may only
+//! be deleted when its gradient is positive. A pool of already-modified
+//! pairs is never revisited, and deletions that would create singleton
+//! nodes are skipped (both rules are explicit in the paper).
+
+use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
+use crate::grad::{correction_map, node_grads, pair_grad_with_corrections};
+use crate::pair::{CandidateScope, Candidates};
+use ba_graph::egonet::IncrementalEgonet;
+use ba_graph::{Graph, NodeId};
+use std::collections::HashSet;
+
+/// The greedy per-edge gradient attack.
+#[derive(Debug, Clone, Copy)]
+pub struct GradMaxSearch {
+    config: AttackConfig,
+}
+
+impl GradMaxSearch {
+    /// Creates the attack with the given configuration.
+    pub fn new(config: AttackConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+}
+
+impl Default for GradMaxSearch {
+    fn default() -> Self {
+        Self::new(AttackConfig::default())
+    }
+}
+
+#[inline]
+fn pool_key(i: NodeId, j: NodeId) -> u64 {
+    let (i, j) = if i < j { (i, j) } else { (j, i) };
+    ((i as u64) << 32) | j as u64
+}
+
+impl StructuralAttack for GradMaxSearch {
+    fn name(&self) -> &'static str {
+        "gradmaxsearch"
+    }
+
+    fn attack(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        budget: usize,
+    ) -> Result<AttackOutcome, AttackError> {
+        validate_targets(g0, targets)?;
+        let candidates = Candidates::build(self.config.scope, g0, targets);
+        if candidates.is_empty() {
+            return Err(AttackError::NoCandidates);
+        }
+        let mut g = g0.clone();
+        let mut inc = IncrementalEgonet::new(&g);
+        let mut pool: HashSet<u64> = HashSet::new();
+        let mut ops = Vec::new();
+        let mut ops_per_budget = Vec::with_capacity(budget);
+        let mut loss_per_budget = Vec::with_capacity(budget);
+        let mut trajectory = Vec::with_capacity(budget + 1);
+
+        for _step in 0..budget {
+            let feats = inc.features();
+            let ng = node_grads(&feats.n, &feats.e, targets)?;
+            trajectory.push(ng.loss);
+            let corrections = correction_map(&g, &ng.g_e);
+
+            // Scan candidates for the best sign-consistent move.
+            let mut best: Option<(NodeId, NodeId, f64)> = None;
+            let kind = self.config.op_kind;
+            let forbid_singletons = self.config.forbid_singletons;
+            candidates.for_each(|_, i, j| {
+                if pool.contains(&pool_key(i, j)) {
+                    return;
+                }
+                let is_edge = g.has_edge(i, j);
+                if !kind.allows(is_edge) {
+                    return;
+                }
+                if is_edge && forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
+                    return;
+                }
+                let grad = pair_grad_with_corrections(&ng, &corrections, i, j);
+                // Sign consistency: adding requires dL/dA < 0; deleting
+                // requires dL/dA > 0.
+                let valid = if is_edge { grad > 0.0 } else { grad < 0.0 };
+                if !valid {
+                    return;
+                }
+                if best.is_none_or(|(_, _, bg)| grad.abs() > bg.abs()) {
+                    best = Some((i, j, grad));
+                }
+            });
+
+            let Some((i, j, _)) = best else {
+                break; // saturated: no feasible move improves the objective
+            };
+            let op = inc.toggle(&mut g, i, j).expect("valid pair");
+            let feats = inc.features();
+            let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+            // The gradient is a linearisation; a discrete ±1 flip can
+            // overshoot once the objective is nearly minimised. Revert
+            // and stop — the attack has saturated (paper: "we stop
+            // attacking until the changes of AScore saturated").
+            if loss > ng.loss + 1e-12 {
+                inc.toggle(&mut g, i, j).expect("revert");
+                break;
+            }
+            pool.insert(pool_key(i, j));
+            ops.push(op);
+            ops_per_budget.push(ops.clone());
+            loss_per_budget.push(loss);
+        }
+        if let Some(&last) = loss_per_budget.last() {
+            trajectory.push(last);
+        }
+        Ok(AttackOutcome {
+            name: self.name().to_string(),
+            ops_per_budget,
+            surrogate_loss_per_budget: loss_per_budget,
+            loss_trajectory: trajectory,
+        })
+    }
+}
+
+/// Re-export of the scope type for ergonomic construction in examples.
+pub type Scope = CandidateScope;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::EdgeOpKind;
+    use ba_graph::generators;
+    use ba_oddball::OddBall;
+
+    fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {
+        let mut g = generators::erdos_renyi(150, 0.04, seed);
+        generators::attach_isolated(&mut g, seed + 1);
+        let members: Vec<NodeId> = (0..10).collect();
+        generators::plant_near_clique(&mut g, &members, 1.0, seed + 2);
+        let model = OddBall::default().fit(&g).unwrap();
+        let targets: Vec<NodeId> = model.top_k(3).into_iter().map(|(i, _)| i).collect();
+        (g, targets)
+    }
+
+    #[test]
+    fn reduces_surrogate_loss_monotonically_enough() {
+        let (g, targets) = anomalous_graph(5);
+        let outcome = GradMaxSearch::default().attack(&g, &targets, 12).unwrap();
+        assert!(!outcome.surrogate_loss_per_budget.is_empty());
+        let first = outcome.surrogate_loss_per_budget[0];
+        let last = *outcome.surrogate_loss_per_budget.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn reduces_true_anomaly_score() {
+        let (g, targets) = anomalous_graph(7);
+        let detector = OddBall::default();
+        let outcome = GradMaxSearch::default().attack(&g, &targets, 15).unwrap();
+        let curve = outcome.ascore_curve(&g, &targets, &detector);
+        let tau = AttackOutcome::tau_as(&curve, outcome.max_budget());
+        assert!(tau > 0.2, "τ_as = {tau} too small; curve = {curve:?}");
+    }
+
+    #[test]
+    fn respects_budget_and_prefix_structure() {
+        let (g, targets) = anomalous_graph(9);
+        let outcome = GradMaxSearch::default().attack(&g, &targets, 8).unwrap();
+        assert!(outcome.max_budget() <= 8);
+        for (b, ops) in outcome.ops_per_budget.iter().enumerate() {
+            assert_eq!(ops.len(), b + 1, "greedy op sets must be prefixes");
+        }
+    }
+
+    #[test]
+    fn never_revisits_a_pair() {
+        let (g, targets) = anomalous_graph(11);
+        let outcome = GradMaxSearch::default().attack(&g, &targets, 20).unwrap();
+        let final_ops = outcome.ops(outcome.max_budget());
+        let mut seen = HashSet::new();
+        for op in final_ops {
+            assert!(seen.insert((op.u, op.v)), "pair ({}, {}) modified twice", op.u, op.v);
+        }
+    }
+
+    #[test]
+    fn no_singletons_created() {
+        let (g, targets) = anomalous_graph(13);
+        let outcome = GradMaxSearch::default().attack(&g, &targets, 25).unwrap();
+        let poisoned = outcome.poisoned_graph(&g, outcome.max_budget());
+        for u in 0..poisoned.num_nodes() as NodeId {
+            if g.degree(u) > 0 {
+                assert!(poisoned.degree(u) > 0, "node {u} became a singleton");
+            }
+        }
+    }
+
+    #[test]
+    fn add_only_and_delete_only_modes() {
+        let (g, targets) = anomalous_graph(17);
+        for kind in [EdgeOpKind::AddOnly, EdgeOpKind::DeleteOnly] {
+            let cfg = AttackConfig { op_kind: kind, ..AttackConfig::default() };
+            let outcome = GradMaxSearch::new(cfg).attack(&g, &targets, 10).unwrap();
+            for op in outcome.ops(outcome.max_budget()) {
+                match kind {
+                    EdgeOpKind::AddOnly => assert!(op.added),
+                    EdgeOpKind::DeleteOnly => assert!(!op.added),
+                    EdgeOpKind::Both => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_candidates_still_work() {
+        let (g, targets) = anomalous_graph(19);
+        let cfg = AttackConfig {
+            scope: CandidateScope::TargetNeighborhood,
+            ..AttackConfig::default()
+        };
+        let outcome = GradMaxSearch::new(cfg).attack(&g, &targets, 10).unwrap();
+        assert!(outcome.max_budget() > 0);
+        // Every op touches a target or two target-neighbours.
+        let target_set: HashSet<NodeId> = targets.iter().copied().collect();
+        for op in outcome.ops(outcome.max_budget()) {
+            let touches = target_set.contains(&op.u)
+                || target_set.contains(&op.v)
+                || targets.iter().any(|&t| {
+                    g.neighbors(t).contains(&op.u) && g.neighbors(t).contains(&op.v)
+                });
+            assert!(touches, "op {op:?} outside scope");
+        }
+    }
+
+    #[test]
+    fn error_paths() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert!(matches!(
+            GradMaxSearch::default().attack(&g, &[], 3),
+            Err(AttackError::NoTargets)
+        ));
+        assert!(matches!(
+            GradMaxSearch::default().attack(&g, &[9], 3),
+            Err(AttackError::TargetOutOfRange(9))
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! The attack's surrogate objective (paper Eq. (5a)) evaluated from
+//! feature vectors, with the OLS fit inlined in closed form.
+
+use ba_linalg::solve2;
+use ba_oddball::log_features;
+
+/// Errors while evaluating the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossError {
+    /// The log-feature design matrix is singular (all degrees equal).
+    DegenerateRegression,
+    /// A target index is out of range.
+    TargetOutOfRange,
+}
+
+impl std::fmt::Display for LossError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LossError::DegenerateRegression => write!(f, "degenerate regression"),
+            LossError::TargetOutOfRange => write!(f, "target index out of range"),
+        }
+    }
+}
+
+impl std::error::Error for LossError {}
+
+/// Clamped exponential: the regression can momentarily produce extreme
+/// `ρ` values on adversarial intermediate graphs; clamping keeps the
+/// optimiser finite without affecting any realistic operating point.
+#[inline]
+pub(crate) fn safe_exp(x: f64) -> f64 {
+    x.clamp(-60.0, 60.0).exp()
+}
+
+/// Fits `v = β0 + β1 u` by OLS in closed form (paper Eq. (2), reduced to
+/// the 2×2 normal equations). Returns `(β0, β1)`.
+pub fn fit_beta(u: &[f64], v: &[f64]) -> Result<(f64, f64), LossError> {
+    let n = u.len() as f64;
+    let mut su = 0.0;
+    let mut suu = 0.0;
+    let mut sv = 0.0;
+    let mut suv = 0.0;
+    for (&ui, &vi) in u.iter().zip(v) {
+        su += ui;
+        suu += ui * ui;
+        sv += vi;
+        suv += ui * vi;
+    }
+    solve2(n, su, su, suu, sv, suv).map_err(|_| LossError::DegenerateRegression)
+}
+
+/// Evaluates the surrogate loss `Σ_{a∈T} (E_a − e^{ρ_a})²` from raw
+/// feature vectors, fitting the regression internally.
+pub fn surrogate_loss_from_features(
+    n: &[f64],
+    e: &[f64],
+    targets: &[u32],
+) -> Result<f64, LossError> {
+    if targets.iter().any(|&t| t as usize >= n.len()) {
+        return Err(LossError::TargetOutOfRange);
+    }
+    let (u, v) = log_features(n, e);
+    let (b0, b1) = fit_beta(&u, &v)?;
+    let mut loss = 0.0;
+    for &a in targets {
+        let idx = a as usize;
+        let rho = b0 + b1 * u[idx];
+        let r = e[idx].max(1.0) - safe_exp(rho);
+        loss += r * r;
+    }
+    Ok(loss)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_beta_matches_linalg_ols() {
+        let u = [0.0, 1.0, 2.0, 3.0];
+        let v = [1.0, 3.1, 4.9, 7.0];
+        let (b0, b1) = fit_beta(&u, &v).unwrap();
+        let fit = ba_linalg::simple_ols(&u, &v).unwrap();
+        assert!((b0 - fit.intercept).abs() < 1e-12);
+        assert!((b1 - fit.slope).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_fit_detected() {
+        let u = [2.0, 2.0, 2.0];
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(fit_beta(&u, &v), Err(LossError::DegenerateRegression));
+    }
+
+    #[test]
+    fn loss_zero_when_targets_on_the_line() {
+        // Construct features exactly on a power law E = N^1.5 and target a
+        // node: loss must vanish.
+        let n: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let e: Vec<f64> = n.iter().map(|&x| x.powf(1.5)).collect();
+        let loss = surrogate_loss_from_features(&n, &e, &[4]).unwrap();
+        assert!(loss < 1e-12, "loss = {loss}");
+    }
+
+    #[test]
+    fn loss_positive_for_outlier_target() {
+        let mut n: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let mut e: Vec<f64> = n.iter().map(|&x| x.powf(1.5)).collect();
+        n.push(5.0);
+        e.push(100.0); // far off the law
+        let loss = surrogate_loss_from_features(&n, &e, &[20]).unwrap();
+        assert!(loss > 100.0);
+    }
+
+    #[test]
+    fn target_out_of_range_rejected() {
+        let n = [1.0, 2.0];
+        let e = [1.0, 2.0];
+        assert_eq!(
+            surrogate_loss_from_features(&n, &e, &[5]),
+            Err(LossError::TargetOutOfRange)
+        );
+    }
+
+    #[test]
+    fn safe_exp_clamps() {
+        assert!(safe_exp(1000.0).is_finite());
+        assert!(safe_exp(-1000.0) > 0.0);
+        assert!((safe_exp(1.0) - 1.0f64.exp()).abs() < 1e-12);
+    }
+}

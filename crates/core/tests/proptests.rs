@@ -1,0 +1,150 @@
+//! Property-based tests of the attack invariants: on arbitrary random
+//! graphs and target sets, every attack must respect its budget, the
+//! no-singleton rule, op-kind restrictions, pair uniqueness, and
+//! determinism — and the gradient engine must stay consistent with the
+//! loss it claims to differentiate.
+
+use ba_core::{
+    node_grads, pair_grad, surrogate_loss_from_features, AttackConfig, BinarizedAttack,
+    CandidateScope, EdgeOpKind, GradMaxSearch, RandomAttack, StructuralAttack,
+};
+use ba_graph::egonet::egonet_features;
+use ba_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+/// A connected-ish random graph with degree variance (so the OLS design
+/// matrix is non-singular) plus planted structure.
+fn arb_attack_instance() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
+    (30usize..70, 0u64..1000, 1usize..4).prop_map(|(n, seed, tcount)| {
+        let mut g = generators::erdos_renyi(n, 6.0 / n as f64, seed);
+        generators::attach_isolated(&mut g, seed + 1);
+        let clique: Vec<NodeId> = (0..(n as NodeId / 6).max(4)).collect();
+        generators::plant_near_clique(&mut g, &clique, 1.0, seed + 2);
+        let targets: Vec<NodeId> = (0..tcount as NodeId).collect();
+        (g, targets)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn gradmax_invariants((g, targets) in arb_attack_instance(), budget in 1usize..10) {
+        let outcome = GradMaxSearch::default().attack(&g, &targets, budget).unwrap();
+        prop_assert!(outcome.max_budget() <= budget);
+        for (b, ops) in outcome.ops_per_budget.iter().enumerate() {
+            prop_assert_eq!(ops.len(), b + 1);
+        }
+        // No singleton creation, no duplicate pairs.
+        let final_ops = outcome.ops(budget);
+        let mut seen = std::collections::HashSet::new();
+        for op in final_ops {
+            prop_assert!(seen.insert((op.u, op.v)));
+        }
+        let poisoned = outcome.poisoned_graph(&g, budget);
+        for u in 0..g.num_nodes() as NodeId {
+            if g.degree(u) > 0 {
+                prop_assert!(poisoned.degree(u) > 0, "node {} isolated", u);
+            }
+        }
+        // Greedy surrogate loss is monotone non-increasing by construction.
+        for w in outcome.surrogate_loss_per_budget.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "greedy loss increased: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn binarized_invariants((g, targets) in arb_attack_instance(), budget in 1usize..8) {
+        let attack = BinarizedAttack::default().with_iterations(30).with_lambdas(vec![0.01]);
+        let outcome = attack.attack(&g, &targets, budget).unwrap();
+        prop_assert_eq!(outcome.max_budget(), budget);
+        // Budget-monotone surrogate loss (the extraction guard).
+        for w in outcome.surrogate_loss_per_budget.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9, "extraction loss increased: {:?}", w);
+        }
+        // Ops are valid against the clean graph: added edges were absent,
+        // deleted edges were present.
+        for op in outcome.ops(budget) {
+            if op.added {
+                prop_assert!(!g.has_edge(op.u, op.v));
+            } else {
+                prop_assert!(g.has_edge(op.u, op.v));
+            }
+        }
+    }
+
+    #[test]
+    fn op_kind_respected((g, targets) in arb_attack_instance()) {
+        for kind in [EdgeOpKind::AddOnly, EdgeOpKind::DeleteOnly] {
+            let cfg = AttackConfig { op_kind: kind, ..AttackConfig::default() };
+            let attack = BinarizedAttack::new(cfg).with_iterations(25).with_lambdas(vec![0.01]);
+            let outcome = attack.attack(&g, &targets, 5).unwrap();
+            for op in outcome.ops(5) {
+                match kind {
+                    EdgeOpKind::AddOnly => prop_assert!(op.added),
+                    EdgeOpKind::DeleteOnly => prop_assert!(!op.added),
+                    EdgeOpKind::Both => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs((g, targets) in arb_attack_instance()) {
+        let a1 = GradMaxSearch::default().attack(&g, &targets, 5).unwrap();
+        let a2 = GradMaxSearch::default().attack(&g, &targets, 5).unwrap();
+        prop_assert_eq!(a1.ops_per_budget, a2.ops_per_budget);
+        let r1 = RandomAttack::default().attack(&g, &targets, 5).unwrap();
+        let r2 = RandomAttack::default().attack(&g, &targets, 5).unwrap();
+        prop_assert_eq!(r1.ops_per_budget, r2.ops_per_budget);
+    }
+
+    #[test]
+    fn scoped_ops_stay_in_scope((g, targets) in arb_attack_instance()) {
+        let cfg = AttackConfig {
+            scope: CandidateScope::TargetNeighborhood,
+            ..AttackConfig::default()
+        };
+        let attack = BinarizedAttack::new(cfg).with_iterations(25).with_lambdas(vec![0.01]);
+        let outcome = attack.attack(&g, &targets, 6).unwrap();
+        let tset: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+        for op in outcome.ops(6) {
+            let in_scope = tset.contains(&op.u)
+                || tset.contains(&op.v)
+                || targets.iter().any(|&t| {
+                    g.neighbors(t).contains(&op.u) && g.neighbors(t).contains(&op.v)
+                });
+            prop_assert!(in_scope, "op {:?} outside candidate scope", op);
+        }
+    }
+
+    #[test]
+    fn node_grads_loss_equals_direct_loss((g, targets) in arb_attack_instance()) {
+        let f = egonet_features(&g);
+        let ng = node_grads(&f.n, &f.e, &targets).unwrap();
+        let direct = surrogate_loss_from_features(&f.n, &f.e, &targets).unwrap();
+        prop_assert!((ng.loss - direct).abs() < 1e-9 * (1.0 + direct));
+    }
+
+    #[test]
+    fn pair_grad_symmetry((g, targets) in arb_attack_instance(), i in 0u32..50, j in 0u32..50) {
+        let n = g.num_nodes() as NodeId;
+        let (i, j) = (i % n, j % n);
+        prop_assume!(i != j);
+        let f = egonet_features(&g);
+        let ng = node_grads(&f.n, &f.e, &targets).unwrap();
+        prop_assert_eq!(pair_grad(&g, &ng, i, j), pair_grad(&g, &ng, j, i));
+    }
+
+    #[test]
+    fn attack_result_applies_cleanly((g, targets) in arb_attack_instance(), budget in 1usize..8) {
+        // with_ops on the recorded ops must never panic (internal
+        // consistency of the EdgeOp records) and must change exactly
+        // |ops| adjacency entries.
+        let outcome = GradMaxSearch::default().attack(&g, &targets, budget).unwrap();
+        let ops = outcome.ops(budget);
+        let poisoned = outcome.poisoned_graph(&g, budget);
+        let diff = g.diff_ops(&poisoned);
+        prop_assert_eq!(diff.len(), ops.len());
+    }
+}

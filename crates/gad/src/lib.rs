@@ -1,0 +1,39 @@
+//! # ba-gad
+//!
+//! The representation-learning GAD systems used as **black-box transfer
+//! targets** in paper Sec. VI, implemented from scratch on `ba-linalg`:
+//!
+//! * [`gal`] — **GAL** (Zhao et al. 2020): a two-layer GCN trained with
+//!   the class-distribution-aware margin loss of paper Eq. (9)
+//!   (`Δ_y = C / n_y^{1/4}`), producing node embeddings.
+//! * [`refex`] — **ReFeX** (Henderson et al. 2011): recursive
+//!   local + egonet feature aggregation, pruned and binarised through
+//!   vertical logarithmic binning.
+//! * [`mlp`] — the MLP classification head both systems feed (paper:
+//!   "embeddings are fed into classifiers such as MLP"), with access to
+//!   the penultimate hidden features visualised in Figs. 8–9.
+//! * [`tsne`] — exact t-SNE for the embedding scatterplots.
+//! * [`pipeline`] — the four-step transfer-attack methodology of
+//!   Sec. VI-B: data pre-processing (OddBall labelling), target
+//!   identification, graph poisoning, and evaluation (AUC / F1 / soft
+//!   labels δ_B).
+//!
+//! All training is deterministic given the config seeds.
+
+pub mod gal;
+pub mod gcn;
+pub mod mlp;
+pub mod nn;
+pub mod pipeline;
+pub mod refex;
+pub mod tsne;
+
+pub use gal::{Gal, GalConfig};
+pub use gcn::{normalized_adjacency, structural_features, NormAdj};
+pub use mlp::{Mlp, MlpConfig};
+pub use pipeline::{
+    evaluate_system, identify_targets, train_test_split, GadSystem, TransferConfig,
+    TransferOutcome,
+};
+pub use refex::{Refex, RefexConfig};
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,213 @@
+//! The MLP classification head (paper: embeddings "are then fed into
+//! classifiers such as Multi-Layer Perceptron"). One hidden ReLU layer,
+//! sigmoid output, binary cross-entropy, Adam. Exposes the penultimate
+//! hidden activations for the t-SNE scatterplots of Figs. 8–9 and the
+//! soft labels used for the δ_B metric.
+
+use crate::nn::{glorot, relu, relu_backward, seeded_rng, sigmoid, Adam};
+use ba_linalg::Matrix;
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs (full-batch).
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Positive-class weight for the imbalanced BCE (anomalies are rare).
+    pub pos_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self { hidden: 16, epochs: 300, lr: 0.02, pos_weight: 3.0, seed: 0x317 }
+    }
+}
+
+/// A trained MLP binary classifier.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    w1: Matrix,
+    b1: Matrix,
+    w2: Matrix,
+    b2: f64,
+}
+
+impl Mlp {
+    /// Trains on rows of `x` restricted to `train_idx` with boolean
+    /// labels.
+    pub fn train(x: &Matrix, labels: &[bool], train_idx: &[usize], cfg: MlpConfig) -> Mlp {
+        assert_eq!(x.rows(), labels.len(), "label count mismatch");
+        assert!(!train_idx.is_empty(), "empty training set");
+        let d = x.cols();
+        let mut rng = seeded_rng(cfg.seed);
+        let mut w1 = glorot(d, cfg.hidden, &mut rng);
+        let mut b1 = Matrix::zeros(1, cfg.hidden);
+        let mut w2 = glorot(cfg.hidden, 1, &mut rng);
+        let mut b2 = 0.0f64;
+        let mut o_w1 = Adam::new(d, cfg.hidden, cfg.lr);
+        let mut o_b1 = Adam::new(1, cfg.hidden, cfg.lr);
+        let mut o_w2 = Adam::new(cfg.hidden, 1, cfg.lr);
+        let mut o_b2 = Adam::new(1, 1, cfg.lr);
+        let mut b2m = Matrix::zeros(1, 1);
+
+        // Training submatrix.
+        let m = train_idx.len();
+        let xt = Matrix::from_fn(m, d, |r, c| x[(train_idx[r], c)]);
+        let y: Vec<f64> = train_idx.iter().map(|&i| if labels[i] { 1.0 } else { 0.0 }).collect();
+
+        for _ in 0..cfg.epochs {
+            // Forward.
+            let mut pre1 = xt.matmul(&w1);
+            for r in 0..m {
+                for c in 0..cfg.hidden {
+                    pre1[(r, c)] += b1[(0, c)];
+                }
+            }
+            let h = relu(&pre1);
+            let logits: Vec<f64> = (0..m)
+                .map(|r| {
+                    h.row(r).iter().zip(w2.col(0).iter()).map(|(a, b)| a * b).sum::<f64>() + b2
+                })
+                .collect();
+            // Weighted BCE gradient on logits: w_i (σ(z) − y).
+            let mut dz = Matrix::zeros(m, 1);
+            let mut wsum = 0.0;
+            for r in 0..m {
+                let weight = if y[r] > 0.5 { cfg.pos_weight } else { 1.0 };
+                dz[(r, 0)] = weight * (sigmoid(logits[r]) - y[r]);
+                wsum += weight;
+            }
+            dz.scale_mut(1.0 / wsum);
+            // Backward.
+            let d_w2 = h.transpose().matmul(&dz);
+            let d_b2 = dz.sum();
+            let d_h = dz.matmul(&w2.transpose());
+            let d_pre1 = relu_backward(&d_h, &pre1);
+            let d_w1 = xt.transpose().matmul(&d_pre1);
+            let mut d_b1 = Matrix::zeros(1, cfg.hidden);
+            for r in 0..m {
+                for c in 0..cfg.hidden {
+                    d_b1[(0, c)] += d_pre1[(r, c)];
+                }
+            }
+            o_w1.step(&mut w1, &d_w1);
+            o_b1.step(&mut b1, &d_b1);
+            o_w2.step(&mut w2, &d_w2);
+            let d_b2m = Matrix::from_rows(&[&[d_b2]]);
+            o_b2.step(&mut b2m, &d_b2m);
+            b2 = b2m[(0, 0)];
+        }
+        Mlp { w1, b1, w2, b2 }
+    }
+
+    /// Penultimate hidden activations for all rows of `x` (`n × hidden`).
+    pub fn penultimate(&self, x: &Matrix) -> Matrix {
+        let mut pre1 = x.matmul(&self.w1);
+        for r in 0..pre1.rows() {
+            for c in 0..pre1.cols() {
+                pre1[(r, c)] += self.b1[(0, c)];
+            }
+        }
+        relu(&pre1)
+    }
+
+    /// Soft labels (anomaly probabilities) for all rows of `x`.
+    pub fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        let h = self.penultimate(x);
+        (0..x.rows())
+            .map(|r| {
+                let z: f64 =
+                    h.row(r).iter().zip(self.w2.col(0).iter()).map(|(a, b)| a * b).sum::<f64>()
+                        + self.b2;
+                sigmoid(z)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable blobs around (±2, ±2).
+    fn blobs(n: usize) -> (Matrix, Vec<bool>) {
+        let mut rng = seeded_rng(5);
+        use rand::Rng;
+        let mut x = Matrix::zeros(n, 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let pos = i % 4 == 0; // imbalanced 25% positive
+            let cx = if pos { 2.0 } else { -2.0 };
+            x[(i, 0)] = cx + rng.gen_range(-0.8..0.8);
+            x[(i, 1)] = cx + rng.gen_range(-0.8..0.8);
+            labels.push(pos);
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, labels) = blobs(200);
+        let train: Vec<usize> = (0..150).collect();
+        let mlp = Mlp::train(&x, &labels, &train, MlpConfig::default());
+        let probs = mlp.predict_proba(&x);
+        let mut correct = 0;
+        for i in 150..200 {
+            if (probs[i] >= 0.5) == labels[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 47, "only {correct}/50 test points correct");
+    }
+
+    #[test]
+    fn auc_near_one_on_blobs() {
+        let (x, labels) = blobs(200);
+        let train: Vec<usize> = (0..150).collect();
+        let mlp = Mlp::train(&x, &labels, &train, MlpConfig::default());
+        let probs = mlp.predict_proba(&x);
+        let test_scores: Vec<f64> = probs[150..].to_vec();
+        let test_labels: Vec<bool> = labels[150..].to_vec();
+        let auc = ba_stats::auc_roc(&test_scores, &test_labels);
+        assert!(auc > 0.95, "AUC = {auc}");
+    }
+
+    #[test]
+    fn penultimate_shape_and_nonnegativity() {
+        let (x, labels) = blobs(80);
+        let train: Vec<usize> = (0..80).collect();
+        let cfg = MlpConfig { hidden: 7, epochs: 50, ..MlpConfig::default() };
+        let mlp = Mlp::train(&x, &labels, &train, cfg);
+        let h = mlp.penultimate(&x);
+        assert_eq!(h.rows(), 80);
+        assert_eq!(h.cols(), 7);
+        for &v in h.as_slice() {
+            assert!(v >= 0.0); // ReLU output
+        }
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, labels) = blobs(60);
+        let train: Vec<usize> = (0..60).collect();
+        let mlp = Mlp::train(&x, &labels, &train, MlpConfig { epochs: 30, ..MlpConfig::default() });
+        for p in mlp.predict_proba(&x) {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (x, labels) = blobs(60);
+        let train: Vec<usize> = (0..60).collect();
+        let cfg = MlpConfig { epochs: 20, ..MlpConfig::default() };
+        let a = Mlp::train(&x, &labels, &train, cfg).predict_proba(&x);
+        let b = Mlp::train(&x, &labels, &train, cfg).predict_proba(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Tiny neural-network building blocks: seeded Glorot initialisation,
+//! ReLU/sigmoid, and an Adam optimiser over `ba_linalg::Matrix`
+//! parameters. Shared by the GCN (`gal`) and the MLP head (`mlp`).
+
+use ba_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Glorot/Xavier-uniform initialisation of a `rows × cols` weight matrix.
+pub fn glorot(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Convenience: a seeded RNG for deterministic training.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// ReLU applied element-wise, returning the activated copy.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+/// Element-wise product with the ReLU mask of `pre` (backward pass):
+/// `out = grad ⊙ 1[pre > 0]`.
+pub fn relu_backward(grad: &Matrix, pre: &Matrix) -> Matrix {
+    assert_eq!(grad.rows(), pre.rows());
+    assert_eq!(grad.cols(), pre.cols());
+    Matrix::from_fn(grad.rows(), grad.cols(), |i, j| {
+        if pre[(i, j)] > 0.0 {
+            grad[(i, j)]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Adam optimiser state for one parameter matrix.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    m: Matrix,
+    v: Matrix,
+    t: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Stability epsilon.
+    pub eps: f64,
+}
+
+impl Adam {
+    /// Creates Adam state shaped like `param`.
+    pub fn new(rows: usize, cols: usize, lr: f64) -> Self {
+        Self {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update of `param` with gradient `grad`.
+    pub fn step(&mut self, param: &mut Matrix, grad: &Matrix) {
+        assert_eq!(param.rows(), grad.rows());
+        assert_eq!(param.cols(), grad.cols());
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let (m, v) = (self.m.as_mut_slice(), self.v.as_mut_slice());
+        let g = grad.as_slice();
+        let p = param.as_mut_slice();
+        for i in 0..p.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let mhat = m[i] / b1t;
+            let vhat = v[i] / b2t;
+            p[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_within_limits_and_seeded() {
+        let mut rng = seeded_rng(1);
+        let w = glorot(10, 20, &mut rng);
+        let limit = (6.0 / 30.0f64).sqrt();
+        assert!(w.max_abs() <= limit);
+        let mut rng2 = seeded_rng(1);
+        assert_eq!(w, glorot(10, 20, &mut rng2));
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let pre = Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 3.0]]);
+        let act = relu(&pre);
+        assert_eq!(act, Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 3.0]]));
+        let grad = Matrix::filled(2, 2, 1.0);
+        let back = relu_backward(&grad, &pre);
+        assert_eq!(back, Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn adam_minimises_quadratic() {
+        // Minimise ||W - T||² for a fixed target T.
+        let target = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        let mut w = Matrix::zeros(2, 2);
+        let mut opt = Adam::new(2, 2, 0.05);
+        for _ in 0..600 {
+            let grad = &w - &target; // d/dW ½||W-T||²
+            opt.step(&mut w, &grad);
+        }
+        assert!((&w - &target).max_abs() < 1e-3, "w = {w:?}");
+    }
+}

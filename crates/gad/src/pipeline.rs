@@ -1,0 +1,274 @@
+//! The transfer-attack methodology of paper Sec. VI-B, in four steps:
+//!
+//! 1. **Data pre-processing** — OddBall scores the clean graph; the top
+//!    fraction of nodes get anomaly labels; nodes are split into train
+//!    and test sets.
+//! 2. **Target identification** — the GAD system (GAL or ReFeX + MLP) is
+//!    trained on the clean graph; test nodes it predicts anomalous become
+//!    the attack targets.
+//! 3. **Graph poisoning** — `ba_core::BinarizedAttack` (designed for
+//!    OddBall, black-box w.r.t. the GAD system) poisons the graph.
+//! 4. **Evaluation** — the GAD system is retrained on the poisoned graph
+//!    (poisoning setting); we report global AUC / F1 on the test set and
+//!    the soft-label decrease `δ_B = (SL₀ − SL_B)/SL₀` on the targets.
+
+use crate::gal::{Gal, GalConfig};
+use crate::mlp::{Mlp, MlpConfig};
+use crate::refex::{Refex, RefexConfig};
+use ba_graph::{Graph, NodeId};
+use ba_linalg::Matrix;
+use ba_oddball::OddBall;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which representation-learning GAD system to run.
+#[derive(Debug, Clone, Copy)]
+pub enum GadSystem {
+    /// GAL: GCN embeddings with the anomaly margin loss.
+    Gal(GalConfig),
+    /// ReFeX: recursive structural binary embeddings.
+    Refex(RefexConfig),
+}
+
+impl GadSystem {
+    /// Short name for report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GadSystem::Gal(_) => "GAL",
+            GadSystem::Refex(_) => "ReFeX",
+        }
+    }
+
+    /// Produces node embeddings for `g`. GAL is supervised (uses the
+    /// labels on the training nodes); ReFeX is unsupervised.
+    pub fn embed(&self, g: &Graph, labels: &[bool], train_nodes: &[NodeId]) -> Matrix {
+        match self {
+            GadSystem::Gal(cfg) => Gal::train(g, labels, train_nodes, *cfg).embed(),
+            GadSystem::Refex(cfg) => Refex::extract(g, *cfg).embedding,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferConfig {
+    /// Fraction of nodes labelled anomalous by OddBall (step 1).
+    pub label_fraction: f64,
+    /// Fraction of nodes in the training split.
+    pub train_fraction: f64,
+    /// MLP head configuration.
+    pub mlp: MlpConfig,
+    /// RNG seed (split + heads).
+    pub seed: u64,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        Self { label_fraction: 0.1, train_fraction: 0.7, mlp: MlpConfig::default(), seed: 0x7a5 }
+    }
+}
+
+/// Evaluation artefacts for one (system, graph) pair.
+#[derive(Debug, Clone)]
+pub struct TransferOutcome {
+    /// ROC AUC over the test nodes.
+    pub auc: f64,
+    /// F1 at threshold 0.5 over the test nodes.
+    pub f1: f64,
+    /// Soft labels (anomaly probabilities) of all nodes.
+    pub soft_labels: Vec<f64>,
+    /// Sum of soft labels over the designated target nodes.
+    pub target_soft_sum: f64,
+    /// Test nodes predicted anomalous (probability ≥ 0.5).
+    pub predicted_anomalous: Vec<NodeId>,
+    /// Penultimate MLP features of the *test* nodes (rows align with
+    /// `test_nodes`), for the t-SNE plots.
+    pub penultimate_test: Matrix,
+    /// The test split used.
+    pub test_nodes: Vec<NodeId>,
+}
+
+/// Deterministic train/test split of `0..n`.
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut idx: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let cut = ((n as f64) * train_fraction).round() as usize;
+    let train = idx[..cut].to_vec();
+    let test = idx[cut..].to_vec();
+    (train, test)
+}
+
+/// Step 1: OddBall labels for the clean graph.
+pub fn oddball_labels(g: &Graph, fraction: f64) -> Vec<bool> {
+    OddBall::default()
+        .fit(g)
+        .expect("OddBall fit for labelling")
+        .labels_top_fraction(fraction)
+}
+
+/// Steps 1–2 + 4 for a single graph: train the system, fit the MLP head,
+/// and evaluate. `targets` selects whose soft labels are summed; pass the
+/// clean-run `predicted_anomalous` when evaluating a poisoned graph.
+pub fn evaluate_system(
+    system: &GadSystem,
+    g: &Graph,
+    labels: &[bool],
+    train_nodes: &[NodeId],
+    test_nodes: &[NodeId],
+    targets: &[NodeId],
+    cfg: &TransferConfig,
+) -> TransferOutcome {
+    let emb = system.embed(g, labels, train_nodes);
+    let train_idx: Vec<usize> = train_nodes.iter().map(|&u| u as usize).collect();
+    let mlp = Mlp::train(&emb, labels, &train_idx, cfg.mlp);
+    let soft = mlp.predict_proba(&emb);
+
+    let test_scores: Vec<f64> = test_nodes.iter().map(|&u| soft[u as usize]).collect();
+    let test_labels: Vec<bool> = test_nodes.iter().map(|&u| labels[u as usize]).collect();
+    let auc = ba_stats::auc_roc(&test_scores, &test_labels);
+    let f1 = ba_stats::f1_score(&test_scores, &test_labels, 0.5);
+    let predicted_anomalous: Vec<NodeId> = test_nodes
+        .iter()
+        .copied()
+        .filter(|&u| soft[u as usize] >= 0.5)
+        .collect();
+    let target_soft_sum: f64 = targets.iter().map(|&u| soft[u as usize]).sum();
+
+    // Penultimate features of test nodes only (what Figs. 8–9 plot).
+    let pen_all = mlp.penultimate(&emb);
+    let penultimate_test = Matrix::from_fn(test_nodes.len(), pen_all.cols(), |r, c| {
+        pen_all[(test_nodes[r] as usize, c)]
+    });
+
+    TransferOutcome {
+        auc,
+        f1,
+        soft_labels: soft,
+        target_soft_sum,
+        predicted_anomalous,
+        penultimate_test,
+        test_nodes: test_nodes.to_vec(),
+    }
+}
+
+/// Step 2 convenience: clean-graph run returning the identified targets
+/// (test nodes predicted anomalous) together with the clean outcome.
+pub fn identify_targets(
+    system: &GadSystem,
+    g: &Graph,
+    labels: &[bool],
+    train_nodes: &[NodeId],
+    test_nodes: &[NodeId],
+    cfg: &TransferConfig,
+) -> (Vec<NodeId>, TransferOutcome) {
+    // First pass with an empty target set to get predictions.
+    let outcome = evaluate_system(system, g, labels, train_nodes, test_nodes, &[], cfg);
+    let targets = outcome.predicted_anomalous.clone();
+    // Re-derive the target soft sum for the identified targets.
+    let target_soft_sum: f64 = targets.iter().map(|&u| outcome.soft_labels[u as usize]).sum();
+    let outcome = TransferOutcome { target_soft_sum, ..outcome };
+    (targets, outcome)
+}
+
+/// The δ_B metric: decrease of the target soft-label sum relative to the
+/// clean run.
+pub fn delta_b(clean_soft_sum: f64, poisoned_soft_sum: f64) -> f64 {
+    if clean_soft_sum == 0.0 {
+        return 0.0;
+    }
+    (clean_soft_sum - poisoned_soft_sum) / clean_soft_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
+    use ba_graph::generators;
+
+    fn test_graph(seed: u64) -> Graph {
+        let mut g = generators::erdos_renyi(250, 0.03, seed);
+        generators::attach_isolated(&mut g, seed + 1);
+        generators::plant_near_clique(&mut g, &(0..12).collect::<Vec<_>>(), 1.0, seed + 2);
+        generators::plant_near_star(&mut g, 20, 50, seed + 3);
+        g
+    }
+
+    #[test]
+    fn split_partitions_nodes() {
+        let (train, test) = train_test_split(100, 0.7, 1);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<NodeId> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<NodeId>>());
+        // Deterministic per seed.
+        assert_eq!(train_test_split(100, 0.7, 1).0, train);
+        assert_ne!(train_test_split(100, 0.7, 2).0, train);
+    }
+
+    #[test]
+    fn refex_pipeline_detects_anomalies_cleanly() {
+        let g = test_graph(81);
+        let cfg = TransferConfig::default();
+        let labels = oddball_labels(&g, cfg.label_fraction);
+        let (train, test) = train_test_split(g.num_nodes(), cfg.train_fraction, cfg.seed);
+        let system = GadSystem::Refex(RefexConfig::default());
+        let outcome = evaluate_system(&system, &g, &labels, &train, &test, &[], &cfg);
+        assert!(outcome.auc > 0.65, "ReFeX clean AUC too low: {}", outcome.auc);
+        assert!(outcome.f1 > 0.3, "ReFeX clean F1 too low: {}", outcome.f1);
+    }
+
+    #[test]
+    fn gal_pipeline_detects_anomalies_cleanly() {
+        let g = test_graph(83);
+        let cfg = TransferConfig::default();
+        let labels = oddball_labels(&g, cfg.label_fraction);
+        let (train, test) = train_test_split(g.num_nodes(), cfg.train_fraction, cfg.seed);
+        let system = GadSystem::Gal(GalConfig { epochs: 60, ..GalConfig::default() });
+        let outcome = evaluate_system(&system, &g, &labels, &train, &test, &[], &cfg);
+        assert!(outcome.auc > 0.6, "GAL clean AUC too low: {}", outcome.auc);
+    }
+
+    #[test]
+    fn transfer_attack_decreases_target_soft_labels_refex() {
+        let g = test_graph(85);
+        let cfg = TransferConfig::default();
+        let labels = oddball_labels(&g, cfg.label_fraction);
+        let (train, test) = train_test_split(g.num_nodes(), cfg.train_fraction, cfg.seed);
+        let system = GadSystem::Refex(RefexConfig::default());
+        let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &cfg);
+        assert!(!targets.is_empty(), "no targets identified on the clean graph");
+
+        // Step 3: poison with the OddBall-designed attack (black-box here).
+        let attack = BinarizedAttack::new(AttackConfig::default())
+            .with_iterations(60)
+            .with_lambdas(vec![0.01, 0.05]);
+        let budget = 20;
+        let outcome = attack.attack(&g, &targets, budget).unwrap();
+        let poisoned = outcome.poisoned_graph(&g, budget);
+
+        // Step 4: the system is retrained on the poisoned graph against
+        // the labels fixed during pre-processing (paper Sec. VI-B: labels
+        // are assigned once, on the clean data; only the graph is
+        // poisoned).
+        let after =
+            evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &cfg);
+        let db = delta_b(clean.target_soft_sum, after.target_soft_sum);
+        assert!(
+            db > 0.05,
+            "transfer attack ineffective: δ_B = {db} (clean {} → poisoned {})",
+            clean.target_soft_sum,
+            after.target_soft_sum
+        );
+        // Global accuracy should not collapse (targeted, unnoticeable).
+        assert!(after.auc > clean.auc - 0.25, "AUC collapsed: {} → {}", clean.auc, after.auc);
+    }
+
+    #[test]
+    fn delta_b_formula() {
+        assert!((delta_b(10.0, 7.5) - 0.25).abs() < 1e-12);
+        assert_eq!(delta_b(0.0, 1.0), 0.0);
+    }
+}

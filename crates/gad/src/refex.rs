@@ -1,0 +1,265 @@
+//! ReFeX (paper Sec. VI-A2): Recursive Feature eXtraction.
+//!
+//! Pipeline (Henderson et al., KDD'11, as summarised in the paper):
+//!
+//! 1. **Local features** — node degree.
+//! 2. **Egonet features** — `N`, `E` (exactly OddBall's features) plus
+//!    the number of edges leaving the egonet.
+//! 3. **Recursion** — for `r` rounds, append the mean and sum over each
+//!    node's neighbours of every current feature.
+//! 4. **Pruning via vertical logarithmic binning** — each feature column
+//!    is mapped to log-binned ranks (fraction `p` of nodes in bin 0, `p`
+//!    of the rest in bin 1, …); columns whose binned vectors disagree on
+//!    no more than a tolerance are duplicates and dropped.
+//! 5. **Binary embeddings** — the surviving binned columns are expanded
+//!    into binary indicator digits.
+
+use ba_graph::{Graph, NodeId};
+use ba_linalg::Matrix;
+
+/// ReFeX hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RefexConfig {
+    /// Recursion depth (each round multiplies feature count by 3).
+    pub rounds: usize,
+    /// Vertical-binning fraction `p` (paper/ReFeX default 0.5).
+    pub bin_fraction: f64,
+    /// Max disagreeing nodes (as a fraction) for two binned columns to be
+    /// considered duplicates.
+    pub prune_tolerance: f64,
+}
+
+impl Default for RefexConfig {
+    fn default() -> Self {
+        Self { rounds: 2, bin_fraction: 0.5, prune_tolerance: 0.0 }
+    }
+}
+
+/// A fitted ReFeX embedding.
+#[derive(Debug, Clone)]
+pub struct Refex {
+    /// Binary embedding matrix, `n × d_bits`.
+    pub embedding: Matrix,
+    /// Number of retained (non-duplicate) binned columns.
+    pub retained_columns: usize,
+}
+
+impl Refex {
+    /// Runs the full ReFeX pipeline on a graph.
+    pub fn extract(g: &Graph, cfg: RefexConfig) -> Refex {
+        let base = base_features(g);
+        let recursed = recurse(g, base, cfg.rounds);
+        let binned: Vec<Vec<usize>> = (0..recursed.cols())
+            .map(|j| vertical_log_bin(&recursed.col(j), cfg.bin_fraction))
+            .collect();
+        let keep = prune_duplicates(&binned, cfg.prune_tolerance);
+        let retained: Vec<&Vec<usize>> = keep.iter().map(|&j| &binned[j]).collect();
+        let embedding = to_binary(&retained, g.num_nodes());
+        Refex { embedding, retained_columns: retained.len() }
+    }
+}
+
+/// Local + egonet features: `[degree, E, boundary]`.
+fn base_features(g: &Graph) -> Matrix {
+    let n = g.num_nodes();
+    let feats = ba_graph::egonet::egonet_features(g);
+    let mut x = Matrix::zeros(n, 3);
+    for i in 0..n as NodeId {
+        let deg = feats.n[i as usize];
+        let e = feats.e[i as usize];
+        // Boundary edges: edges from egonet members to the outside =
+        // Σ_{v ∈ ego} deg(v) − 2·E (every internal edge consumes two
+        // endpoint slots).
+        let ego_degree_sum: f64 = g
+            .neighbors(i)
+            .iter()
+            .map(|&v| g.degree(v) as f64)
+            .sum::<f64>()
+            + deg;
+        let boundary = (ego_degree_sum - 2.0 * e).max(0.0);
+        x[(i as usize, 0)] = deg;
+        x[(i as usize, 1)] = e;
+        x[(i as usize, 2)] = boundary;
+    }
+    x
+}
+
+/// One recursion round appends, for every feature column, the mean and
+/// sum of that feature over each node's neighbours.
+fn recurse(g: &Graph, mut x: Matrix, rounds: usize) -> Matrix {
+    let n = g.num_nodes();
+    for _ in 0..rounds {
+        let d = x.cols();
+        let mut next = Matrix::zeros(n, d * 3);
+        for i in 0..n {
+            for j in 0..d {
+                next[(i, j)] = x[(i, j)];
+            }
+        }
+        for i in 0..n as NodeId {
+            let nbrs = g.neighbors(i);
+            let deg = nbrs.len() as f64;
+            for j in 0..d {
+                let sum: f64 = nbrs.iter().map(|&v| x[(v as usize, j)]).sum();
+                let mean = if deg > 0.0 { sum / deg } else { 0.0 };
+                next[(i as usize, d + j)] = mean;
+                next[(i as usize, 2 * d + j)] = sum;
+            }
+        }
+        x = next;
+    }
+    x
+}
+
+/// Vertical logarithmic binning of one feature column: the lowest
+/// `p`-fraction of nodes get bin 0, the next `p`-fraction of the rest
+/// bin 1, and so on. Ties are ranked stably by node id.
+fn vertical_log_bin(col: &[f64], p: f64) -> Vec<usize> {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "bin fraction must be in (0,1)");
+    let n = col.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("NaN feature").then(a.cmp(&b)));
+    let mut bins = vec![0usize; n];
+    let mut remaining = n;
+    let mut start = 0usize;
+    let mut bin = 0usize;
+    while remaining > 0 {
+        let take = ((remaining as f64 * p).ceil() as usize).max(1).min(remaining);
+        for &node in &order[start..start + take] {
+            bins[node] = bin;
+        }
+        start += take;
+        remaining -= take;
+        bin += 1;
+    }
+    bins
+}
+
+/// Keeps the first column of every duplicate group: columns whose binned
+/// values differ on at most `tol`-fraction of nodes are duplicates.
+fn prune_duplicates(binned: &[Vec<usize>], tol: f64) -> Vec<usize> {
+    let mut keep: Vec<usize> = Vec::new();
+    for (j, col) in binned.iter().enumerate() {
+        let dup = keep.iter().any(|&k| {
+            let other = &binned[k];
+            let diff = col.iter().zip(other).filter(|(a, b)| a != b).count();
+            (diff as f64) <= tol * col.len() as f64
+        });
+        if !dup {
+            keep.push(j);
+        }
+    }
+    keep
+}
+
+/// Expands binned columns into binary digit indicators.
+fn to_binary(cols: &[&Vec<usize>], n: usize) -> Matrix {
+    // Bits per column = ceil(log2(max_bin + 1)), at least 1.
+    let widths: Vec<usize> = cols
+        .iter()
+        .map(|c| {
+            let max = c.iter().copied().max().unwrap_or(0);
+            (usize::BITS - max.leading_zeros()).max(1) as usize
+        })
+        .collect();
+    let total: usize = widths.iter().sum();
+    let mut out = Matrix::zeros(n, total.max(1));
+    let mut offset = 0;
+    for (c, &w) in cols.iter().zip(&widths) {
+        for i in 0..n {
+            let v = c[i];
+            for bit in 0..w {
+                out[(i, offset + bit)] = ((v >> bit) & 1) as f64;
+            }
+        }
+        offset += w;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_graph::generators;
+
+    #[test]
+    fn vertical_binning_fractions() {
+        let col: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let bins = vertical_log_bin(&col, 0.5);
+        // First 8 values -> bin 0, next 4 -> bin 1, next 2 -> bin 2, ...
+        assert_eq!(bins[0], 0);
+        assert_eq!(bins[7], 0);
+        assert_eq!(bins[8], 1);
+        assert_eq!(bins[11], 1);
+        assert_eq!(bins[12], 2);
+        assert_eq!(bins[13], 2);
+        assert_eq!(bins[14], 3);
+        assert_eq!(bins[15], 4);
+    }
+
+    #[test]
+    fn binning_is_monotone() {
+        let col = [5.0, 1.0, 3.0, 9.0, 7.0, 2.0, 8.0, 0.0];
+        let bins = vertical_log_bin(&col, 0.5);
+        for i in 0..col.len() {
+            for j in 0..col.len() {
+                if col[i] < col[j] {
+                    assert!(bins[i] <= bins[j], "monotonicity violated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_columns_pruned() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 0, 1, 1]; // duplicate of a
+        let c = vec![1, 1, 0, 0];
+        let keep = prune_duplicates(&[a, b, c], 0.0);
+        assert_eq!(keep, vec![0, 2]);
+    }
+
+    #[test]
+    fn binary_expansion_widths() {
+        let col = vec![0usize, 1, 2, 3, 4];
+        let m = to_binary(&[&col], 5);
+        assert_eq!(m.cols(), 3); // max bin 4 needs 3 bits
+        assert_eq!(m.row(3), &[1.0, 1.0, 0.0]); // 3 = 0b011
+        assert_eq!(m.row(4), &[0.0, 0.0, 1.0]); // 4 = 0b100
+    }
+
+    #[test]
+    fn extraction_shapes_and_determinism() {
+        let g = generators::barabasi_albert(150, 3, 7);
+        let r1 = Refex::extract(&g, RefexConfig::default());
+        let r2 = Refex::extract(&g, RefexConfig::default());
+        assert_eq!(r1.embedding, r2.embedding);
+        assert_eq!(r1.embedding.rows(), 150);
+        assert!(r1.retained_columns >= 3, "pruned too much: {}", r1.retained_columns);
+        // Binary values only.
+        for &v in r1.embedding.as_slice() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn hub_differs_from_leaf_in_embedding() {
+        let mut g = generators::erdos_renyi(100, 0.04, 9);
+        generators::attach_isolated(&mut g, 10);
+        generators::plant_near_star(&mut g, 0, 50, 11);
+        let r = Refex::extract(&g, RefexConfig::default());
+        // The star centre's embedding must differ from a typical node's.
+        let hub = r.embedding.row(0);
+        let other = r.embedding.row(57);
+        assert_ne!(hub, other);
+    }
+
+    #[test]
+    fn recursion_grows_features() {
+        let g = generators::erdos_renyi(30, 0.2, 13);
+        let base = base_features(&g);
+        assert_eq!(base.cols(), 3);
+        let rec = recurse(&g, base, 2);
+        assert_eq!(rec.cols(), 27);
+    }
+}

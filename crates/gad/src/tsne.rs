@@ -1,0 +1,250 @@
+//! Exact (O(n²)) t-SNE, used to project the penultimate MLP features to
+//! 2-D for the Figs. 8–9 scatterplots. The paper's test sets have a few
+//! hundred nodes, where the exact algorithm is fast and has no
+//! approximation knobs to tune.
+
+use ba_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbourhood size).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations.
+    pub exaggeration: f64,
+    /// RNG seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 400, lr: 100.0, exaggeration: 12.0, seed: 0x75e }
+    }
+}
+
+/// Embeds the rows of `x` (`n × d`) into 2-D. Returns an `n × 2` matrix.
+pub fn tsne(x: &Matrix, cfg: TsneConfig) -> Matrix {
+    let n = x.rows();
+    assert!(n >= 3, "t-SNE needs at least 3 points");
+    let d = x.cols();
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut acc = 0.0;
+            let (ri, rj) = (x.row(i), x.row(j));
+            for k in 0..d {
+                let diff = ri[k] - rj[k];
+                acc += diff * diff;
+            }
+            d2[i * n + j] = acc;
+            d2[j * n + i] = acc;
+        }
+    }
+    // Per-point precision via binary search on perplexity.
+    let target_entropy = cfg.perplexity.max(2.0).ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut beta = 1.0f64;
+        let mut beta_min = f64::NEG_INFINITY;
+        let mut beta_max = f64::INFINITY;
+        for _ in 0..50 {
+            // Row distribution at this beta.
+            let mut sum = 0.0;
+            let mut sum_dp = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let pij = (-beta * d2[i * n + j]).exp();
+                sum += pij;
+                sum_dp += pij * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                break;
+            }
+            let entropy = beta * sum_dp / sum + sum.ln();
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let v = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = v;
+                sum += v;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrise.
+    let mut pj = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            pj[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+
+    // Initial layout: small Gaussian noise.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y = vec![0.0f64; n * 2];
+    for v in &mut y {
+        *v = rng.gen_range(-1e-2..1e-2);
+    }
+    let mut velocity = vec![0.0f64; n * 2];
+    let mut grad = vec![0.0f64; n * 2];
+    let mut q = vec![0.0f64; n * n];
+
+    let exag_until = cfg.iterations / 4;
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        // Student-t affinities.
+        let mut qsum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                qsum += 2.0 * w;
+            }
+        }
+        // Gradient: 4 Σ_j (exag·p_ij − q_ij) w_ij (y_i − y_j).
+        grad.fill(0.0);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / qsum).max(1e-12);
+                let coeff = 4.0 * (exag * pj[i * n + j] - qij) * w;
+                let dx = y[2 * i] - y[2 * j];
+                let dy = y[2 * i + 1] - y[2 * j + 1];
+                grad[2 * i] += coeff * dx;
+                grad[2 * i + 1] += coeff * dy;
+            }
+        }
+        // Momentum gradient descent.
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+        for k in 0..2 * n {
+            velocity[k] = momentum * velocity[k] - cfg.lr * grad[k];
+            y[k] += velocity[k];
+        }
+        // Re-centre.
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            cx += y[2 * i];
+            cy += y[2 * i + 1];
+        }
+        cx /= n as f64;
+        cy /= n as f64;
+        for i in 0..n {
+            y[2 * i] -= cx;
+            y[2 * i + 1] -= cy;
+        }
+    }
+    Matrix::from_fn(n, 2, |i, j| y[2 * i + j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn blob_data(n_per: usize) -> (Matrix, Vec<bool>) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = n_per * 2;
+        let mut x = Matrix::zeros(n, 10);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let pos = i < n_per;
+            let center = if pos { 5.0 } else { -5.0 };
+            for j in 0..10 {
+                x[(i, j)] = center + rng.gen_range(-1.0..1.0);
+            }
+            labels.push(pos);
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (x, labels) = blob_data(40);
+        let cfg = TsneConfig { iterations: 250, perplexity: 15.0, ..TsneConfig::default() };
+        let y = tsne(&x, cfg);
+        // Compare mean intra-cluster vs inter-cluster 2-D distance.
+        let dist = |a: usize, b: usize| -> f64 {
+            let dx = y[(a, 0)] - y[(b, 0)];
+            let dy = y[(a, 1)] - y[(b, 1)];
+            (dx * dx + dy * dy).sqrt()
+        };
+        let n = y.rows();
+        let (mut intra, mut inter, mut ni, mut ne) = (0.0, 0.0, 0.0, 0.0);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if labels[a] == labels[b] {
+                    intra += dist(a, b);
+                    ni += 1.0;
+                } else {
+                    inter += dist(a, b);
+                    ne += 1.0;
+                }
+            }
+        }
+        let intra_avg = intra / ni;
+        let inter_avg = inter / ne;
+        assert!(
+            inter_avg > 1.5 * intra_avg,
+            "clusters not separated: intra {intra_avg}, inter {inter_avg}"
+        );
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let (x, _) = blob_data(15);
+        let cfg = TsneConfig { iterations: 60, ..TsneConfig::default() };
+        let a = tsne(&x, cfg);
+        let b = tsne(&x, cfg);
+        assert_eq!(a.rows(), 30);
+        assert_eq!(a.cols(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_centred() {
+        let (x, _) = blob_data(20);
+        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let y = tsne(&x, cfg);
+        let mean_x: f64 = (0..y.rows()).map(|i| y[(i, 0)]).sum::<f64>() / y.rows() as f64;
+        assert!(mean_x.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let x = Matrix::zeros(2, 3);
+        tsne(&x, TsneConfig::default());
+    }
+}

@@ -1,0 +1,195 @@
+//! Conversions between the sparse [`Graph`] and dense adjacency matrices
+//! (`ba_linalg::Matrix` is not a dependency here to keep the graph crate
+//! standalone; we use a tiny local dense type with just what the tests and
+//! `ba-gad` need, convertible to raw `Vec<f64>`).
+
+use crate::{Graph, NodeId};
+
+/// Minimal dense square matrix for adjacency algebra cross-checks.
+///
+/// `ba-linalg` is deliberately *not* a dependency of `ba-graph` (the graph
+/// substrate sits at the bottom of the crate DAG), so this small type
+/// exists for dense cross-validation of the sparse kernels; heavy dense
+/// work happens in `ba-linalg` via [`to_row_major`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseAdj {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseAdj {
+    /// Zero matrix of side `n`.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Side length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Entry setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Naive dense product (test-scale only).
+    pub fn matmul(&self, other: &DenseAdj) -> DenseAdj {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = DenseAdj::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += aik * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense entry indexing sugar used by tests.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseAdj {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+/// Converts a graph to its dense adjacency matrix.
+pub fn to_dense(g: &Graph) -> DenseAdj {
+    let n = g.num_nodes();
+    let mut a = DenseAdj::zeros(n);
+    for (u, v) in g.edges() {
+        a.set(u as usize, v as usize, 1.0);
+        a.set(v as usize, u as usize, 1.0);
+    }
+    a
+}
+
+/// Converts a graph to a row-major dense buffer (for `ba_linalg::Matrix::from_vec`).
+pub fn to_row_major(g: &Graph) -> Vec<f64> {
+    to_dense(g).into_vec()
+}
+
+/// Builds a graph back from a dense 0/1 matrix (entries ≥ 0.5 become
+/// edges; the matrix is symmetrised by OR-ing `(i,j)` and `(j,i)`).
+pub fn from_dense_threshold(n: usize, data: &[f64], threshold: f64) -> Graph {
+    assert_eq!(data.len(), n * n, "buffer size mismatch");
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if data[i * n + j] >= threshold || data[j * n + i] >= threshold {
+                g.add_edge(i as NodeId, j as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// CSR (compressed sparse row) view of the adjacency, used by `ba-gad`'s
+/// GCN for fast `Â · X` products.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Row pointer array, length `n + 1`.
+    pub indptr: Vec<usize>,
+    /// Column indices, length `2m`.
+    pub indices: Vec<u32>,
+}
+
+/// Builds the CSR structure of `g` (values are implicitly 1.0).
+pub fn to_csr(g: &Graph) -> Csr {
+    let n = g.num_nodes();
+    let mut indptr = Vec::with_capacity(n + 1);
+    let mut indices = Vec::with_capacity(2 * g.num_edges());
+    indptr.push(0);
+    for u in 0..n as NodeId {
+        indices.extend(g.neighbors(u).iter().copied());
+        indptr.push(indices.len());
+    }
+    Csr { indptr, indices }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let d = to_dense(&g);
+        assert_eq!(d[(0, 1)], 1.0);
+        assert_eq!(d[(1, 0)], 1.0);
+        assert_eq!(d[(0, 2)], 0.0);
+        let g2 = from_dense_threshold(4, &d.clone().into_vec(), 0.5);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn a_squared_diagonal_is_degree() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let a = to_dense(&g);
+        let a2 = a.matmul(&a);
+        for u in 0..4u32 {
+            assert_eq!(a2[(u as usize, u as usize)], g.degree(u) as f64);
+        }
+    }
+
+    #[test]
+    fn a_squared_off_diagonal_is_common_neighbors() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (3, 1), (3, 2), (4, 0)]);
+        let a = to_dense(&g);
+        let a2 = a.matmul(&a);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                if u != v {
+                    assert_eq!(
+                        a2[(u as usize, v as usize)],
+                        g.common_neighbors(u, v) as f64,
+                        "pair ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csr_structure() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let csr = to_csr(&g);
+        assert_eq!(csr.indptr, vec![0, 1, 3, 4]);
+        assert_eq!(csr.indices, vec![1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn from_dense_symmetrises() {
+        // Asymmetric input: only (0,1) set, not (1,0).
+        let mut data = vec![0.0; 9];
+        data[1] = 1.0;
+        let g = from_dense_threshold(3, &data, 0.5);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+}

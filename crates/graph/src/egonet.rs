@@ -1,0 +1,231 @@
+//! Egonet feature extraction (paper Sec. III / Eq. (5b)).
+//!
+//! For node `i`, OddBall's two critical features are
+//!
+//! * `N_i = Σ_j A_ij` — the number of one-hop neighbours, and
+//! * `E_i = N_i + ½ (A³)_ii` — the number of edges inside the egonet:
+//!   the `N_i` spokes plus the edges among the neighbours (each triangle
+//!   through `i` contributes one such edge, and `(A³)_ii = 2·triangles`).
+//!
+//! This module provides both a batch extractor and an incremental updater
+//! that maintains `(N, E)` under single-edge toggles in
+//! `O(deg(u) + deg(v))`; the greedy attack flips one edge per step, so
+//! recomputing all features from scratch there would be quadratic.
+
+use crate::{EdgeOp, Graph, NodeId};
+
+/// The `(N, E)` feature vectors of every node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EgonetFeatures {
+    /// `N_i`: degree of node `i`.
+    pub n: Vec<f64>,
+    /// `E_i`: edges in the egonet of node `i` (spokes + neighbour edges).
+    pub e: Vec<f64>,
+}
+
+impl EgonetFeatures {
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.n.len()
+    }
+
+    /// `true` when there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n.is_empty()
+    }
+}
+
+/// Computes `(N_i, E_i)` for every node by sorted-merge triangle counting.
+/// Complexity `O(Σ_u deg(u)²)` worst case, fast in practice on the sparse
+/// graphs the paper evaluates.
+pub fn egonet_features(g: &Graph) -> EgonetFeatures {
+    let n_nodes = g.num_nodes();
+    let mut n = vec![0.0; n_nodes];
+    let mut e = vec![0.0; n_nodes];
+    for u in 0..n_nodes as NodeId {
+        let deg = g.degree(u) as f64;
+        n[u as usize] = deg;
+        e[u as usize] = deg + g.triangles_at(u) as f64;
+    }
+    EgonetFeatures { n, e }
+}
+
+/// Maintains egonet features incrementally while a graph is being edited.
+///
+/// The updater owns nothing: callers keep mutating the [`Graph`] through
+/// [`IncrementalEgonet::toggle`], which applies the edge flip and patches
+/// the features of exactly the affected nodes (the two endpoints and
+/// their common neighbours).
+#[derive(Debug, Clone)]
+pub struct IncrementalEgonet {
+    feats: EgonetFeatures,
+}
+
+impl IncrementalEgonet {
+    /// Builds the initial features from `g`.
+    pub fn new(g: &Graph) -> Self {
+        Self { feats: egonet_features(g) }
+    }
+
+    /// Current features.
+    pub fn features(&self) -> &EgonetFeatures {
+        &self.feats
+    }
+
+    /// Toggles `{u, v}` in `g` and patches the features. Returns the op
+    /// performed, or `None` for a self-loop.
+    ///
+    /// Feature deltas for toggling `{u,v}`:
+    /// * `N_u`, `N_v` change by ±1;
+    /// * `E_u` changes by ±1 (its own spoke) ± the number of common
+    ///   neighbours (each common neighbour `m` forms/breaks a neighbour
+    ///   edge `v–m`... precisely: edges among u's neighbours gained =
+    ///   |nbrs(u) ∩ nbrs(v)| because `v` joins/leaves the egonet bringing
+    ///   its edges to u's other neighbours); symmetrically for `E_v`;
+    /// * for every common neighbour `m`, `E_m` changes by ±1 (the edge
+    ///   `{u,v}` lies inside m's egonet).
+    pub fn toggle(&mut self, g: &mut Graph, u: NodeId, v: NodeId) -> Option<EdgeOp> {
+        if u == v {
+            return None;
+        }
+        let adding = !g.has_edge(u, v);
+        if adding {
+            // Common neighbours *before* adding determine the new
+            // neighbour-edges; compute first, then mutate.
+            let commons: Vec<NodeId> = g
+                .neighbors(u)
+                .iter()
+                .filter(|x| g.neighbors(v).contains(x))
+                .copied()
+                .collect();
+            g.add_edge(u, v);
+            self.feats.n[u as usize] += 1.0;
+            self.feats.n[v as usize] += 1.0;
+            // Spoke for each endpoint:
+            self.feats.e[u as usize] += 1.0;
+            self.feats.e[v as usize] += 1.0;
+            for &m in &commons {
+                // Edge {u,v} is inside m's egonet; and m's edges to u/v are
+                // now inside u's/v's egonets.
+                self.feats.e[m as usize] += 1.0;
+                self.feats.e[u as usize] += 1.0;
+                self.feats.e[v as usize] += 1.0;
+            }
+            Some(EdgeOp::new(u, v, true))
+        } else {
+            g.remove_edge(u, v);
+            // Common neighbours *after* removal = triangles that were broken.
+            let commons: Vec<NodeId> = g
+                .neighbors(u)
+                .iter()
+                .filter(|x| g.neighbors(v).contains(x))
+                .copied()
+                .collect();
+            self.feats.n[u as usize] -= 1.0;
+            self.feats.n[v as usize] -= 1.0;
+            self.feats.e[u as usize] -= 1.0;
+            self.feats.e[v as usize] -= 1.0;
+            for &m in &commons {
+                self.feats.e[m as usize] -= 1.0;
+                self.feats.e[u as usize] -= 1.0;
+                self.feats.e[v as usize] -= 1.0;
+            }
+            Some(EdgeOp::new(u, v, false))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_features() {
+        // Star with centre 0 and 4 leaves: N_0 = 4, E_0 = 4 (no triangles);
+        // leaves: N = 1, E = 1.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let f = egonet_features(&g);
+        assert_eq!(f.n[0], 4.0);
+        assert_eq!(f.e[0], 4.0);
+        for leaf in 1..5 {
+            assert_eq!(f.n[leaf], 1.0);
+            assert_eq!(f.e[leaf], 1.0);
+        }
+    }
+
+    #[test]
+    fn clique_features() {
+        // K5: every node has N = 4 and its egonet is the whole K5 with
+        // C(5,2) = 10 edges.
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in (u + 1)..5 {
+                g.add_edge(u, v);
+            }
+        }
+        let f = egonet_features(&g);
+        for i in 0..5 {
+            assert_eq!(f.n[i], 4.0);
+            assert_eq!(f.e[i], 10.0);
+        }
+    }
+
+    #[test]
+    fn e_equals_n_plus_half_a3_diagonal() {
+        // Cross-check against the paper's algebraic definition via the
+        // dense adjacency cube on a small random-ish graph.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (1, 3)],
+        );
+        let f = egonet_features(&g);
+        let a = crate::adjacency::to_dense(&g);
+        let a2 = a.matmul(&a);
+        let a3 = a2.matmul(&a);
+        for i in 0..6 {
+            let expected = f.n[i] + 0.5 * a3[(i, i)];
+            assert_eq!(f.e[i], expected, "node {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_edit_sequence() {
+        let mut g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut inc = IncrementalEgonet::new(&g);
+        let edits: &[(NodeId, NodeId)] = &[
+            (0, 2), // add: closes triangle 0-1-2
+            (0, 3), // add
+            (1, 2), // delete
+            (0, 2), // delete
+            (2, 4), // add
+            (2, 4), // delete again
+            (5, 0), // add
+        ];
+        for &(u, v) in edits {
+            inc.toggle(&mut g, u, v).unwrap();
+            let batch = egonet_features(&g);
+            assert_eq!(inc.features(), &batch, "after toggling ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn incremental_ignores_self_loop() {
+        let mut g = Graph::from_edges(3, [(0, 1)]);
+        let mut inc = IncrementalEgonet::new(&g);
+        assert!(inc.toggle(&mut g, 1, 1).is_none());
+        assert_eq!(inc.features(), &egonet_features(&g));
+    }
+
+    #[test]
+    fn triangle_add_updates_all_three() {
+        let mut g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut inc = IncrementalEgonet::new(&g);
+        inc.toggle(&mut g, 0, 2).unwrap();
+        let f = inc.features();
+        // All three nodes now have N=2, E=3 (triangle egonet).
+        for i in 0..3 {
+            assert_eq!(f.n[i], 2.0);
+            assert_eq!(f.e[i], 3.0);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Random-graph generators and anomaly planting.
+//!
+//! The paper's synthetic datasets are Erdős–Rényi (`n = 1000`, `p = 0.02`)
+//! and Barabási–Albert (`n = 1000`, `m = 5`). The real datasets are
+//! substituted (see DESIGN.md §4) by heavy-tailed configuration-style
+//! graphs with planted communities and planted near-clique / near-star
+//! anomalies — the structural patterns OddBall flags (paper Fig. 2a).
+
+use crate::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each of the `C(n,2)` pairs is an edge
+/// independently with probability `p`. Deterministic given `seed`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Geometric skipping would be faster for tiny p, but n ≈ 1000 keeps
+    // the O(n²) loop at half a million draws — trivial.
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.gen::<f64>() < p {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment with `m` edges per new node.
+/// Starts from a star of `m + 1` nodes, then each arriving node attaches
+/// to `m` distinct existing nodes chosen proportionally to degree.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "m must be >= 1");
+    assert!(n > m, "need n > m");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    // Repeated-endpoint list: sampling an element uniformly is sampling a
+    // node with probability proportional to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for v in 1..=(m as NodeId) {
+        g.add_edge(0, v);
+        endpoints.push(0);
+        endpoints.push(v);
+    }
+    for u in (m as NodeId + 1)..(n as NodeId) {
+        let mut chosen = std::collections::BTreeSet::new();
+        while chosen.len() < m {
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if pick != u {
+                chosen.insert(pick);
+            }
+        }
+        for &v in &chosen {
+            g.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    g
+}
+
+/// Heavy-tailed graph via a Chung–Lu style model: node weights follow a
+/// power law with exponent `gamma`, and pair `{u,v}` is connected with
+/// probability `min(1, w_u w_v / Σw)`. The expected edge count is then
+/// rescaled towards `target_edges` by adjusting the weights.
+pub fn power_law_chung_lu(n: usize, target_edges: usize, gamma: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must be > 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Weights w_i ∝ (i + i0)^{-1/(gamma-1)}, the standard static-model
+    // construction for a degree power law with exponent gamma.
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let sum_w: f64 = w.iter().sum();
+    // Rescale so that expected #edges ≈ target_edges:
+    // E[m] = Σ_{u<v} w_u w_v / W ≈ W/2 after normalisation; set total
+    // weight so (Σw)²/(2 Σw) = target ⇒ Σw = 2·target.
+    let scale = (2.0 * target_edges as f64) / sum_w;
+    for wi in &mut w {
+        *wi *= scale;
+    }
+    let total: f64 = w.iter().sum();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (w[u] * w[v] / total).min(1.0);
+            if rng.gen::<f64>() < p {
+                g.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// Like [`power_law_chung_lu`] but with the node weights capped at
+/// `max_weight` (≈ the maximum expected degree). Real social/voting
+/// graphs sampled at ~1000 nodes rarely contain degree-400 monsters, and
+/// uncapped Chung–Lu tails at `γ ≈ 2` routinely create them.
+pub fn power_law_chung_lu_capped(
+    n: usize,
+    target_edges: usize,
+    gamma: f64,
+    max_weight: f64,
+    seed: u64,
+) -> Graph {
+    assert!(gamma > 1.0, "power-law exponent must be > 1");
+    assert!(max_weight > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alpha = 1.0 / (gamma - 1.0);
+    let mut w: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let sum_w: f64 = w.iter().sum();
+    let scale = (2.0 * target_edges as f64) / sum_w;
+    for wi in &mut w {
+        *wi = (*wi * scale).min(max_weight);
+    }
+    let total: f64 = w.iter().sum();
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = (w[u] * w[v] / total).min(1.0);
+            if rng.gen::<f64>() < p {
+                g.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// Triadic closure pass: repeatedly picks a random node with degree ≥ 2
+/// and closes a random open wedge at it, until `edges_to_add` edges have
+/// been added (or attempts are exhausted). Raises egonet density around
+/// hubs, which keeps the power-law fit's slope honest — without it,
+/// synthetic hubs are pathological below-the-line outliers that no
+/// bounded attacker could ever fix.
+pub fn triadic_closure(g: &mut Graph, edges_to_add: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_nodes() as NodeId;
+    if n < 3 {
+        return 0;
+    }
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = edges_to_add.saturating_mul(50) + 100;
+    while added < edges_to_add && attempts < max_attempts {
+        attempts += 1;
+        let m = rng.gen_range(0..n);
+        let deg = g.degree(m);
+        if deg < 2 {
+            continue;
+        }
+        let pick = |rng: &mut StdRng, g: &Graph| -> NodeId {
+            let k = rng.gen_range(0..g.degree(m));
+            *g.neighbors(m).iter().nth(k).expect("degree checked")
+        };
+        let a = pick(&mut rng, g);
+        let b = pick(&mut rng, g);
+        if a != b && g.add_edge(a, b) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Planted-partition community graph: `k` equal communities, intra-edge
+/// probability `p_in`, inter-edge probability `p_out`.
+pub fn planted_partition(n: usize, k: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(k >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n);
+    let comm = |x: usize| x * k / n.max(1);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if comm(u) == comm(v) { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                g.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    g
+}
+
+/// Plants a near-clique among `members`: adds every missing pair with
+/// probability `density`. Returns the number of edges added.
+pub fn plant_near_clique(g: &mut Graph, members: &[NodeId], density: f64, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut added = 0;
+    for (idx, &u) in members.iter().enumerate() {
+        for &v in &members[idx + 1..] {
+            if !g.has_edge(u, v) && rng.gen::<f64>() < density && g.add_edge(u, v) {
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+/// Plants a near-star: connects `center` to `spokes` random non-adjacent
+/// nodes. Returns the number of edges added.
+pub fn plant_near_star(g: &mut Graph, center: NodeId, spokes: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_nodes() as NodeId;
+    let mut candidates: Vec<NodeId> = (0..n)
+        .filter(|&v| v != center && !g.has_edge(center, v))
+        .collect();
+    candidates.shuffle(&mut rng);
+    let mut added = 0;
+    for &v in candidates.iter().take(spokes) {
+        if g.add_edge(center, v) {
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Degree-preserving randomisation via double-edge swaps: picks two
+/// edges `{a,b}`, `{c,d}` and rewires them to `{a,d}`, `{c,b}` when that
+/// creates no self-loop or multi-edge. `swaps` successful swaps are
+/// performed (or the attempt budget runs out). This is the standard null
+/// model for "is this structure more than its degree sequence" questions
+/// — e.g. whether an attack's flips are detectable beyond degree effects.
+pub fn degree_preserving_rewire(g: &mut Graph, swaps: usize, seed: u64) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    if edges.len() < 2 {
+        return 0;
+    }
+    let mut done = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = swaps.saturating_mul(20) + 100;
+    while done < swaps && attempts < max_attempts {
+        attempts += 1;
+        let i = rng.gen_range(0..edges.len());
+        let j = rng.gen_range(0..edges.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = edges[i];
+        let (c, d) = edges[j];
+        // Candidate rewiring {a,d}, {c,b}.
+        if a == d || c == b || a == c || b == d {
+            continue;
+        }
+        if g.has_edge(a, d) || g.has_edge(c, b) {
+            continue;
+        }
+        g.remove_edge(a, b);
+        g.remove_edge(c, d);
+        g.add_edge(a, d);
+        g.add_edge(c, b);
+        edges[i] = if a < d { (a, d) } else { (d, a) };
+        edges[j] = if c < b { (c, b) } else { (b, c) };
+        done += 1;
+    }
+    done
+}
+
+/// Ensures the graph has no isolated nodes by attaching each one to a
+/// random non-isolated node (or to the next node if the graph is empty).
+/// The attacks assume no singletons exist in the clean graph.
+pub fn attach_isolated(g: &mut Graph, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.num_nodes() as NodeId;
+    if n < 2 {
+        return;
+    }
+    for u in 0..n {
+        if g.degree(u) == 0 {
+            loop {
+                let v = rng.gen_range(0..n);
+                if v != u && g.add_edge(u, v) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 1);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.num_edges() as f64;
+        // 5 sigma tolerance on a binomial.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!((m - expected).abs() < 5.0 * sigma, "m={m}, expected≈{expected}");
+    }
+
+    #[test]
+    fn er_deterministic_per_seed() {
+        assert_eq!(erdos_renyi(100, 0.05, 9), erdos_renyi(100, 0.05, 9));
+        assert_ne!(erdos_renyi(100, 0.05, 9), erdos_renyi(100, 0.05, 10));
+    }
+
+    #[test]
+    fn ba_edge_count_exact() {
+        let n = 300;
+        let m = 5;
+        let g = barabasi_albert(n, m, 2);
+        // m initial star edges + m per arriving node.
+        assert_eq!(g.num_edges(), m + (n - m - 1) * m);
+        // Everyone has degree >= m except possibly early nodes which have more.
+        for u in 0..n as NodeId {
+            assert!(g.degree(u) >= 1);
+        }
+    }
+
+    #[test]
+    fn ba_is_connected_and_hubby() {
+        let g = barabasi_albert(500, 3, 3);
+        assert_eq!(metrics::connected_components(&g), 1);
+        let max_deg = (0..500).map(|u| g.degree(u)).max().unwrap();
+        // Preferential attachment must create hubs much larger than m.
+        assert!(max_deg > 20, "max degree {max_deg} too small for BA");
+    }
+
+    #[test]
+    fn chung_lu_heavy_tail() {
+        let g = power_law_chung_lu(800, 2400, 2.3, 4);
+        let m = g.num_edges();
+        assert!(m > 1200 && m < 4800, "edge count {m} far from target 2400");
+        let max_deg = (0..800).map(|u| g.degree(u)).max().unwrap();
+        let mean_deg = 2.0 * m as f64 / 800.0;
+        assert!(max_deg as f64 > 5.0 * mean_deg, "no heavy tail: max {max_deg}, mean {mean_deg}");
+    }
+
+    #[test]
+    fn planted_partition_assortative() {
+        let g = planted_partition(200, 4, 0.2, 0.01, 5);
+        // Count intra vs inter edges.
+        let comm = |x: u32| (x as usize) * 4 / 200;
+        let (mut intra, mut inter) = (0, 0);
+        for (u, v) in g.edges() {
+            if comm(u) == comm(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter, "intra={intra} inter={inter}");
+    }
+
+    #[test]
+    fn near_clique_raises_egonet_density() {
+        let mut g = erdos_renyi(200, 0.02, 6);
+        let members: Vec<NodeId> = (0..12).collect();
+        let added = plant_near_clique(&mut g, &members, 0.9, 7);
+        assert!(added > 30, "added only {added} edges");
+        let f = crate::egonet::egonet_features(&g);
+        // Member egonets should be much denser than E ≈ N.
+        assert!(f.e[0] > 2.0 * f.n[0]);
+    }
+
+    #[test]
+    fn near_star_raises_degree() {
+        let mut g = erdos_renyi(300, 0.01, 8);
+        let added = plant_near_star(&mut g, 5, 60, 9);
+        assert!(added >= 55);
+        assert!(g.degree(5) >= 55);
+    }
+
+    #[test]
+    fn rewire_preserves_degrees_and_edge_count() {
+        let mut g = barabasi_albert(200, 4, 15);
+        let degrees_before: Vec<usize> = (0..200).map(|u| g.degree(u)).collect();
+        let m_before = g.num_edges();
+        let done = degree_preserving_rewire(&mut g, 300, 16);
+        assert!(done > 200, "only {done} swaps succeeded");
+        assert_eq!(g.num_edges(), m_before);
+        let degrees_after: Vec<usize> = (0..200).map(|u| g.degree(u)).collect();
+        assert_eq!(degrees_before, degrees_after);
+    }
+
+    #[test]
+    fn rewire_destroys_planted_clique() {
+        let mut g = erdos_renyi(150, 0.03, 17);
+        attach_isolated(&mut g, 18);
+        let members: Vec<NodeId> = (0..10).collect();
+        plant_near_clique(&mut g, &members, 1.0, 19);
+        let tri_before: usize = members.iter().map(|&u| g.triangles_at(u)).sum();
+        degree_preserving_rewire(&mut g, 2000, 20);
+        let tri_after: usize = members.iter().map(|&u| g.triangles_at(u)).sum();
+        assert!(
+            tri_after * 2 < tri_before,
+            "clique structure survived rewiring: {tri_before} -> {tri_after}"
+        );
+    }
+
+    #[test]
+    fn rewire_on_tiny_graph_is_safe() {
+        let mut g = Graph::from_edges(3, [(0, 1)]);
+        assert_eq!(degree_preserving_rewire(&mut g, 10, 21), 0);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn triadic_closure_adds_requested_edges() {
+        let mut g = barabasi_albert(300, 4, 22);
+        let m0 = g.num_edges();
+        let added = triadic_closure(&mut g, 100, 23);
+        assert_eq!(added, 100);
+        assert_eq!(g.num_edges(), m0 + 100);
+        // Closure raises clustering.
+        let cc = crate::metrics::average_clustering(&g);
+        assert!(cc > 0.05, "clustering {cc} did not rise");
+    }
+
+    #[test]
+    fn capped_chung_lu_respects_cap() {
+        let g = power_law_chung_lu_capped(600, 2400, 2.2, 25.0, 24);
+        let max_deg = (0..600).map(|u| g.degree(u)).max().unwrap();
+        // Expected max degree ≈ cap; allow Poisson fluctuation.
+        assert!(max_deg < 60, "max degree {max_deg} blew past the cap");
+        let uncapped = power_law_chung_lu(600, 2400, 2.2, 24);
+        let max_uncapped = (0..600).map(|u| uncapped.degree(u)).max().unwrap();
+        assert!(max_uncapped > max_deg, "cap had no effect");
+    }
+
+    #[test]
+    fn attach_isolated_removes_singletons() {
+        let mut g = Graph::new(50);
+        g.add_edge(0, 1);
+        attach_isolated(&mut g, 10);
+        for u in 0..50 {
+            assert!(g.degree(u) >= 1, "node {u} still isolated");
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The core undirected simple graph type.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Node identifier. Graphs in the paper's evaluation have ~1000 nodes, so
+/// `u32` is ample and keeps adjacency sets compact.
+pub type NodeId = u32;
+
+/// An edge flip operation: which unordered pair, and whether the edge was
+/// added or removed. Attack results are reported as lists of `EdgeOp`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EdgeOp {
+    /// Smaller endpoint of the unordered pair.
+    pub u: NodeId,
+    /// Larger endpoint of the unordered pair.
+    pub v: NodeId,
+    /// `true` when the edge was added, `false` when deleted.
+    pub added: bool,
+}
+
+impl EdgeOp {
+    /// Creates an op, normalising the endpoint order.
+    pub fn new(u: NodeId, v: NodeId, added: bool) -> Self {
+        let (u, v) = if u <= v { (u, v) } else { (v, u) };
+        Self { u, v, added }
+    }
+}
+
+/// A simple (no self-loops, no multi-edges), undirected, unweighted graph.
+///
+/// Adjacency is stored as one sorted set per node (`BTreeSet<NodeId>`),
+/// which gives `O(log d)` membership tests, deterministic iteration order
+/// (important for reproducible attacks), and cheap sorted-merge common-
+/// neighbour counting — the kernel behind both the egonet feature `E_i`
+/// and the analytic attack gradient.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<BTreeSet<NodeId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![BTreeSet::new(); n], num_edges: 0 }
+    }
+
+    /// Builds a graph from an iterator of edges. Self-loops and duplicate
+    /// edges are ignored.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut g = Self::new(n);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].contains(&v)
+    }
+
+    /// Sorted neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &BTreeSet<NodeId> {
+        &self.adj[u as usize]
+    }
+
+    /// Adds the edge `{u, v}`. Returns `true` if the edge was new.
+    /// Self-loops are rejected (returns `false`).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        assert!(
+            (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
+            "node id out of range"
+        );
+        let inserted = self.adj[u as usize].insert(v);
+        if inserted {
+            self.adj[v as usize].insert(u);
+            self.num_edges += 1;
+        }
+        inserted
+    }
+
+    /// Removes the edge `{u, v}`. Returns `true` if an edge was removed.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let removed = self.adj[u as usize].remove(&v);
+        if removed {
+            self.adj[v as usize].remove(&u);
+            self.num_edges -= 1;
+        }
+        removed
+    }
+
+    /// Toggles the edge `{u, v}` and returns the resulting [`EdgeOp`].
+    /// No-op (returns `None`) for self-loops.
+    pub fn toggle_edge(&mut self, u: NodeId, v: NodeId) -> Option<EdgeOp> {
+        if u == v {
+            return None;
+        }
+        if self.has_edge(u, v) {
+            self.remove_edge(u, v);
+            Some(EdgeOp::new(u, v, false))
+        } else {
+            self.add_edge(u, v);
+            Some(EdgeOp::new(u, v, true))
+        }
+    }
+
+    /// Applies a list of edge ops (as produced by an attack) to the graph.
+    ///
+    /// # Panics
+    /// Panics in debug builds if an op is inconsistent with the current
+    /// state (adding an existing edge / deleting a missing one), since
+    /// that indicates a corrupted attack result.
+    pub fn apply_ops(&mut self, ops: &[EdgeOp]) {
+        for op in ops {
+            if op.added {
+                let fresh = self.add_edge(op.u, op.v);
+                debug_assert!(fresh, "op adds an existing edge {op:?}");
+            } else {
+                let existed = self.remove_edge(op.u, op.v);
+                debug_assert!(existed, "op deletes a missing edge {op:?}");
+            }
+        }
+    }
+
+    /// Returns a new graph with the ops applied.
+    pub fn with_ops(&self, ops: &[EdgeOp]) -> Graph {
+        let mut g = self.clone();
+        g.apply_ops(ops);
+        g
+    }
+
+    /// Iterator over all edges as `(u, v)` with `u < v`, in sorted order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            let u = u as NodeId;
+            nbrs.iter().filter(move |&&v| v > u).map(move |&v| (u, v))
+        })
+    }
+
+    /// Number of common neighbours of `u` and `v` — this equals `(A²)_uv`
+    /// for a binary symmetric adjacency with zero diagonal.
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
+        let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small.iter().filter(|x| large.contains(x)).count()
+    }
+
+    /// Sum of `f(m)` over all common neighbours `m` of `u` and `v`.
+    /// This is `(A·diag(w)·A)_uv` with `w_m = f(m)` — the second-order
+    /// term of the analytic attack gradient.
+    pub fn common_neighbor_sum(&self, u: NodeId, v: NodeId, f: impl Fn(NodeId) -> f64) -> f64 {
+        let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small.iter().filter(|x| large.contains(x)).map(|&m| f(m)).sum()
+    }
+
+    /// Number of triangles through node `u` (= `½ (A³)_uu / ... `; exactly
+    /// `(A³)_uu = 2 · triangles(u)` for simple graphs, so this returns
+    /// `(A³)_uu / 2`).
+    pub fn triangles_at(&self, u: NodeId) -> usize {
+        let nbrs = &self.adj[u as usize];
+        let mut count = 0usize;
+        for &a in nbrs {
+            // Count each neighbour pair once: a < b.
+            for &b in nbrs.range((a + 1)..) {
+                if self.has_edge(a, b) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Degree sequence as f64 (used by the attack's feature vectors).
+    pub fn degrees_f64(&self) -> Vec<f64> {
+        self.adj.iter().map(|s| s.len() as f64).collect()
+    }
+
+    /// Nodes with degree ≤ 1 would become singletons if their last edge
+    /// were deleted; the paper's attacks avoid creating singletons.
+    /// Returns `true` when deleting `{u, v}` is safe in that sense.
+    pub fn deletion_keeps_no_singletons(&self, u: NodeId, v: NodeId) -> bool {
+        self.degree(u) > 1 && self.degree(v) > 1
+    }
+
+    /// Symmetric difference with another graph, as a set of edge ops that
+    /// transform `self` into `other`.
+    ///
+    /// # Panics
+    /// Panics if node counts differ.
+    pub fn diff_ops(&self, other: &Graph) -> Vec<EdgeOp> {
+        assert_eq!(self.num_nodes(), other.num_nodes(), "node count mismatch");
+        let mut ops = Vec::new();
+        for (u, v) in self.edges() {
+            if !other.has_edge(u, v) {
+                ops.push(EdgeOp::new(u, v, false));
+            }
+        }
+        for (u, v) in other.edges() {
+            if !self.has_edge(u, v) {
+                ops.push(EdgeOp::new(u, v, true));
+            }
+        }
+        ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0), "duplicate (reversed) edge rejected");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(1, 0));
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::new(2);
+        assert!(!g.add_edge(1, 1));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.toggle_edge(1, 1), None);
+    }
+
+    #[test]
+    fn degree_counts() {
+        let g = triangle();
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2);
+        }
+    }
+
+    #[test]
+    fn edges_iterator_sorted_unique() {
+        let g = Graph::from_edges(4, [(2, 1), (0, 3), (1, 0)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn toggle_flips_both_ways() {
+        let mut g = Graph::new(3);
+        let op = g.toggle_edge(0, 2).unwrap();
+        assert_eq!(op, EdgeOp::new(0, 2, true));
+        assert!(g.has_edge(0, 2));
+        let op = g.toggle_edge(2, 0).unwrap();
+        assert_eq!(op, EdgeOp::new(0, 2, false));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn common_neighbors_matches_a_squared() {
+        // Path 0-1-2 plus edge 0-2: common neighbours of 0 and 2 is {1}.
+        let g = triangle();
+        assert_eq!(g.common_neighbors(0, 2), 1);
+        let g2 = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3), (3, 2)]);
+        assert_eq!(g2.common_neighbors(0, 2), 2);
+        assert_eq!(g2.common_neighbors(0, 1), 0);
+    }
+
+    #[test]
+    fn common_neighbor_sum_weights() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3), (3, 2)]);
+        let s = g.common_neighbor_sum(0, 2, |m| m as f64 * 10.0);
+        assert_eq!(s, 10.0 + 30.0); // common neighbours 1 and 3
+    }
+
+    #[test]
+    fn triangle_counting() {
+        let g = triangle();
+        for u in 0..3 {
+            assert_eq!(g.triangles_at(u), 1);
+        }
+        // K4 has 3 triangles through each node.
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        for u in 0..4 {
+            assert_eq!(k4.triangles_at(u), 3);
+        }
+    }
+
+    #[test]
+    fn apply_and_diff_ops_roundtrip() {
+        let g0 = triangle();
+        let mut g1 = g0.clone();
+        g1.remove_edge(0, 1);
+        g1.add_edge(0, 1); // noop overall
+        g1.toggle_edge(1, 2); // delete
+        let ops = g0.diff_ops(&g1);
+        assert_eq!(ops, vec![EdgeOp::new(1, 2, false)]);
+        assert_eq!(g0.with_ops(&ops), g1);
+    }
+
+    #[test]
+    fn singleton_guard() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        assert!(!g.deletion_keeps_no_singletons(0, 1)); // node 0 has degree 1
+        let t = triangle();
+        assert!(t.deletion_keeps_no_singletons(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! # ba-graph
+//!
+//! Graph substrate for the BinarizedAttack reproduction: a simple
+//! undirected, unweighted graph (exactly the object OddBall and the
+//! attacks operate on — paper Sec. III, `A ∈ {0,1}^{n×n}`), together with
+//!
+//! * random-graph generators (Erdős–Rényi, Barabási–Albert, power-law
+//!   configuration graphs) and planted near-clique / near-star anomalies,
+//! * BFS sampling of ~1000-node connected subgraphs (the paper's
+//!   pre-processing of the real datasets),
+//! * edge-list IO,
+//! * egonet feature extraction `N_i = Σ_j A_ij`, `E_i = N_i + ½(A³)_ii`,
+//!   both batch and incrementally under single-edge toggles (the greedy
+//!   attack's hot loop), and
+//! * graph statistics (degree distribution, clustering, components).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ba_graph::{Graph, generators};
+//! let g = generators::erdos_renyi(100, 0.05, 7);
+//! let feats = ba_graph::egonet::egonet_features(&g);
+//! assert_eq!(feats.n.len(), 100);
+//! for i in 0..100 {
+//!     // E_i >= N_i always: the spokes are part of the egonet.
+//!     assert!(feats.e[i] >= feats.n[i]);
+//! }
+//! ```
+
+mod graph;
+pub mod adjacency;
+pub mod egonet;
+pub mod generators;
+pub mod io;
+pub mod metrics;
+pub mod sample;
+
+pub use graph::{EdgeOp, Graph, NodeId};

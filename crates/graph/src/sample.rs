@@ -1,0 +1,150 @@
+//! Connected-subgraph sampling.
+//!
+//! The paper pre-processes each real dataset by "randomly sampling the
+//! connected sub-graph with around 1000 nodes from the whole graph"
+//! (Sec. VIII-A2). We implement this as a randomised BFS (snowball
+//! sample) from a random seed node, which keeps the sample connected and
+//! preserves local structure — exactly what the egonet features measure.
+
+use crate::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Samples a connected subgraph of about `target` nodes by randomised BFS
+/// from a random start, then induces the subgraph on the visited set.
+/// Returns the compacted subgraph and the original ids of its nodes.
+///
+/// If the component containing the start node is smaller than `target`,
+/// the whole component is returned.
+pub fn bfs_sample(g: &Graph, target: usize, seed: u64) -> (Graph, Vec<NodeId>) {
+    let n = g.num_nodes();
+    assert!(n > 0, "cannot sample an empty graph");
+    let target = target.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start from a node of non-trivial degree so we don't strand in a tiny
+    // component.
+    let start = {
+        let mut best = rng.gen_range(0..n) as NodeId;
+        for _ in 0..16 {
+            let cand = rng.gen_range(0..n) as NodeId;
+            if g.degree(cand) > g.degree(best) {
+                best = cand;
+            }
+        }
+        best
+    };
+    let mut visited = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(target);
+    let mut frontier: Vec<NodeId> = vec![start];
+    visited[start as usize] = true;
+    while let Some(u) = frontier.pop() {
+        order.push(u);
+        if order.len() >= target {
+            break;
+        }
+        let mut nbrs: Vec<NodeId> = g
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| !visited[v as usize])
+            .collect();
+        nbrs.shuffle(&mut rng);
+        for v in nbrs {
+            visited[v as usize] = true;
+            frontier.push(v);
+        }
+        // Randomise expansion order across the frontier too.
+        if frontier.len() > 1 {
+            let last = frontier.len() - 1;
+            let swap_with = rng.gen_range(0..=last);
+            frontier.swap(last, swap_with);
+        }
+    }
+    induce(g, &order)
+}
+
+/// Induces the subgraph on `nodes`, compacting ids to `0..nodes.len()`.
+/// Returns the subgraph and the original id of each compact node.
+pub fn induce(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut mapping: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+    for (i, &u) in nodes.iter().enumerate() {
+        let prev = mapping.insert(u, i as NodeId);
+        assert!(prev.is_none(), "duplicate node {u} in induce()");
+    }
+    let mut sub = Graph::new(nodes.len());
+    for (&orig_u, &cu) in &mapping {
+        for &orig_v in g.neighbors(orig_u) {
+            if orig_v > orig_u {
+                if let Some(&cv) = mapping.get(&orig_v) {
+                    sub.add_edge(cu, cv);
+                }
+            }
+        }
+    }
+    (sub, nodes.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::metrics;
+
+    #[test]
+    fn sample_is_connected_and_sized() {
+        let g = generators::barabasi_albert(3000, 4, 21);
+        let (sub, orig) = bfs_sample(&g, 1000, 5);
+        assert_eq!(sub.num_nodes(), 1000);
+        assert_eq!(orig.len(), 1000);
+        assert_eq!(metrics::connected_components(&sub), 1);
+    }
+
+    #[test]
+    fn sample_of_small_component_returns_component() {
+        // Two components: a triangle and a big path. Depending on the seed
+        // the sample lands in one; ask for more nodes than the triangle has.
+        let mut g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let _ = g; // explicit tiny graph case below
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2)]); // + isolated 3,4
+        let (sub, _) = bfs_sample(&g, 10, 3);
+        assert!(sub.num_nodes() <= 3 || metrics::connected_components(&sub) >= 1);
+    }
+
+    #[test]
+    fn induce_keeps_internal_edges_only() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (sub, orig) = induce(&g, &[1, 2, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(orig, vec![1, 2, 4]);
+        // Only the 1-2 edge is internal.
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induce_rejects_duplicates() {
+        let g = Graph::new(3);
+        let _ = induce(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn sample_deterministic_per_seed() {
+        let g = generators::erdos_renyi(500, 0.02, 1);
+        let (a, _) = bfs_sample(&g, 200, 42);
+        let (b, _) = bfs_sample(&g, 200, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_preserves_degree_scale() {
+        let g = generators::barabasi_albert(2000, 5, 8);
+        let (sub, _) = bfs_sample(&g, 800, 9);
+        let avg = metrics::average_degree(&sub);
+        // Induced BFS samples lose boundary edges, but the average degree
+        // should stay within a sane band of the original (10.0).
+        assert!(avg > 2.0, "average degree collapsed: {avg}");
+    }
+}

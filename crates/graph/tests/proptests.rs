@@ -1,0 +1,119 @@
+//! Property-based tests for the graph substrate.
+
+use ba_graph::egonet::{egonet_features, IncrementalEgonet};
+use ba_graph::{generators, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph on up to `max_n` nodes.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 3)
+            .prop_map(move |pairs| Graph::from_edges(n, pairs))
+    })
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph(30)) {
+        let degree_sum: usize = (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(g in arb_graph(30)) {
+        for (u, v) in g.edges() {
+            prop_assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn egonet_features_bounds(g in arb_graph(25)) {
+        let f = egonet_features(&g);
+        for i in 0..g.num_nodes() {
+            let n_i = f.n[i];
+            let e_i = f.e[i];
+            // Spokes are part of the egonet: E >= N.
+            prop_assert!(e_i >= n_i);
+            // The egonet has N+1 nodes, so E <= C(N+1, 2).
+            let max_e = (n_i + 1.0) * n_i / 2.0;
+            prop_assert!(e_i <= max_e + 1e-9, "E={e_i} exceeds clique bound {max_e}");
+        }
+    }
+
+    #[test]
+    fn incremental_egonet_matches_batch(
+        g in arb_graph(20),
+        toggles in proptest::collection::vec((0u32..20, 0u32..20), 1..30),
+    ) {
+        let mut g = g;
+        let n = g.num_nodes() as NodeId;
+        let mut inc = IncrementalEgonet::new(&g);
+        for (u, v) in toggles {
+            let (u, v) = (u % n, v % n);
+            inc.toggle(&mut g, u, v);
+            prop_assert_eq!(inc.features(), &egonet_features(&g));
+        }
+    }
+
+    #[test]
+    fn toggle_twice_is_identity(g in arb_graph(20), u in 0u32..20, v in 0u32..20) {
+        let mut g2 = g.clone();
+        let n = g.num_nodes() as NodeId;
+        let (u, v) = (u % n, v % n);
+        g2.toggle_edge(u, v);
+        g2.toggle_edge(u, v);
+        prop_assert_eq!(g2, g);
+    }
+
+    #[test]
+    fn diff_ops_transform(g1 in arb_graph(15), edits in proptest::collection::vec((0u32..15, 0u32..15), 0..20)) {
+        let mut g2 = g1.clone();
+        let n = g1.num_nodes() as NodeId;
+        for (u, v) in edits {
+            g2.toggle_edge(u % n, v % n);
+        }
+        let ops = g1.diff_ops(&g2);
+        prop_assert_eq!(g1.with_ops(&ops), g2);
+    }
+
+    #[test]
+    fn io_roundtrip(g in arb_graph(25)) {
+        let mut buf = Vec::new();
+        ba_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        if g.num_edges() > 0 {
+            let loaded = ba_graph::io::read_edge_list(&buf[..]).unwrap();
+            // Loaded graph drops isolated nodes (they never appear in the
+            // list), so compare edge sets via labels.
+            let mut orig_edges: Vec<(u64, u64)> = g
+                .edges()
+                .map(|(u, v)| (u as u64, v as u64))
+                .collect();
+            orig_edges.sort_unstable();
+            let mut loaded_edges: Vec<(u64, u64)> = loaded
+                .graph
+                .edges()
+                .map(|(u, v)| {
+                    let (a, b) = (loaded.labels[u as usize], loaded.labels[v as usize]);
+                    if a <= b { (a, b) } else { (b, a) }
+                })
+                .collect();
+            loaded_edges.sort_unstable();
+            prop_assert_eq!(orig_edges, loaded_edges);
+        }
+    }
+
+    #[test]
+    fn er_seed_determinism(n in 10usize..60, seed in 0u64..50) {
+        let p = 0.1;
+        prop_assert_eq!(
+            generators::erdos_renyi(n, p, seed),
+            generators::erdos_renyi(n, p, seed)
+        );
+    }
+
+    #[test]
+    fn ba_always_connected(n in 10usize..80, m in 1usize..4, seed in 0u64..20) {
+        let g = generators::barabasi_albert(n, m, seed);
+        prop_assert_eq!(ba_graph::metrics::connected_components(&g), 1);
+    }
+}

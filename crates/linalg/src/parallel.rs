@@ -1,0 +1,104 @@
+//! Thread-parallel matrix multiplication using crossbeam scoped threads.
+//!
+//! ContinuousA relaxes the whole adjacency matrix to `[0,1]^{n×n}` (paper
+//! Sec. V-A2), so its forward/backward passes need dense `n × n` products
+//! with `n ≈ 1000`. Splitting the output rows across threads makes those
+//! experiment runs several times faster without any unsafe code.
+
+use crate::matrix::{matmul_into, Matrix};
+
+/// Parallel matrix product `a * b`, splitting output rows across up to
+/// `threads` workers. `threads == 0` or `1` falls back to the serial
+/// kernel. Results are bit-identical to [`Matrix::matmul`] because each
+/// worker runs the same inner loop on a disjoint row range.
+pub fn par_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "par_matmul dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let threads = threads.max(1).min(a.rows().max(1));
+    if threads == 1 || a.rows() < 64 {
+        return a.matmul(b);
+    }
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let p = b.cols();
+    let rows = a.rows();
+    let chunk_rows = rows.div_ceil(threads);
+    {
+        let out_slice = out.as_mut_slice();
+        let chunks: Vec<&mut [f64]> = out_slice.chunks_mut(chunk_rows * p).collect();
+        crossbeam::thread::scope(|scope| {
+            for (idx, chunk) in chunks.into_iter().enumerate() {
+                let row_start = idx * chunk_rows;
+                scope.spawn(move |_| {
+                    let local_rows = chunk.len() / p;
+                    // Build a view of rows [row_start, row_start+local_rows)
+                    // of `a`, multiply into the chunk.
+                    let a_rows = &a.as_slice()[row_start * a.cols()..(row_start + local_rows) * a.cols()];
+                    let a_view = Matrix::from_vec(local_rows, a.cols(), a_rows.to_vec());
+                    let mut local = Matrix::zeros(local_rows, p);
+                    matmul_into(&a_view, b, &mut local);
+                    chunk.copy_from_slice(local.as_slice());
+                });
+            }
+        })
+        .expect("par_matmul worker panicked");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        })
+    }
+
+    #[test]
+    fn parallel_matches_serial_small() {
+        let a = pseudo_random_matrix(10, 7, 1);
+        let b = pseudo_random_matrix(7, 13, 2);
+        let serial = a.matmul(&b);
+        let parallel = par_matmul(&a, &b, 4);
+        assert!((&serial - &parallel).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let a = pseudo_random_matrix(200, 150, 3);
+        let b = pseudo_random_matrix(150, 120, 4);
+        let serial = a.matmul(&b);
+        for threads in [1, 2, 3, 8] {
+            let parallel = par_matmul(&a, &b, threads);
+            assert!((&serial - &parallel).max_abs() < 1e-12, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_row_split() {
+        // 67 rows across 4 threads exercises the remainder chunk.
+        let a = pseudo_random_matrix(67, 33, 5);
+        let b = pseudo_random_matrix(33, 29, 6);
+        let serial = a.matmul(&b);
+        let parallel = par_matmul(&a, &b, 4);
+        assert!((&serial - &parallel).max_abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatch_panics() {
+        let a = Matrix::zeros(4, 5);
+        let b = Matrix::zeros(4, 5);
+        let _ = par_matmul(&a, &b, 2);
+    }
+}

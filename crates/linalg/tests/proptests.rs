@@ -1,0 +1,128 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use ba_linalg::{inverse, par_matmul, simple_ols, solve, solve2, Matrix, Vector};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0..10.0f64, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn square_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-10.0..10.0f64, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in small_matrix(8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(m in small_matrix(6)) {
+        // (A Aᵀ) must be symmetric.
+        let prod = m.matmul(&m.transpose());
+        prop_assert!(prod.is_symmetric(1e-8));
+    }
+
+    #[test]
+    fn matmul_associativity(
+        a in small_matrix(5),
+        bdata in proptest::collection::vec(-5.0..5.0f64, 25),
+        cdata in proptest::collection::vec(-5.0..5.0f64, 25),
+    ) {
+        let k = a.cols();
+        let b = Matrix::from_vec(k, 5, bdata[..k * 5].to_vec());
+        let c = Matrix::from_vec(5, 5, cdata.clone());
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!((&left - &right).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn par_matmul_matches_serial(a in small_matrix(12), threads in 1usize..6) {
+        let b = a.transpose();
+        let serial = a.matmul(&b);
+        let parallel = par_matmul(&a, &b, threads);
+        prop_assert!((&serial - &parallel).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_residual_is_small(m in square_matrix(6), scale in 0.5..2.0f64) {
+        let n = m.rows();
+        // Diagonally dominate to guarantee non-singularity.
+        let mut a = m;
+        for i in 0..n {
+            let row_sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            a[(i, i)] = (row_sum + 1.0) * scale;
+        }
+        let b = Vector::ones(n);
+        let x = solve(&a, &b).unwrap();
+        let r = a.matvec(&x);
+        for i in 0..n {
+            prop_assert!((r[i] - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip(m in square_matrix(5)) {
+        let n = m.rows();
+        let mut a = m;
+        for i in 0..n {
+            let row_sum: f64 = a.row(i).iter().map(|v| v.abs()).sum();
+            a[(i, i)] = row_sum + 1.0;
+        }
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        let id = Matrix::identity(n);
+        prop_assert!((&prod - &id).max_abs() < 1e-7);
+    }
+
+    #[test]
+    fn solve2_matches_general_solver(
+        a in -10.0..10.0f64, b in -10.0..10.0f64,
+        c in -10.0..10.0f64, e in -10.0..10.0f64, f in -10.0..10.0f64,
+    ) {
+        // Force a well-conditioned system.
+        let d = a.abs() + b.abs() + c.abs() + 1.0;
+        let a_big = a + 20.0;
+        if let Ok((x0, x1)) = solve2(a_big, b, c, d, e, f) {
+            let m = Matrix::from_rows(&[&[a_big, b], &[c, d]]);
+            let rhs = Vector::from(vec![e, f]);
+            let x = solve(&m, &rhs).unwrap();
+            prop_assert!((x[0] - x0).abs() < 1e-6);
+            prop_assert!((x[1] - x1).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ols_fit_minimises_rss(
+        xs in proptest::collection::vec(-100.0..100.0f64, 3..40),
+        slope in -5.0..5.0f64,
+        intercept in -5.0..5.0f64,
+        d_slope in -0.5..0.5f64,
+        d_int in -0.5..0.5f64,
+    ) {
+        // Distinct-enough x values.
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assume!(max - min > 1.0);
+        let ys: Vec<f64> = xs.iter().enumerate()
+            .map(|(i, &x)| intercept + slope * x + ((i % 3) as f64 - 1.0) * 0.3)
+            .collect();
+        let fit = simple_ols(&xs, &ys).unwrap();
+        // Any perturbed line must have RSS >= the OLS fit's RSS.
+        let perturbed_rss: f64 = xs.iter().zip(&ys)
+            .map(|(&x, &y)| {
+                let r = y - ((fit.intercept + d_int) + (fit.slope + d_slope) * x);
+                r * r
+            })
+            .sum();
+        prop_assert!(perturbed_rss + 1e-9 >= fit.rss);
+    }
+}

@@ -1,0 +1,226 @@
+//! Robust estimators for the regression step (paper Sec. VII):
+//! Huber IRLS and RANSAC. Both fit `y = b0 + b1 x` like OLS but resist
+//! the feature outliers a poisoning attack induces.
+
+use ba_linalg::{simple_ols, weighted_ols, LinearFit, Ols2Error};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Huber IRLS fit.
+#[derive(Debug, Clone, Copy)]
+pub struct HuberConfig {
+    /// The Huber threshold `k` of paper Eq. (10), in units of the robust
+    /// scale estimate. The classical choice 1.345 gives 95% Gaussian
+    /// efficiency.
+    pub k: f64,
+    /// Maximum IRLS iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on parameter movement.
+    pub tol: f64,
+}
+
+impl Default for HuberConfig {
+    fn default() -> Self {
+        Self { k: 1.345, max_iters: 60, tol: 1e-10 }
+    }
+}
+
+/// Robust scale estimate: normalised median absolute deviation of the
+/// residuals (`MAD / 0.6745`), with a small floor to avoid zero scale on
+/// exact fits.
+fn mad_scale(residuals: &[f64]) -> f64 {
+    let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
+    let med = if abs.is_empty() {
+        0.0
+    } else if abs.len() % 2 == 1 {
+        abs[abs.len() / 2]
+    } else {
+        0.5 * (abs[abs.len() / 2 - 1] + abs[abs.len() / 2])
+    };
+    (med / 0.6745).max(1e-8)
+}
+
+/// Huber-loss regression via iteratively re-weighted least squares.
+///
+/// Weights follow the Huber ψ-function: `w = 1` for `|r| ≤ k·s`,
+/// `w = k·s/|r|` otherwise — the standard IRLS solution of minimising
+/// paper Eq. (10).
+pub fn huber_fit(x: &[f64], y: &[f64], cfg: HuberConfig) -> Result<LinearFit, Ols2Error> {
+    let mut fit = simple_ols(x, y)?;
+    for _ in 0..cfg.max_iters {
+        let residuals: Vec<f64> = x
+            .iter()
+            .zip(y)
+            .map(|(&xi, &yi)| yi - fit.predict(xi))
+            .collect();
+        let s = mad_scale(&residuals);
+        let cutoff = cfg.k * s;
+        let w: Vec<f64> = residuals
+            .iter()
+            .map(|&r| if r.abs() <= cutoff { 1.0 } else { cutoff / r.abs() })
+            .collect();
+        let next = weighted_ols(x, y, Some(&w))?;
+        let moved =
+            (next.intercept - fit.intercept).abs() + (next.slope - fit.slope).abs();
+        fit = next;
+        if moved < cfg.tol {
+            break;
+        }
+    }
+    Ok(fit)
+}
+
+/// Configuration for RANSAC.
+#[derive(Debug, Clone, Copy)]
+pub struct RansacConfig {
+    /// Number of random 2-point hypotheses to try.
+    pub trials: usize,
+    /// Inlier threshold on |residual|. The paper notes RANSAC "uses Huber
+    /// loss with k = 1", i.e. a unit threshold in residual scale; we
+    /// interpret the tolerance in MAD-scale units like Huber.
+    pub inlier_k: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RansacConfig {
+    fn default() -> Self {
+        Self { trials: 200, inlier_k: 1.0, seed: 0x5ac }
+    }
+}
+
+/// RANSAC regression with least-median-of-squares hypothesis selection:
+/// repeatedly fit an exact line through two random points, score each
+/// hypothesis by the *median* absolute residual (robust to up to 50%
+/// contamination, unlike a consensus count with a data-derived tolerance),
+/// keep the best hypothesis, and refit OLS on the points within
+/// `inlier_k × MAD-scale` of it.
+pub fn ransac_fit(x: &[f64], y: &[f64], cfg: RansacConfig) -> Result<LinearFit, Ols2Error> {
+    if x.len() != y.len() {
+        return Err(Ols2Error::LengthMismatch);
+    }
+    if x.len() < 2 {
+        return Err(Ols2Error::TooFewPoints);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = x.len();
+    let mut best: Option<(f64, f64, f64)> = None; // (median, intercept, slope)
+    let mut abs_res = vec![0.0; n];
+    for _ in 0..cfg.trials {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j || (x[i] - x[j]).abs() < 1e-12 {
+            continue;
+        }
+        let slope = (y[j] - y[i]) / (x[j] - x[i]);
+        let intercept = y[i] - slope * x[i];
+        for t in 0..n {
+            abs_res[t] = (y[t] - (intercept + slope * x[t])).abs();
+        }
+        let mut sorted = abs_res.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
+        let med = sorted[n / 2];
+        if best.is_none_or(|(bm, _, _)| med < bm) {
+            best = Some((med, intercept, slope));
+        }
+    }
+    let Some((med, intercept, slope)) = best else {
+        // Degenerate data (e.g. all x equal): fall back to OLS.
+        return simple_ols(x, y);
+    };
+    // Inlier set: within inlier_k robust-scale units of the best line.
+    let tol = (cfg.inlier_k * med / 0.6745).max(1e-8);
+    let weights: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            if (yi - (intercept + slope * xi)).abs() <= tol {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    match weighted_ols(x, y, Some(&weights)) {
+        Ok(fit) => Ok(fit),
+        // Inlier set collapsed (all inliers share one x): keep the
+        // hypothesis line itself.
+        Err(_) => Ok(LinearFit { intercept, slope, rss: 0.0, n: 2 }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 1 + 2x with `n_out` gross outliers appended.
+    fn line_with_outliers(n: usize, n_out: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut x: Vec<f64> = (0..n).map(|i| i as f64 / 4.0).collect();
+        let mut y: Vec<f64> = x.iter().map(|&v| 1.0 + 2.0 * v + 0.01 * (v * 7.0).sin()).collect();
+        for k in 0..n_out {
+            x.push(k as f64);
+            y.push(100.0 + 10.0 * k as f64);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn huber_resists_outliers() {
+        let (x, y) = line_with_outliers(60, 6);
+        let ols = simple_ols(&x, &y).unwrap();
+        let huber = huber_fit(&x, &y, HuberConfig::default()).unwrap();
+        assert!((huber.slope - 2.0).abs() < 0.2, "huber slope {}", huber.slope);
+        assert!(
+            (huber.slope - 2.0).abs() < (ols.slope - 2.0).abs(),
+            "huber ({}) no better than ols ({})",
+            huber.slope,
+            ols.slope
+        );
+    }
+
+    #[test]
+    fn huber_equals_ols_on_clean_data() {
+        let x: Vec<f64> = (0..40).map(|i| i as f64 / 3.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| -0.5 + 1.5 * v).collect();
+        let ols = simple_ols(&x, &y).unwrap();
+        let huber = huber_fit(&x, &y, HuberConfig::default()).unwrap();
+        assert!((huber.slope - ols.slope).abs() < 1e-6);
+        assert!((huber.intercept - ols.intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ransac_recovers_line_under_heavy_contamination() {
+        let (x, y) = line_with_outliers(50, 15); // 23% outliers
+        let fit = ransac_fit(&x, &y, RansacConfig { trials: 400, inlier_k: 3.0, seed: 5 })
+            .unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.15, "slope {}", fit.slope);
+        assert!((fit.intercept - 1.0).abs() < 0.3, "intercept {}", fit.intercept);
+    }
+
+    #[test]
+    fn ransac_deterministic_per_seed() {
+        let (x, y) = line_with_outliers(30, 5);
+        let cfg = RansacConfig { trials: 100, inlier_k: 2.0, seed: 9 };
+        let a = ransac_fit(&x, &y, cfg).unwrap();
+        let b = ransac_fit(&x, &y, cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ransac_too_few_points() {
+        assert_eq!(
+            ransac_fit(&[1.0], &[1.0], RansacConfig::default()),
+            Err(Ols2Error::TooFewPoints)
+        );
+    }
+
+    #[test]
+    fn mad_scale_of_known_residuals() {
+        let r = [-1.0, 0.0, 1.0, 2.0, -2.0];
+        // |r| sorted: 0,1,1,2,2 → median 1 → scale 1/0.6745
+        assert!((mad_scale(&r) - 1.0 / 0.6745).abs() < 1e-12);
+        // Exact fit floor:
+        assert!(mad_scale(&[0.0, 0.0]) >= 1e-8);
+    }
+}

@@ -1,0 +1,118 @@
+//! Gaussian kernel density estimation, used to reproduce the probability
+//! density plots of Fig. 7 (distributions of egonet features N and E
+//! before and after poisoning).
+
+/// A Gaussian KDE over a fixed sample.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    sample: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds a KDE with Scott's rule bandwidth `h = σ̂ n^{-1/5}`
+    /// (falling back to 1.0 when the sample is constant).
+    ///
+    /// # Panics
+    /// Panics on an empty sample.
+    pub fn new(sample: &[f64]) -> Self {
+        assert!(!sample.is_empty(), "KDE of empty sample");
+        let sd = crate::std_dev(sample);
+        let h = if sd > 0.0 {
+            sd * (sample.len() as f64).powf(-0.2)
+        } else {
+            1.0
+        };
+        Self { sample: sample.to_vec(), bandwidth: h }
+    }
+
+    /// Builds a KDE with an explicit bandwidth.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or non-positive bandwidth.
+    pub fn with_bandwidth(sample: &[f64], bandwidth: f64) -> Self {
+        assert!(!sample.is_empty(), "KDE of empty sample");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Self { sample: sample.to_vec(), bandwidth }
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+        let h = self.bandwidth;
+        let n = self.sample.len() as f64;
+        self.sample
+            .iter()
+            .map(|&xi| {
+                let z = (x - xi) / h;
+                INV_SQRT_2PI * (-0.5 * z * z).exp()
+            })
+            .sum::<f64>()
+            / (n * h)
+    }
+
+    /// Evaluates the density on an evenly spaced grid of `points` values
+    /// spanning `[lo, hi]`. Returns `(grid, densities)`.
+    pub fn grid(&self, lo: f64, hi: f64, points: usize) -> (Vec<f64>, Vec<f64>) {
+        assert!(points >= 2, "need at least two grid points");
+        let step = (hi - lo) / (points - 1) as f64;
+        let xs: Vec<f64> = (0..points).map(|i| lo + step * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| self.density(x)).collect();
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let sample = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let kde = Kde::new(&sample);
+        let (xs, ys) = kde.grid(-10.0, 14.0, 2000);
+        let step = xs[1] - xs[0];
+        let integral: f64 = ys.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_at_data_mass() {
+        let sample = [0.0; 20];
+        let kde = Kde::with_bandwidth(&sample, 0.5);
+        assert!(kde.density(0.0) > kde.density(2.0));
+        assert!(kde.density(0.0) > kde.density(-2.0));
+    }
+
+    #[test]
+    fn symmetric_sample_gives_symmetric_density() {
+        let sample = [-1.0, 1.0];
+        let kde = Kde::with_bandwidth(&sample, 0.7);
+        assert!((kde.density(0.5) - kde.density(-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scott_bandwidth_positive() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let kde = Kde::new(&sample);
+        assert!(kde.bandwidth() > 0.0);
+    }
+
+    #[test]
+    fn constant_sample_fallback_bandwidth() {
+        let kde = Kde::new(&[3.0, 3.0, 3.0]);
+        assert_eq!(kde.bandwidth(), 1.0);
+        assert!(kde.density(3.0) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        Kde::new(&[]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Two-sample Kolmogorov–Smirnov test — a second unnoticeability probe
+//! alongside the paper's permutation test (Table II). The permutation
+//! test only sees mean shifts; KS is sensitive to any distributional
+//! change, so it is the *stricter* notion of "the defender could notice".
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F1 - F2|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+/// Two-sample KS test with the asymptotic p-value
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}`, `λ = (√n_e + 0.12 + 0.11/√n_e)·D`
+/// (Numerical-Recipes form), `n_e = n1 n2 / (n1 + n2)`.
+///
+/// # Panics
+/// Panics when either sample is empty.
+pub fn ks_test(x: &[f64], y: &[f64]) -> KsResult {
+    assert!(!x.is_empty() && !y.is_empty(), "empty sample");
+    let mut xs = x.to_vec();
+    let mut ys = y.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+    let (n1, n2) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n1 && j < n2 {
+        let x1 = xs[i];
+        let x2 = ys[j];
+        if x1 <= x2 {
+            i += 1;
+        }
+        if x2 <= x1 {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsResult { statistic: d, p_value: kolmogorov_q(lambda) }
+}
+
+/// The Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_statistic_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_test(&x, &x);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn disjoint_samples_statistic_one() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [10.0, 11.0, 12.0];
+        let r = ks_test(&x, &y);
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.1);
+    }
+
+    #[test]
+    fn same_distribution_high_pvalue() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let r = ks_test(&x, &y);
+        assert!(r.p_value > 0.01, "p = {} too small", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_low_pvalue() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> = (0..500).map(|_| rng.gen_range(0.25..1.25)).collect();
+        let r = ks_test(&x, &y);
+        assert!(r.p_value < 1e-6, "p = {} too large", r.p_value);
+    }
+
+    #[test]
+    fn detects_variance_change_that_mean_test_misses() {
+        // Same mean, different spread: KS catches it.
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f64> = (0..800).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..800).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let ks = ks_test(&x, &y);
+        assert!(ks.p_value < 1e-6, "KS missed variance change: p = {}", ks.p_value);
+        // ... while the mean-based permutation test does not.
+        let perm = crate::PermutationTest { resamples: 2000, seed: 4 }.pvalue(&x, &y);
+        assert!(perm > 0.05, "permutation test unexpectedly detected it: p = {perm}");
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(0.5) > kolmogorov_q(1.0));
+        assert!(kolmogorov_q(1.0) > kolmogorov_q(2.0));
+        assert!(kolmogorov_q(5.0) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        ks_test(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ba-stats
+//!
+//! Statistics substrate for the BinarizedAttack evaluation:
+//!
+//! * descriptive statistics and percentiles (Fig. 6 target grouping),
+//! * the Monte-Carlo permutation test of paper Eq. (11) (Table II),
+//! * Gaussian kernel density estimation (Fig. 7 densities),
+//! * classification metrics — ROC AUC, F1, precision/recall — used by the
+//!   transfer-attack evaluation (Tables III–IV).
+
+pub mod descriptive;
+pub mod kde;
+pub mod ks;
+pub mod metrics;
+pub mod permutation;
+
+pub use descriptive::{histogram, mean, percentile, std_dev, variance, Histogram};
+pub use kde::Kde;
+pub use ks::{ks_test, KsResult};
+pub use metrics::{auc_roc, confusion, f1_score, precision_recall, Confusion};
+pub use permutation::{permutation_test_pvalue, PermutationTest};

@@ -1,0 +1,167 @@
+//! Binary classification metrics for the transfer-attack evaluation
+//! (Tables III–IV report AUC and F1 of GAL / ReFeX under attack).
+
+/// Confusion-matrix counts at a fixed decision threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+/// Builds the confusion matrix for scores thresholded at `threshold`
+/// (score ≥ threshold ⇒ predicted positive).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn confusion(scores: &[f64], labels: &[bool], threshold: f64) -> Confusion {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+    for (&s, &y) in scores.iter().zip(labels) {
+        match (s >= threshold, y) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, false) => c.tn += 1,
+            (false, true) => c.fn_ += 1,
+        }
+    }
+    c
+}
+
+/// `(precision, recall)` at the given threshold; each is 0 when its
+/// denominator is 0.
+pub fn precision_recall(scores: &[f64], labels: &[bool], threshold: f64) -> (f64, f64) {
+    let c = confusion(scores, labels, threshold);
+    let precision = if c.tp + c.fp > 0 {
+        c.tp as f64 / (c.tp + c.fp) as f64
+    } else {
+        0.0
+    };
+    let recall = if c.tp + c.fn_ > 0 {
+        c.tp as f64 / (c.tp + c.fn_) as f64
+    } else {
+        0.0
+    };
+    (precision, recall)
+}
+
+/// F1 score at the given threshold (0 when precision + recall = 0).
+pub fn f1_score(scores: &[f64], labels: &[bool], threshold: f64) -> f64 {
+    let (p, r) = precision_recall(scores, labels, threshold);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with midrank handling of ties. Returns 0.5 when either class is empty
+/// (no ranking information).
+pub fn auc_roc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&y| y).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score; assign midranks to tied groups.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let midrank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = midrank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| y)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn random_ties_auc_half() {
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert_eq!(auc_roc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_known_partial_value() {
+        // One inversion among 2x2: AUC = 3/4.
+        let scores = [0.9, 0.4, 0.6, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_roc(&scores, &labels), 0.75);
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        assert_eq!(auc_roc(&[0.1, 0.9], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.6, 0.4, 0.2];
+        let labels = [true, false, true, false];
+        let c = confusion(&scores, &labels, 0.5);
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn f1_and_pr_known() {
+        let scores = [1.0, 1.0, 1.0, 0.0];
+        let labels = [true, true, false, true];
+        let (p, r) = precision_recall(&scores, &labels, 0.5);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f1_score(&scores, &labels, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_degenerate_zero() {
+        let scores = [0.0, 0.0];
+        let labels = [true, true];
+        assert_eq!(f1_score(&scores, &labels, 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        auc_roc(&[0.1], &[true, false]);
+    }
+}

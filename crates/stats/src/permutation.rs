@@ -1,0 +1,122 @@
+//! Monte-Carlo permutation test (paper Sec. VIII-B3, Eq. (11)).
+//!
+//! The paper tests whether the clean and poisoned feature samples
+//! (`N_clean` vs `N_poisoned`, `E_clean` vs `E_poisoned`) follow the same
+//! distribution. The statistic is the absolute difference of group means
+//! `t = |x̄ − ȳ|`; the null distribution is approximated by `M` random
+//! relabellings of the concatenated sample, and the p-value is
+//! `p = (1/M) Σ_j 1[t_j ≥ t_0]`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for a Monte-Carlo permutation test.
+#[derive(Debug, Clone, Copy)]
+pub struct PermutationTest {
+    /// Number of Monte-Carlo resamples `M` (the paper uses 100 000).
+    pub resamples: usize,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for PermutationTest {
+    fn default() -> Self {
+        Self { resamples: 100_000, seed: 0x0ddba11 }
+    }
+}
+
+impl PermutationTest {
+    /// Runs the test, returning the approximate p-value of the observed
+    /// mean difference under the exchangeability null.
+    ///
+    /// # Panics
+    /// Panics when either sample is empty.
+    pub fn pvalue(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert!(!x.is_empty() && !y.is_empty(), "empty sample");
+        let t0 = (crate::mean(x) - crate::mean(y)).abs();
+        let mut pool: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+        let nx = x.len();
+        let total: f64 = pool.iter().sum();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut hits = 0usize;
+        for _ in 0..self.resamples {
+            // Partial Fisher–Yates: only the first nx positions need to be
+            // a uniform sample of the pool.
+            pool.partial_shuffle(&mut rng, nx);
+            let sum_x: f64 = pool[..nx].iter().sum();
+            let mean_x = sum_x / nx as f64;
+            let mean_y = (total - sum_x) / (pool.len() - nx) as f64;
+            if (mean_x - mean_y).abs() >= t0 {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.resamples as f64
+    }
+}
+
+/// Convenience wrapper with the paper's default `M = 100 000`.
+pub fn permutation_test_pvalue(x: &[f64], y: &[f64], seed: u64) -> f64 {
+    PermutationTest { resamples: 100_000, seed }.pvalue(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn identical_distributions_high_pvalue() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let p = PermutationTest { resamples: 5_000, seed: 2 }.pvalue(&x, &y);
+        assert!(p > 0.01, "p = {p} too small for same-distribution samples");
+    }
+
+    #[test]
+    fn shifted_distributions_low_pvalue() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> = (0..300).map(|_| rng.gen_range(0.5..1.5)).collect();
+        let p = PermutationTest { resamples: 5_000, seed: 4 }.pvalue(&x, &y);
+        assert!(p < 0.01, "p = {p} too large for clearly shifted samples");
+    }
+
+    #[test]
+    fn pvalue_in_unit_interval_and_deterministic() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 3.0, 4.0];
+        let t = PermutationTest { resamples: 2_000, seed: 9 };
+        let p1 = t.pvalue(&x, &y);
+        let p2 = t.pvalue(&x, &y);
+        assert_eq!(p1, p2);
+        assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn tiny_shift_detected_with_enough_data() {
+        // Mean shift of 0.5 sigma with n=1000 should reject at 1%.
+        let mut rng = StdRng::seed_from_u64(5);
+        let x: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0) + 0.3).collect();
+        let p = PermutationTest { resamples: 3_000, seed: 6 }.pvalue(&x, &y);
+        assert!(p < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        PermutationTest::default().pvalue(&[], &[1.0]);
+    }
+
+    #[test]
+    fn unbalanced_group_sizes() {
+        let x = vec![1.0; 10];
+        let mut y = vec![1.0; 500];
+        y[0] = 1.0;
+        let p = PermutationTest { resamples: 1_000, seed: 7 }.pvalue(&x, &y);
+        // Identical constant data: every permuted statistic equals t0 = 0.
+        assert_eq!(p, 1.0);
+    }
+}

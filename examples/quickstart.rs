@@ -1,0 +1,46 @@
+//! Quickstart: score a graph with OddBall, pick the riskiest node, make
+//! it evade detection with BinarizedAttack.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use binarized_attack::prelude::*;
+
+fn main() {
+    // 1. A synthetic social graph with a planted fraud ring (near-clique).
+    let mut g = generators::erdos_renyi(400, 0.02, 42);
+    generators::attach_isolated(&mut g, 43);
+    let ring: Vec<NodeId> = (0..9).collect();
+    generators::plant_near_clique(&mut g, &ring, 1.0, 44);
+    println!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // 2. The defender's view: OddBall anomaly scores.
+    let detector = OddBall::default();
+    let model = detector.fit(&g).expect("OddBall fit");
+    println!(
+        "power law fit: ln E = {:.3} + {:.3} ln N",
+        model.beta0(),
+        model.beta1()
+    );
+    println!("top-5 anomalies (node, AScore):");
+    for (node, score) in model.top_k(5) {
+        println!("  v{node:<4} {score:.3}");
+    }
+
+    // 3. The attacker: hide the single riskiest node with ≤ 12 edge flips.
+    let target = model.top_k(1)[0].0;
+    let attack = BinarizedAttack::new(AttackConfig::default());
+    let outcome = attack.attack(&g, &[target], 12).expect("attack");
+    let poisoned = outcome.poisoned_graph(&g, 12);
+
+    // 4. The defender re-fits on the poisoned graph.
+    let model_after = detector.fit(&poisoned).expect("fit poisoned");
+    let (s0, sb) = (model.score(target), model_after.score(target));
+    println!("\ntarget v{target}: AScore {s0:.3} -> {sb:.3} after {} flips", outcome.ops(12).len());
+    let rank_after = model_after
+        .top_k(g.num_nodes())
+        .iter()
+        .position(|&(n, _)| n == target)
+        .unwrap();
+    println!("rank among anomalies: 1 -> {}", rank_after + 1);
+    assert!(sb < s0, "the attack must reduce the target's score");
+}

@@ -1,0 +1,56 @@
+//! Black-box transfer attack (paper Sec. VI): poison the graph with the
+//! OddBall-designed BinarizedAttack and watch a *different* detector —
+//! ReFeX embeddings + MLP — lose its grip on the targets, while its
+//! global accuracy barely moves (the "unnoticeable" property).
+//!
+//! Run: `cargo run --release --example transfer_attack`
+
+use binarized_attack::gad::{
+    evaluate_system, identify_targets, pipeline::delta_b, pipeline::oddball_labels,
+    train_test_split, GadSystem, RefexConfig, TransferConfig,
+};
+use binarized_attack::prelude::*;
+
+fn main() {
+    // Build a trust-network-like graph with planted fraud structures.
+    let g = binarized_attack::datasets::Dataset::BitcoinAlpha.build_scaled(500, 1200, 21);
+    println!("graph: {} nodes, {} edges", g.num_nodes(), g.num_edges());
+
+    // Step 1 — pre-processing: OddBall labels + train/test split.
+    let tcfg = TransferConfig::default();
+    let labels = oddball_labels(&g, tcfg.label_fraction);
+    let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, tcfg.seed);
+
+    // Step 2 — target identification on the clean graph.
+    let system = GadSystem::Refex(RefexConfig::default());
+    let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &tcfg);
+    println!(
+        "clean {}: AUC {:.3}, F1 {:.3}; {} test nodes flagged anomalous (the targets)",
+        system.name(),
+        clean.auc,
+        clean.f1,
+        targets.len()
+    );
+    assert!(!targets.is_empty(), "need at least one identified target");
+
+    // Step 3 — graph poisoning, black-box w.r.t. ReFeX.
+    let budget = 25;
+    let attack = BinarizedAttack::new(AttackConfig::default());
+    let outcome = attack.attack(&g, &targets, budget).expect("attack");
+    let poisoned = outcome.poisoned_graph(&g, budget);
+
+    // Step 4 — evaluation: defender retrains on the poisoned graph
+    // (labels stay fixed from pre-processing, paper Sec. VI-B).
+    let after = evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
+    let db = delta_b(clean.target_soft_sum, after.target_soft_sum);
+    println!(
+        "poisoned {}: AUC {:.3}, F1 {:.3}; target soft labels {:.2} -> {:.2} (delta_B = {:.1}%)",
+        system.name(),
+        after.auc,
+        after.f1,
+        clean.target_soft_sum,
+        after.target_soft_sum,
+        100.0 * db
+    );
+    assert!(db > 0.0, "transfer attack should reduce target soft labels");
+}

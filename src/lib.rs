@@ -1,0 +1,27 @@
+//! # binarized-attack
+//!
+//! Façade crate for the BinarizedAttack reproduction (ICDE 2022):
+//! re-exports the workspace crates under one roof and provides a
+//! [`prelude`] for examples and downstream users.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the paper-reproduction index.
+
+pub use ba_autodiff as autodiff;
+pub use ba_core as attack;
+pub use ba_datasets as datasets;
+pub use ba_gad as gad;
+pub use ba_graph as graph;
+pub use ba_linalg as linalg;
+pub use ba_oddball as oddball;
+pub use ba_stats as stats;
+
+/// Commonly used items, for `use binarized_attack::prelude::*;`.
+pub mod prelude {
+    pub use ba_core::{
+        AttackConfig, AttackOutcome, BinarizedAttack, CandidateScope, ContinuousA, EdgeOpKind,
+        GradMaxSearch, RandomAttack, StructuralAttack,
+    };
+    pub use ba_graph::{generators, Graph, NodeId};
+    pub use ba_oddball::{OddBall, Regressor};
+}

@@ -1,0 +1,137 @@
+//! Workspace-level integration tests: the complete pipelines a user of
+//! the `binarized-attack` façade would run, spanning every crate.
+
+use binarized_attack::datasets::Dataset;
+use binarized_attack::prelude::*;
+
+/// Full attack pipeline on each Table-I dataset (at reduced scale):
+/// build → score → sample targets → attack → verify evasion.
+#[test]
+fn attack_pipeline_on_every_dataset() {
+    for d in Dataset::all() {
+        let (n, m) = d.paper_statistics();
+        let g = d.build_scaled(n / 4, m / 4, 5);
+        let detector = OddBall::default();
+        let model = detector.fit(&g).unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+        let targets: Vec<NodeId> = model.top_k(5).into_iter().map(|(i, _)| i).collect();
+        let s0 = model.target_score_sum(&targets);
+        assert!(s0 > 0.0, "{}: no anomaly signal to attack", d.name());
+
+        let budget = (g.num_edges() / 40).clamp(5, 30);
+        let attack = BinarizedAttack::new(AttackConfig::default())
+            .with_iterations(60)
+            .with_lambdas(vec![0.01, 0.05]);
+        let outcome = attack
+            .attack(&g, &targets, budget)
+            .unwrap_or_else(|e| panic!("{}: attack failed: {e}", d.name()));
+        let poisoned = outcome.poisoned_graph(&g, budget);
+        let sb = detector.fit(&poisoned).unwrap().target_score_sum(&targets);
+        assert!(
+            sb < s0 * 0.9,
+            "{}: attack too weak: {s0:.3} -> {sb:.3} with budget {budget}",
+            d.name()
+        );
+    }
+}
+
+/// The three attack methods agree on the interface and the qualitative
+/// ordering: gradient methods clearly beat random.
+#[test]
+fn method_ordering_holds() {
+    let g = Dataset::BitcoinAlpha.build_scaled(300, 700, 9);
+    let model = OddBall::default().fit(&g).unwrap();
+    let targets: Vec<NodeId> = model.top_k(5).into_iter().map(|(i, _)| i).collect();
+    let budget = 15;
+
+    let run = |a: &dyn StructuralAttack| -> f64 {
+        let o = a.attack(&g, &targets, budget).unwrap();
+        let curve = o.ascore_curve(&g, &targets, &OddBall::default());
+        ba_core::AttackOutcome::tau_as(&curve, o.max_budget().min(budget))
+    };
+    let bin = run(&BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.01, 0.05]));
+    let gms = run(&GradMaxSearch::default());
+    let rnd = run(&RandomAttack::default());
+    assert!(bin > rnd, "binarized {bin} <= random {rnd}");
+    assert!(gms > rnd, "gradmax {gms} <= random {rnd}");
+    assert!(bin > 0.3, "binarized too weak: {bin}");
+}
+
+/// Graph IO round trip through the attack: poison, save, reload, and the
+/// reloaded graph scores identically.
+#[test]
+fn poisoned_graph_io_roundtrip() {
+    let g = Dataset::Er.build_scaled(250, 1200, 3);
+    let model = OddBall::default().fit(&g).unwrap();
+    let targets: Vec<NodeId> = model.top_k(3).into_iter().map(|(i, _)| i).collect();
+    let attack = GradMaxSearch::default();
+    let outcome = attack.attack(&g, &targets, 8).unwrap();
+    let poisoned = outcome.poisoned_graph(&g, 8);
+
+    let dir = std::env::temp_dir().join("ba_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("poisoned.edges");
+    binarized_attack::graph::io::save_edge_list(&poisoned, &path).unwrap();
+    let reloaded = binarized_attack::graph::io::load_edge_list(&path).unwrap().graph;
+    std::fs::remove_file(&path).ok();
+
+    // Isolated nodes cannot appear (attack forbids singletons), so the
+    // reload preserves the node count and the score sum.
+    assert_eq!(reloaded.num_edges(), poisoned.num_edges());
+    if reloaded.num_nodes() == poisoned.num_nodes() {
+        let s1 = OddBall::default().fit(&poisoned).unwrap().scores().to_vec();
+        let s2 = OddBall::default().fit(&reloaded).unwrap().scores().to_vec();
+        let sum1: f64 = s1.iter().sum();
+        let sum2: f64 = s2.iter().sum();
+        assert!((sum1 - sum2).abs() < 1e-6);
+    }
+}
+
+/// Autodiff façade re-export sanity: the tape differentiates through the
+/// same scoring shape the library uses.
+#[test]
+fn facade_autodiff_reexport_works() {
+    use binarized_attack::autodiff::Tape;
+    let tape = Tape::new();
+    let e = tape.var(10.0);
+    let c = tape.var(4.0);
+    let score = (e.max(c) / e.min(c)) * ((e - c).abs() + 1.0).ln();
+    let g = score.backward();
+    assert!(g.wrt(e).is_finite());
+    assert!(g.wrt(c) < 0.0); // raising the prediction toward E lowers the score
+}
+
+/// Defence integration: robust OddBall variants still fit and rank on a
+/// poisoned graph, and mitigation is bounded (paper: slight).
+#[test]
+fn robust_defense_bounded_mitigation() {
+    let g = Dataset::Wikivote.build_scaled(300, 1400, 13);
+    let model = OddBall::default().fit(&g).unwrap();
+    let targets: Vec<NodeId> = model.top_k(4).into_iter().map(|(i, _)| i).collect();
+    let attack = BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.01, 0.05]);
+    let outcome = attack.attack(&g, &targets, 15).unwrap();
+    let poisoned = outcome.poisoned_graph(&g, 15);
+    for reg in [Regressor::Ols, Regressor::default_huber(), Regressor::default_ransac(3)] {
+        let det = OddBall::new(reg);
+        let s0 = det.fit(&g).unwrap().target_score_sum(&targets);
+        let sb = det.fit(&poisoned).unwrap().target_score_sum(&targets);
+        let tau = (s0 - sb) / s0.max(1e-12);
+        assert!(tau > 0.1, "{reg:?}: attack fully defended (tau = {tau})");
+    }
+}
+
+/// Stats + gad integration: permutation test sees no significant shift
+/// in N after a small targeted attack (the unnoticeability claim).
+#[test]
+fn small_attack_is_statistically_unnoticeable_in_n() {
+    let g = Dataset::BitcoinAlpha.build_scaled(400, 950, 15);
+    let model = OddBall::default().fit(&g).unwrap();
+    let targets: Vec<NodeId> = model.top_k(5).into_iter().map(|(i, _)| i).collect();
+    let attack = BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.02]);
+    let outcome = attack.attack(&g, &targets, 12).unwrap();
+    let poisoned = outcome.poisoned_graph(&g, 12);
+    let clean = binarized_attack::graph::egonet::egonet_features(&g);
+    let pois = binarized_attack::graph::egonet::egonet_features(&poisoned);
+    let p = binarized_attack::stats::PermutationTest { resamples: 3000, seed: 5 }
+        .pvalue(&clean.n, &pois.n);
+    assert!(p > 0.01, "degree distribution significantly shifted: p = {p}");
+}
