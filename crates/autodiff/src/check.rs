@@ -2,12 +2,7 @@
 
 /// Central finite difference of a scalar function at `x` along coordinate
 /// `i`, with step `h`.
-pub fn central_difference(
-    f: &dyn Fn(&[f64]) -> f64,
-    x: &[f64],
-    i: usize,
-    h: f64,
-) -> f64 {
+pub fn central_difference(f: &dyn Fn(&[f64]) -> f64, x: &[f64], i: usize, h: f64) -> f64 {
     let mut xp = x.to_vec();
     let mut xm = x.to_vec();
     xp[i] += h;
@@ -20,12 +15,7 @@ pub fn central_difference(
 ///
 /// `tol` is advisory: the function does not panic; callers assert on the
 /// returned value so test failures show the actual worst error.
-pub fn gradient_check(
-    f: &dyn Fn(&[f64]) -> f64,
-    grad: &[f64],
-    x: &[f64],
-    h: f64,
-) -> f64 {
+pub fn gradient_check(f: &dyn Fn(&[f64]) -> f64, grad: &[f64], x: &[f64], h: f64) -> f64 {
     assert_eq!(grad.len(), x.len(), "gradient length mismatch");
     let mut worst = 0.0_f64;
     for (i, &gi) in grad.iter().enumerate() {

@@ -7,7 +7,11 @@ impl<'t> Add for Var<'t> {
     type Output = Var<'t>;
     fn add(self, rhs: Var<'t>) -> Var<'t> {
         let index = self.tape.binary(self.index, 1.0, rhs.index, 1.0);
-        Var { tape: self.tape, index, value: self.value + rhs.value }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value + rhs.value,
+        }
     }
 }
 
@@ -15,15 +19,25 @@ impl<'t> Sub for Var<'t> {
     type Output = Var<'t>;
     fn sub(self, rhs: Var<'t>) -> Var<'t> {
         let index = self.tape.binary(self.index, 1.0, rhs.index, -1.0);
-        Var { tape: self.tape, index, value: self.value - rhs.value }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value - rhs.value,
+        }
     }
 }
 
 impl<'t> Mul for Var<'t> {
     type Output = Var<'t>;
     fn mul(self, rhs: Var<'t>) -> Var<'t> {
-        let index = self.tape.binary(self.index, rhs.value, rhs.index, self.value);
-        Var { tape: self.tape, index, value: self.value * rhs.value }
+        let index = self
+            .tape
+            .binary(self.index, rhs.value, rhs.index, self.value);
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value * rhs.value,
+        }
     }
 }
 
@@ -34,7 +48,11 @@ impl<'t> Div for Var<'t> {
         let index = self
             .tape
             .binary(self.index, inv, rhs.index, -self.value * inv * inv);
-        Var { tape: self.tape, index, value: self.value * inv }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value * inv,
+        }
     }
 }
 
@@ -42,7 +60,11 @@ impl<'t> Neg for Var<'t> {
     type Output = Var<'t>;
     fn neg(self) -> Var<'t> {
         let index = self.tape.unary(self.index, -1.0);
-        Var { tape: self.tape, index, value: -self.value }
+        Var {
+            tape: self.tape,
+            index,
+            value: -self.value,
+        }
     }
 }
 
@@ -51,7 +73,11 @@ impl<'t> Add<f64> for Var<'t> {
     type Output = Var<'t>;
     fn add(self, rhs: f64) -> Var<'t> {
         let index = self.tape.unary(self.index, 1.0);
-        Var { tape: self.tape, index, value: self.value + rhs }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value + rhs,
+        }
     }
 }
 
@@ -59,7 +85,11 @@ impl<'t> Sub<f64> for Var<'t> {
     type Output = Var<'t>;
     fn sub(self, rhs: f64) -> Var<'t> {
         let index = self.tape.unary(self.index, 1.0);
-        Var { tape: self.tape, index, value: self.value - rhs }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value - rhs,
+        }
     }
 }
 
@@ -67,7 +97,11 @@ impl<'t> Mul<f64> for Var<'t> {
     type Output = Var<'t>;
     fn mul(self, rhs: f64) -> Var<'t> {
         let index = self.tape.unary(self.index, rhs);
-        Var { tape: self.tape, index, value: self.value * rhs }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value * rhs,
+        }
     }
 }
 
@@ -75,7 +109,11 @@ impl<'t> Div<f64> for Var<'t> {
     type Output = Var<'t>;
     fn div(self, rhs: f64) -> Var<'t> {
         let index = self.tape.unary(self.index, 1.0 / rhs);
-        Var { tape: self.tape, index, value: self.value / rhs }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value / rhs,
+        }
     }
 }
 
@@ -85,14 +123,22 @@ impl<'t> Var<'t> {
     pub fn ln(self) -> Var<'t> {
         debug_assert!(self.value > 0.0, "ln of non-positive value {}", self.value);
         let index = self.tape.unary(self.index, 1.0 / self.value);
-        Var { tape: self.tape, index, value: self.value.ln() }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value.ln(),
+        }
     }
 
     /// Exponential.
     pub fn exp(self) -> Var<'t> {
         let v = self.value.exp();
         let index = self.tape.unary(self.index, v);
-        Var { tape: self.tape, index, value: v }
+        Var {
+            tape: self.tape,
+            index,
+            value: v,
+        }
     }
 
     /// Square.
@@ -104,7 +150,11 @@ impl<'t> Var<'t> {
     pub fn powf(self, p: f64) -> Var<'t> {
         let v = self.value.powf(p);
         let index = self.tape.unary(self.index, p * self.value.powf(p - 1.0));
-        Var { tape: self.tape, index, value: v }
+        Var {
+            tape: self.tape,
+            index,
+            value: v,
+        }
     }
 
     /// Square root.
@@ -115,21 +165,33 @@ impl<'t> Var<'t> {
     /// Sine (used only by doc-examples/tests).
     pub fn sin(self) -> Var<'t> {
         let index = self.tape.unary(self.index, self.value.cos());
-        Var { tape: self.tape, index, value: self.value.sin() }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value.sin(),
+        }
     }
 
     /// Absolute value, with the subgradient `sign(x)` at 0.
     pub fn abs(self) -> Var<'t> {
         let sign = if self.value >= 0.0 { 1.0 } else { -1.0 };
         let index = self.tape.unary(self.index, sign);
-        Var { tape: self.tape, index, value: self.value.abs() }
+        Var {
+            tape: self.tape,
+            index,
+            value: self.value.abs(),
+        }
     }
 
     /// ReLU with subgradient 0 at the kink.
     pub fn relu(self) -> Var<'t> {
         let active = self.value > 0.0;
         let index = self.tape.unary(self.index, if active { 1.0 } else { 0.0 });
-        Var { tape: self.tape, index, value: if active { self.value } else { 0.0 } }
+        Var {
+            tape: self.tape,
+            index,
+            value: if active { self.value } else { 0.0 },
+        }
     }
 
     /// Pairwise maximum (subgradient routes to the larger argument; ties
@@ -137,10 +199,18 @@ impl<'t> Var<'t> {
     pub fn max(self, rhs: Var<'t>) -> Var<'t> {
         if self.value >= rhs.value {
             let index = self.tape.binary(self.index, 1.0, rhs.index, 0.0);
-            Var { tape: self.tape, index, value: self.value }
+            Var {
+                tape: self.tape,
+                index,
+                value: self.value,
+            }
         } else {
             let index = self.tape.binary(self.index, 0.0, rhs.index, 1.0);
-            Var { tape: self.tape, index, value: rhs.value }
+            Var {
+                tape: self.tape,
+                index,
+                value: rhs.value,
+            }
         }
     }
 
@@ -148,10 +218,18 @@ impl<'t> Var<'t> {
     pub fn min(self, rhs: Var<'t>) -> Var<'t> {
         if self.value <= rhs.value {
             let index = self.tape.binary(self.index, 1.0, rhs.index, 0.0);
-            Var { tape: self.tape, index, value: self.value }
+            Var {
+                tape: self.tape,
+                index,
+                value: self.value,
+            }
         } else {
             let index = self.tape.binary(self.index, 0.0, rhs.index, 1.0);
-            Var { tape: self.tape, index, value: rhs.value }
+            Var {
+                tape: self.tape,
+                index,
+                value: rhs.value,
+            }
         }
     }
 }

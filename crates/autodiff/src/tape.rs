@@ -39,8 +39,15 @@ impl Tape {
 
     /// Registers a new leaf variable with the given value.
     pub fn var(&self, value: f64) -> Var<'_> {
-        let index = self.push(Node { parents: [0, 0], partials: [0.0, 0.0] });
-        Var { tape: self, index, value }
+        let index = self.push(Node {
+            parents: [0, 0],
+            partials: [0.0, 0.0],
+        });
+        Var {
+            tape: self,
+            index,
+            value,
+        }
     }
 
     /// Registers a constant. Constants are leaves too; their gradient is
@@ -56,11 +63,17 @@ impl Tape {
     }
 
     pub(crate) fn unary(&self, parent: usize, partial: f64) -> usize {
-        self.push(Node { parents: [parent, parent], partials: [partial, 0.0] })
+        self.push(Node {
+            parents: [parent, parent],
+            partials: [partial, 0.0],
+        })
     }
 
     pub(crate) fn binary(&self, p0: usize, d0: f64, p1: usize, d1: f64) -> usize {
-        self.push(Node { parents: [p0, p1], partials: [d0, d1] })
+        self.push(Node {
+            parents: [p0, p1],
+            partials: [d0, d1],
+        })
     }
 }
 

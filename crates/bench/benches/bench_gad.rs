@@ -3,8 +3,8 @@
 
 use ba_datasets::Dataset;
 use ba_gad::{
-    pipeline::oddball_labels, train_test_split, Gal, GalConfig, Mlp, MlpConfig, Refex,
-    RefexConfig, TsneConfig,
+    pipeline::oddball_labels, train_test_split, Gal, GalConfig, Mlp, MlpConfig, Refex, RefexConfig,
+    TsneConfig,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -26,7 +26,10 @@ fn bench_gal_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("gal_train_n400");
     group.sample_size(10);
     group.bench_function("20_epochs", |b| {
-        let cfg = GalConfig { epochs: 20, ..GalConfig::default() };
+        let cfg = GalConfig {
+            epochs: 20,
+            ..GalConfig::default()
+        };
         b.iter(|| black_box(Gal::train(&g, &labels, &train, cfg)))
     });
     group.finish();
@@ -40,12 +43,18 @@ fn bench_mlp_and_tsne(c: &mut Criterion) {
     let mut group = c.benchmark_group("heads_n400");
     group.sample_size(10);
     group.bench_function("mlp_train_100_epochs", |b| {
-        let cfg = MlpConfig { epochs: 100, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 100,
+            ..MlpConfig::default()
+        };
         b.iter(|| black_box(Mlp::train(&emb, &labels, &train, cfg)))
     });
     group.bench_function("tsne_120_nodes", |b| {
         let sub = ba_linalg::Matrix::from_fn(120, emb.cols(), |i, j| emb[(i, j)]);
-        let cfg = TsneConfig { iterations: 100, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 100,
+            ..TsneConfig::default()
+        };
         b.iter(|| black_box(ba_gad::tsne(&sub, cfg)))
     });
     group.finish();

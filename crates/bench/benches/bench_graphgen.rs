@@ -42,5 +42,10 @@ fn bench_incremental_egonet(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generators, bench_sampling, bench_incremental_egonet);
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_sampling,
+    bench_incremental_egonet
+);
 criterion_main!(benches);

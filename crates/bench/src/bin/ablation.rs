@@ -49,7 +49,9 @@ fn main() {
     for lam in [0.002, 0.01, 0.05, 0.2] {
         run(
             &format!("binarized lambda={lam}"),
-            &BinarizedAttack::default().with_iterations(80).with_lambdas(vec![lam]),
+            &BinarizedAttack::default()
+                .with_iterations(80)
+                .with_lambdas(vec![lam]),
         );
     }
     run(
@@ -63,7 +65,9 @@ fn main() {
     for iters in [20, 80, 200] {
         run(
             &format!("binarized T={iters}"),
-            &BinarizedAttack::default().with_iterations(iters).with_lambdas(vec![0.01, 0.05]),
+            &BinarizedAttack::default()
+                .with_iterations(iters)
+                .with_lambdas(vec![0.01, 0.05]),
         );
     }
     for lr in [0.01, 0.05, 0.2] {
@@ -83,17 +87,23 @@ fn main() {
     };
     run(
         "binarized full scope",
-        &BinarizedAttack::default().with_iterations(80).with_lambdas(vec![0.01, 0.05]),
+        &BinarizedAttack::default()
+            .with_iterations(80)
+            .with_lambdas(vec![0.01, 0.05]),
     );
     run(
         "binarized target-neighborhood",
-        &BinarizedAttack::new(scoped).with_iterations(80).with_lambdas(vec![0.01, 0.05]),
+        &BinarizedAttack::new(scoped)
+            .with_iterations(80)
+            .with_lambdas(vec![0.01, 0.05]),
     );
 
     println!("\n[4] gradient guidance vs heuristics");
     run(
         "binarized (default)",
-        &BinarizedAttack::default().with_iterations(80).with_lambdas(vec![0.01, 0.05]),
+        &BinarizedAttack::default()
+            .with_iterations(80)
+            .with_lambdas(vec![0.01, 0.05]),
     );
     run("gradmaxsearch", &GradMaxSearch::default());
     run("cliquebreaker heuristic", &CliqueBreaker::default());

@@ -30,26 +30,61 @@ fn main() {
         let targets = sample_targets(&g, 10, 50, opts.seed + 41);
         let budget = (g.num_edges() as f64 * 0.0175).round() as usize;
         let attack = BinarizedAttack::new(AttackConfig::default())
-            .with_iterations(if opts.paper { 400 } else { 120 }).with_lambdas(if opts.paper { vec![0.002, 0.02] } else { vec![0.004, 0.04] });
+            .with_iterations(if opts.paper { 400 } else { 120 })
+            .with_lambdas(if opts.paper {
+                vec![0.002, 0.02]
+            } else {
+                vec![0.004, 0.04]
+            });
         let outcome = attack.attack(&g, &targets, budget).expect("attack");
         let poisoned = outcome.poisoned_graph(&g, budget);
 
-        let s0 = OddBall::default().fit(&g).unwrap().target_score_sum(&targets);
+        let s0 = OddBall::default()
+            .fit(&g)
+            .unwrap()
+            .target_score_sum(&targets);
         let tau = |detector: &OddBall, graph: &ba_graph::Graph| -> f64 {
             let s = detector.fit(graph).unwrap().target_score_sum(&targets);
             (s0 - s) / s0.max(1e-12)
         };
 
         // Purification at two ranks.
-        let pur16 = low_rank_purify(&poisoned, PurifyConfig { rank: 16, ..PurifyConfig::default() });
-        let pur48 = low_rank_purify(&poisoned, PurifyConfig { rank: 48, ..PurifyConfig::default() });
-        let clean_pur = low_rank_purify(&g, PurifyConfig { rank: 48, ..PurifyConfig::default() });
+        let pur16 = low_rank_purify(
+            &poisoned,
+            PurifyConfig {
+                rank: 16,
+                ..PurifyConfig::default()
+            },
+        );
+        let pur48 = low_rank_purify(
+            &poisoned,
+            PurifyConfig {
+                rank: 48,
+                ..PurifyConfig::default()
+            },
+        );
+        let clean_pur = low_rank_purify(
+            &g,
+            PurifyConfig {
+                rank: 48,
+                ..PurifyConfig::default()
+            },
+        );
 
         let ols = OddBall::default();
         let rows = [
             ("no defence", tau(&ols, &poisoned)),
-            ("huber", tau(&OddBall::new(Regressor::default_huber()), &poisoned)),
-            ("ransac", tau(&OddBall::new(Regressor::default_ransac(opts.seed)), &poisoned)),
+            (
+                "huber",
+                tau(&OddBall::new(Regressor::default_huber()), &poisoned),
+            ),
+            (
+                "ransac",
+                tau(
+                    &OddBall::new(Regressor::default_ransac(opts.seed)),
+                    &poisoned,
+                ),
+            ),
             ("purify rank16", tau(&ols, &pur16)),
             ("purify rank48", tau(&ols, &pur48)),
         ];
@@ -67,11 +102,17 @@ fn main() {
         // Unnoticeability under both tests.
         let cf = egonet_features(&g);
         let pf = egonet_features(&poisoned);
-        let perm_n = PermutationTest { resamples: 10_000, seed: opts.seed + 3 }
-            .pvalue(&cf.n, &pf.n);
+        let perm_n = PermutationTest {
+            resamples: 10_000,
+            seed: opts.seed + 3,
+        }
+        .pvalue(&cf.n, &pf.n);
         let ks_n = ks_test(&cf.n, &pf.n);
-        let perm_e = PermutationTest { resamples: 10_000, seed: opts.seed + 4 }
-            .pvalue(&cf.e, &pf.e);
+        let perm_e = PermutationTest {
+            resamples: 10_000,
+            seed: opts.seed + 4,
+        }
+        .pvalue(&cf.e, &pf.e);
         let ks_e = ks_test(&cf.e, &pf.e);
         println!(
             "unnoticeability: N perm p={perm_n:.3} / KS p={:.3}; E perm p={perm_e:.3} / KS p={:.3}",

@@ -17,12 +17,19 @@ use ba_oddball::{OddBall, Regressor};
 
 fn main() {
     let opts = ExpOptions::from_args();
-    println!("FIG 10: defence with robust estimators (mean over {} runs)", opts.samples);
+    println!(
+        "FIG 10: defence with robust estimators (mean over {} runs)",
+        opts.samples
+    );
     let mut csv = Vec::new();
     for d in [Dataset::BitcoinAlpha, Dataset::Wikivote] {
         let g = d.build(opts.seed);
         let budget = (g.num_edges() as f64 * 0.0175).round() as usize;
-        println!("\n--- {} (budget {} = 1.75% of edges) ---", d.name(), budget);
+        println!(
+            "\n--- {} (budget {} = 1.75% of edges) ---",
+            d.name(),
+            budget
+        );
         println!(
             "{:>8}  {:>12}  {:>12}  {:>12}",
             "budget", "no defence", "huber", "ransac"
@@ -32,15 +39,22 @@ fn main() {
         let detectors = [
             ("no_defence", OddBall::default()),
             ("huber", OddBall::new(Regressor::default_huber())),
-            ("ransac", OddBall::new(Regressor::default_ransac(opts.seed + 17))),
+            (
+                "ransac",
+                OddBall::new(Regressor::default_ransac(opts.seed + 17)),
+            ),
         ];
         let mut sums = vec![vec![0.0f64; budget + 1]; detectors.len()];
         let mut runs = 0usize;
         for s in 0..opts.samples {
-            let targets: Vec<NodeId> =
-                sample_targets(&g, 10, 50, opts.seed + 31 + s as u64);
+            let targets: Vec<NodeId> = sample_targets(&g, 10, 50, opts.seed + 31 + s as u64);
             let attack = BinarizedAttack::new(AttackConfig::default())
-                .with_iterations(if opts.paper { 400 } else { 120 }).with_lambdas(if opts.paper { vec![0.002, 0.02] } else { vec![0.004, 0.04] });
+                .with_iterations(if opts.paper { 400 } else { 120 })
+                .with_lambdas(if opts.paper {
+                    vec![0.002, 0.02]
+                } else {
+                    vec![0.004, 0.04]
+                });
             let Ok(outcome) = attack.attack(&g, &targets, budget) else {
                 continue;
             };
@@ -82,5 +96,9 @@ fn main() {
             mitig_h, mitig_r
         );
     }
-    opts.write_csv("fig10.csv", "dataset,budget,tau_ols,tau_huber,tau_ransac", &csv);
+    opts.write_csv(
+        "fig10.csv",
+        "dataset,budget,tau_ols,tau_huber,tau_ransac",
+        &csv,
+    );
 }

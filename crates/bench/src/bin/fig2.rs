@@ -13,7 +13,10 @@ use ba_oddball::OddBall;
 fn main() {
     let opts = ExpOptions::from_args();
     println!("FIG 2b: Egonet Density Power Law fits");
-    println!("{:>14}  {:>10}  {:>10}  {:>12}", "dataset", "beta0", "beta1", "max AScore");
+    println!(
+        "{:>14}  {:>10}  {:>10}  {:>12}",
+        "dataset", "beta0", "beta1", "max AScore"
+    );
     for d in Dataset::all() {
         let g = d.build(opts.seed);
         let model = OddBall::default().fit(&g).expect("fit");

@@ -29,8 +29,18 @@ struct Panel {
 
 fn panels() -> Vec<Panel> {
     vec![
-        Panel { label: "ER", dataset: Dataset::Er, num_targets: 10, budget_frac: 0.003 },
-        Panel { label: "BA", dataset: Dataset::Ba, num_targets: 10, budget_frac: 0.02 },
+        Panel {
+            label: "ER",
+            dataset: Dataset::Er,
+            num_targets: 10,
+            budget_frac: 0.003,
+        },
+        Panel {
+            label: "BA",
+            dataset: Dataset::Ba,
+            num_targets: 10,
+            budget_frac: 0.02,
+        },
         Panel {
             label: "Blogcatalog-10",
             dataset: Dataset::Blogcatalog,
@@ -80,12 +90,16 @@ fn main() {
     } else {
         (300, vec![0.002, 0.02], 30)
     };
-    let binarized =
-        BinarizedAttack::new(cfg).with_iterations(bin_iters).with_lambdas(bin_lambdas);
+    let binarized = BinarizedAttack::new(cfg)
+        .with_iterations(bin_iters)
+        .with_lambdas(bin_lambdas);
     let gradmax = GradMaxSearch::new(cfg);
     let continuous = ContinuousA::new(cfg).with_iterations(cont_iters);
 
-    println!("FIG 4: tau_as vs edges changed (%) — mean over {} target samples", opts.samples);
+    println!(
+        "FIG 4: tau_as vs edges changed (%) — mean over {} target samples",
+        opts.samples
+    );
     let mut csv = Vec::new();
     for panel in panels() {
         let g: Graph = if opts.paper {
@@ -140,9 +154,21 @@ fn main() {
                 panel.label,
                 b,
                 pct,
-                if curve_bin.is_empty() { f64::NAN } else { curve_bin[b.min(curve_bin.len() - 1)] },
-                if curve_gms.is_empty() { f64::NAN } else { curve_gms[b.min(curve_gms.len() - 1)] },
-                if curve_con.is_empty() { f64::NAN } else { curve_con[b.min(curve_con.len() - 1)] },
+                if curve_bin.is_empty() {
+                    f64::NAN
+                } else {
+                    curve_bin[b.min(curve_bin.len() - 1)]
+                },
+                if curve_gms.is_empty() {
+                    f64::NAN
+                } else {
+                    curve_gms[b.min(curve_gms.len() - 1)]
+                },
+                if curve_con.is_empty() {
+                    f64::NAN
+                } else {
+                    curve_con[b.min(curve_con.len() - 1)]
+                },
             ));
         }
     }

@@ -22,14 +22,21 @@ fn main() {
         ("case2_delete_edges", EdgeOpKind::DeleteOnly, top[1]),
         ("case3_add_delete", EdgeOpKind::Both, top[2]),
     ];
-    println!("FIG 5: single-target case studies (Wikivote-like, n={}, m={})", g.num_nodes(), g.num_edges());
+    println!(
+        "FIG 5: single-target case studies (Wikivote-like, n={}, m={})",
+        g.num_nodes(),
+        g.num_edges()
+    );
     println!(
         "{:>18} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6}",
         "case", "target", "S_before", "S_after", "N_b", "E_b", "N_a", "E_a", "#add", "#del"
     );
     let mut csv = Vec::new();
     for (name, kind, target) in cases {
-        let cfg = AttackConfig { op_kind: kind, ..AttackConfig::default() };
+        let cfg = AttackConfig {
+            op_kind: kind,
+            ..AttackConfig::default()
+        };
         let attack = BinarizedAttack::new(cfg).with_iterations(400);
         let budget = 25;
         let outcome = attack.attack(&g, &[target], budget).expect("attack");

@@ -54,17 +54,25 @@ fn main() {
     all_targets.extend_from_slice(&high);
 
     let budget = 60;
-    let attack = BinarizedAttack::new(AttackConfig::default())
-        .with_iterations(if opts.paper { 400 } else { 300 });
+    let attack = BinarizedAttack::new(AttackConfig::default()).with_iterations(if opts.paper {
+        400
+    } else {
+        300
+    });
     let outcome = attack.attack(&g, &all_targets, budget).expect("attack");
 
     // Per-group τ_as curves.
-    println!("{:>8}  {:>10}  {:>10}  {:>10}", "budget", "low", "medium", "high");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>10}",
+        "budget", "low", "medium", "high"
+    );
     let mut csv = Vec::new();
     let detector = OddBall::default();
     let group_curve = |targets: &[NodeId]| -> Vec<f64> {
         let curve = outcome.ascore_curve(&g, targets, &detector);
-        (0..curve.len()).map(|b| AttackOutcome::tau_as(&curve, b)).collect()
+        (0..curve.len())
+            .map(|b| AttackOutcome::tau_as(&curve, b))
+            .collect()
     };
     let c_low = group_curve(&low);
     let c_med = group_curve(&med);
@@ -80,7 +88,11 @@ fn main() {
         );
         csv.push(format!("{b},{},{},{}", at(&c_low), at(&c_med), at(&c_high)));
     }
-    opts.write_csv("fig6_groups.csv", "budget,tau_low,tau_medium,tau_high", &csv);
+    opts.write_csv(
+        "fig6_groups.csv",
+        "budget,tau_low,tau_medium,tau_high",
+        &csv,
+    );
 
     // Regression lines clean vs poisoned at B = 60 (Fig. 6b/6c).
     let poisoned = outcome.poisoned_graph(&g, budget);
@@ -97,7 +109,11 @@ fn main() {
     );
     let mut reg_csv = vec![
         format!("clean,{:.6},{:.6}", model.beta0(), model.beta1()),
-        format!("poisoned_b{budget},{:.6},{:.6}", model_after.beta0(), model_after.beta1()),
+        format!(
+            "poisoned_b{budget},{:.6},{:.6}",
+            model_after.beta0(),
+            model_after.beta1()
+        ),
     ];
     // Scatter of the targets for the two panels.
     for (tag, m) in [("clean", &model), ("poisoned", &model_after)] {
@@ -112,5 +128,9 @@ fn main() {
             }
         }
     }
-    opts.write_csv("fig6_regression.csv", "series,x_or_beta0,y_or_beta1", &reg_csv);
+    opts.write_csv(
+        "fig6_regression.csv",
+        "series,x_or_beta0,y_or_beta1",
+        &reg_csv,
+    );
 }

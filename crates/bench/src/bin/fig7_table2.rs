@@ -22,7 +22,11 @@ fn main() {
     let opts = ExpOptions::from_args();
     let resamples = if opts.paper { 100_000 } else { 20_000 };
     let runs = 5;
-    let datasets = [Dataset::BitcoinAlpha, Dataset::Blogcatalog, Dataset::Wikivote];
+    let datasets = [
+        Dataset::BitcoinAlpha,
+        Dataset::Blogcatalog,
+        Dataset::Wikivote,
+    ];
 
     println!("TABLE II: permutation-test p-values for ego-features (M = {resamples})");
     println!(
@@ -38,13 +42,21 @@ fn main() {
             let targets = sample_targets(&g, 30, 50, seed + 7);
             let budget = (g.num_edges() as f64 * 0.04).round() as usize;
             let attack = BinarizedAttack::new(AttackConfig::default())
-                .with_iterations(if opts.paper { 400 } else { 120 }).with_lambdas(if opts.paper { vec![0.002, 0.02] } else { vec![0.004, 0.04] });
+                .with_iterations(if opts.paper { 400 } else { 120 })
+                .with_lambdas(if opts.paper {
+                    vec![0.002, 0.02]
+                } else {
+                    vec![0.004, 0.04]
+                });
             let outcome = attack.attack(&g, &targets, budget).expect("attack");
             let poisoned = outcome.poisoned_graph(&g, budget);
 
             let clean = egonet_features(&g);
             let pois = egonet_features(&poisoned);
-            let test = PermutationTest { resamples, seed: seed + 13 };
+            let test = PermutationTest {
+                resamples,
+                seed: seed + 13,
+            };
             let p_n = test.pvalue(&clean.n, &pois.n);
             let p_e = test.pvalue(&clean.e, &pois.e);
             println!("{:>4}  {:>16} {:>8.3} {:>8.3}", run, d.name(), p_n, p_e);
@@ -54,9 +66,7 @@ fn main() {
             if !fig7_done && d == Dataset::BitcoinAlpha {
                 fig7_done = true;
                 let mut rows = Vec::new();
-                for (feat, cl, po) in
-                    [("N", &clean.n, &pois.n), ("E", &clean.e, &pois.e)]
-                {
+                for (feat, cl, po) in [("N", &clean.n, &pois.n), ("E", &clean.e, &pois.e)] {
                     let hi = cl.iter().chain(po.iter()).cloned().fold(0.0f64, f64::max);
                     let kde_c = Kde::new(cl);
                     let kde_p = Kde::new(po);
@@ -66,10 +76,16 @@ fn main() {
                         rows.push(format!("{feat},{:.5},{:.8},{:.8}", xs[k], yc[k], yp[k]));
                     }
                 }
-                opts.write_csv("fig7_density.csv", "feature,x,density_clean,density_poisoned", &rows);
+                opts.write_csv(
+                    "fig7_density.csv",
+                    "feature,x,density_clean,density_poisoned",
+                    &rows,
+                );
             }
         }
     }
     opts.write_csv("table2.csv", "run,dataset,p_n,p_e", &table_csv);
-    println!("\n(paper: p(N) ~ 0.56-0.75 never significant; p(E) 0.005-0.14, one Wikivote run < 0.01)");
+    println!(
+        "\n(paper: p(N) ~ 0.56-0.75 never significant; p(E) 0.005-0.14, one Wikivote run < 0.01)"
+    );
 }

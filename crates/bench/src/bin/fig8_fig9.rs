@@ -14,8 +14,8 @@ use ba_bench::ExpOptions;
 use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
 use ba_datasets::Dataset;
 use ba_gad::{
-    evaluate_system, identify_targets, pipeline::oddball_labels, train_test_split, tsne,
-    GadSystem, GalConfig, RefexConfig, TransferConfig, TsneConfig,
+    evaluate_system, identify_targets, pipeline::oddball_labels, train_test_split, tsne, GadSystem,
+    GalConfig, RefexConfig, TransferConfig, TsneConfig,
 };
 use ba_graph::NodeId;
 use ba_linalg::Matrix;
@@ -54,7 +54,10 @@ fn separation(coords: &Matrix, test_nodes: &[NodeId], targets: &[NodeId]) -> f64
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let tcfg = TransferConfig { seed: opts.seed + 11, ..TransferConfig::default() };
+    let tcfg = TransferConfig {
+        seed: opts.seed + 11,
+        ..TransferConfig::default()
+    };
     let tsne_cfg = TsneConfig {
         iterations: if opts.paper { 400 } else { 200 },
         ..TsneConfig::default()
@@ -66,7 +69,13 @@ fn main() {
     );
     let mut csv = Vec::new();
     for (fig, system) in [
-        ("fig8", GadSystem::Gal(GalConfig { epochs: if opts.paper { 120 } else { 60 }, ..GalConfig::default() })),
+        (
+            "fig8",
+            GadSystem::Gal(GalConfig {
+                epochs: if opts.paper { 120 } else { 60 },
+                ..GalConfig::default()
+            }),
+        ),
         ("fig9", GadSystem::Refex(RefexConfig::default())),
     ] {
         for (d, budget) in [(Dataset::BitcoinAlpha, 50usize), (Dataset::Wikivote, 100)] {
@@ -79,7 +88,12 @@ fn main() {
                 continue;
             }
             let attack = BinarizedAttack::new(AttackConfig::default())
-                .with_iterations(if opts.paper { 400 } else { 120 }).with_lambdas(if opts.paper { vec![0.002, 0.02] } else { vec![0.004, 0.04] });
+                .with_iterations(if opts.paper { 400 } else { 120 })
+                .with_lambdas(if opts.paper {
+                    vec![0.002, 0.02]
+                } else {
+                    vec![0.004, 0.04]
+                });
             let outcome = attack.attack(&g, &targets, budget).expect("attack");
             let poisoned = outcome.poisoned_graph(&g, budget);
             let after =
@@ -115,5 +129,9 @@ fn main() {
             }
         }
     }
-    opts.write_csv("fig8_fig9_tsne.csv", "figure,dataset,graph,node,x,y,is_target", &csv);
+    opts.write_csv(
+        "fig8_fig9_tsne.csv",
+        "figure,dataset,graph,node,x,y,is_target",
+        &csv,
+    );
 }

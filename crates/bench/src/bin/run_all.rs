@@ -10,8 +10,17 @@ use std::process::Command;
 fn main() {
     let forward: Vec<String> = std::env::args().skip(1).collect();
     let bins = [
-        "table1", "fig2", "fig4", "fig5", "fig6", "fig7_table2", "table3", "table4",
-        "fig8_fig9", "fig10", "ablation",
+        "table1",
+        "fig2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7_table2",
+        "table3",
+        "table4",
+        "fig8_fig9",
+        "fig10",
+        "ablation",
     ];
     let exe_dir = std::env::current_exe()
         .expect("current exe path")

@@ -20,8 +20,14 @@ use ba_gad::{
 fn main() {
     let opts = ExpOptions::from_args();
     let gal_epochs = if opts.paper { 120 } else { 60 };
-    let system = GadSystem::Gal(GalConfig { epochs: gal_epochs, ..GalConfig::default() });
-    let tcfg = TransferConfig { seed: opts.seed + 3, ..TransferConfig::default() };
+    let system = GadSystem::Gal(GalConfig {
+        epochs: gal_epochs,
+        ..GalConfig::default()
+    });
+    let tcfg = TransferConfig {
+        seed: opts.seed + 3,
+        ..TransferConfig::default()
+    };
 
     println!("TABLE III: GAL transfer attack (AUC / F1 / delta_B)");
     let mut csv = Vec::new();
@@ -37,15 +43,17 @@ fn main() {
             g.num_edges(),
             targets.len()
         );
-        println!(
-            "{:>12} {:>8} {:>8} {:>8}",
-            "edges(%)", "AUC", "F1", "dB(%)"
-        );
+        println!("{:>12} {:>8} {:>8} {:>8}", "edges(%)", "AUC", "F1", "dB(%)");
         println!(
             "{:>12} {:>8.3} {:>8.3} {:>8.2}",
             "0.0", clean.auc, clean.f1, 0.0
         );
-        csv.push(format!("{},0.0,{:.4},{:.4},0.0", d.name(), clean.auc, clean.f1));
+        csv.push(format!(
+            "{},0.0,{:.4},{:.4},0.0",
+            d.name(),
+            clean.auc,
+            clean.f1
+        ));
         if targets.is_empty() {
             eprintln!("warning: no targets identified; skipping dataset");
             continue;
@@ -73,7 +81,12 @@ fn main() {
                 "{:>12.1} {:>8.3} {:>8.3} {:>8.2}",
                 pct, after.auc, after.f1, db
             );
-            csv.push(format!("{},{pct:.1},{:.4},{:.4},{db:.3}", d.name(), after.auc, after.f1));
+            csv.push(format!(
+                "{},{pct:.1},{:.4},{:.4},{db:.3}",
+                d.name(),
+                after.auc,
+                after.f1
+            ));
         }
     }
     opts.write_csv("table3.csv", "dataset,edges_pct,auc,f1,delta_b_pct", &csv);

@@ -19,13 +19,17 @@ use ba_gad::{
 fn main() {
     let opts = ExpOptions::from_args();
     let system = GadSystem::Refex(RefexConfig::default());
-    let tcfg = TransferConfig { seed: opts.seed + 5, ..TransferConfig::default() };
+    let tcfg = TransferConfig {
+        seed: opts.seed + 5,
+        ..TransferConfig::default()
+    };
 
     println!("TABLE IV: ReFeX transfer attack (AUC / F1 / delta_B)");
     let mut csv = Vec::new();
-    for (d, max_budget, step) in
-        [(Dataset::BitcoinAlpha, 50usize, 5usize), (Dataset::Wikivote, 100, 10)]
-    {
+    for (d, max_budget, step) in [
+        (Dataset::BitcoinAlpha, 50usize, 5usize),
+        (Dataset::Wikivote, 100, 10),
+    ] {
         let g = d.build(opts.seed);
         let labels = oddball_labels(&g, tcfg.label_fraction);
         let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, tcfg.seed);
@@ -39,7 +43,12 @@ fn main() {
         );
         println!("{:>8} {:>8} {:>8} {:>8}", "B", "AUC", "F1", "dB(%)");
         println!("{:>8} {:>8.3} {:>8.3} {:>8.2}", 0, clean.auc, clean.f1, 0.0);
-        csv.push(format!("{},0,{:.4},{:.4},0.0", d.name(), clean.auc, clean.f1));
+        csv.push(format!(
+            "{},0,{:.4},{:.4},0.0",
+            d.name(),
+            clean.auc,
+            clean.f1
+        ));
         if targets.is_empty() {
             eprintln!("warning: no targets identified; skipping dataset");
             continue;
@@ -56,7 +65,12 @@ fn main() {
                 evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
             let db = 100.0 * delta_b(clean.target_soft_sum, after.target_soft_sum);
             println!("{:>8} {:>8.3} {:>8.3} {:>8.2}", b, after.auc, after.f1, db);
-            csv.push(format!("{},{b},{:.4},{:.4},{db:.3}", d.name(), after.auc, after.f1));
+            csv.push(format!(
+                "{},{b},{:.4},{:.4},{db:.3}",
+                d.name(),
+                after.auc,
+                after.f1
+            ));
             b += step;
         }
     }

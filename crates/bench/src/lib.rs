@@ -57,12 +57,17 @@ impl ExpOptions {
                 }
                 "--seed" => {
                     i += 1;
-                    opts.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.seed);
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.seed);
                 }
                 "--samples" => {
                     i += 1;
-                    opts.samples =
-                        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(opts.samples);
+                    opts.samples = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.samples);
                 }
                 "--out" => {
                     i += 1;
@@ -81,9 +86,7 @@ impl ExpOptions {
     pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
         std::fs::create_dir_all(&self.out_dir).expect("create experiment output dir");
         let path = self.out_dir.join(name);
-        let mut f = std::io::BufWriter::new(
-            std::fs::File::create(&path).expect("create csv file"),
-        );
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv file"));
         writeln!(f, "{header}").unwrap();
         for row in rows {
             writeln!(f, "{row}").unwrap();
@@ -97,7 +100,9 @@ impl ExpOptions {
 /// the paper does ("sampling 10 or 30 target nodes from the top-50 nodes
 /// based on AScore rankings", Sec. VIII-A3).
 pub fn sample_targets(g: &Graph, count: usize, pool: usize, seed: u64) -> Vec<NodeId> {
-    let model = OddBall::default().fit(g).expect("OddBall fit for target sampling");
+    let model = OddBall::default()
+        .fit(g)
+        .expect("OddBall fit for target sampling");
     let mut top: Vec<NodeId> = model.top_k(pool).into_iter().map(|(i, _)| i).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     top.shuffle(&mut rng);
@@ -110,7 +115,9 @@ pub fn sample_targets(g: &Graph, count: usize, pool: usize, seed: u64) -> Vec<No
 /// (`curve[0] = 0`).
 pub fn tau_curve(outcome: &AttackOutcome, g0: &Graph, targets: &[NodeId]) -> Vec<f64> {
     let scores = outcome.ascore_curve(g0, targets, &OddBall::default());
-    (0..scores.len()).map(|b| AttackOutcome::tau_as(&scores, b)).collect()
+    (0..scores.len())
+        .map(|b| AttackOutcome::tau_as(&scores, b))
+        .collect()
 }
 
 /// Runs one attack over several target samples and averages the τ_as
@@ -219,8 +226,7 @@ mod tests {
     #[test]
     fn random_attack_curve_weaker_than_greedy() {
         let g = planted(11);
-        let sets: Vec<Vec<NodeId>> =
-            (0..2).map(|i| sample_targets(&g, 2, 10, i)).collect();
+        let sets: Vec<Vec<NodeId>> = (0..2).map(|i| sample_targets(&g, 2, 10, i)).collect();
         let greedy = mean_tau_curve(&GradMaxSearch::default(), &g, &sets, 8);
         let random = mean_tau_curve(&RandomAttack::default(), &g, &sets, 8);
         assert!(

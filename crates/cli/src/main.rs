@@ -86,15 +86,20 @@ impl Flags {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     fn u64_or(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     }
 
     fn usize_or(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -175,7 +180,11 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
         "delete" => EdgeOpKind::DeleteOnly,
         other => return Err(format!("unknown ops mode {other:?}")),
     };
-    let cfg = AttackConfig { op_kind, seed, ..AttackConfig::default() };
+    let cfg = AttackConfig {
+        op_kind,
+        seed,
+        ..AttackConfig::default()
+    };
     let method = flags.get("method").unwrap_or("binarized");
     let outcome: AttackOutcome = match method {
         "binarized" => BinarizedAttack::new(cfg).attack(&g, &targets, budget),
@@ -190,11 +199,16 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
     let poisoned = outcome.poisoned_graph(&g, b);
     save_edge_list(&poisoned, out).map_err(|e| e.to_string())?;
     let before = OddBall::default().fit(&g).map_err(|e| e.to_string())?;
-    let after = OddBall::default().fit(&poisoned).map_err(|e| e.to_string())?;
+    let after = OddBall::default()
+        .fit(&poisoned)
+        .map_err(|e| e.to_string())?;
     let s0 = before.target_score_sum(&targets);
     let sb = after.target_score_sum(&targets);
     println!("method: {}   targets: {:?}", outcome.name, targets);
-    println!("applied {} edge flips (budget {budget})", outcome.ops(b).len());
+    println!(
+        "applied {} edge flips (budget {budget})",
+        outcome.ops(b).len()
+    );
     println!(
         "target AScore sum: {s0:.4} -> {sb:.4}  (tau_as = {:.2}%)",
         100.0 * (s0 - sb) / s0.max(1e-12)
@@ -216,7 +230,10 @@ fn cmd_transfer(flags: &Flags) -> Result<(), String> {
         "refex" => GadSystem::Refex(RefexConfig::default()),
         other => return Err(format!("unknown system {other:?}")),
     };
-    let tcfg = TransferConfig { seed, ..TransferConfig::default() };
+    let tcfg = TransferConfig {
+        seed,
+        ..TransferConfig::default()
+    };
     let labels = oddball_labels(&g, tcfg.label_fraction);
     let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, seed);
     let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &tcfg);
@@ -230,8 +247,13 @@ fn cmd_transfer(flags: &Flags) -> Result<(), String> {
     if targets.is_empty() {
         return Err("no anomalous test nodes identified; nothing to attack".into());
     }
-    let attack = BinarizedAttack::new(AttackConfig { seed, ..AttackConfig::default() });
-    let outcome = attack.attack(&g, &targets, budget).map_err(|e| e.to_string())?;
+    let attack = BinarizedAttack::new(AttackConfig {
+        seed,
+        ..AttackConfig::default()
+    });
+    let outcome = attack
+        .attack(&g, &targets, budget)
+        .map_err(|e| e.to_string())?;
     let poisoned = outcome.poisoned_graph(&g, budget);
     let after = evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
     println!(

@@ -32,7 +32,10 @@ fn unknown_command_fails() {
 
 #[test]
 fn missing_required_flag_fails() {
-    let out = binattack().args(["generate", "--dataset", "er"]).output().unwrap();
+    let out = binattack()
+        .args(["generate", "--dataset", "er"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--out"));
@@ -42,17 +45,33 @@ fn missing_required_flag_fails() {
 fn generate_then_score() {
     let path = tmp("gen_score.edges");
     let out = binattack()
-        .args(["generate", "--dataset", "ba", "--out", path.to_str().unwrap(), "--seed", "3"])
+        .args([
+            "generate",
+            "--dataset",
+            "ba",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(path.exists());
 
     let out = binattack()
         .args(["score", "--graph", path.to_str().unwrap(), "--top", "5"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("beta0"));
     // 5 ranked rows follow the header.
@@ -73,7 +92,15 @@ fn attack_reduces_scores_end_to_end() {
     let clean = tmp("attack_in.edges");
     let poisoned = tmp("attack_out.edges");
     let status = binattack()
-        .args(["generate", "--dataset", "bitcoin-alpha", "--out", clean.to_str().unwrap(), "--seed", "5"])
+        .args([
+            "generate",
+            "--dataset",
+            "bitcoin-alpha",
+            "--out",
+            clean.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
         .status()
         .unwrap();
     assert!(status.success());
@@ -95,7 +122,11 @@ fn attack_reduces_scores_end_to_end() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("tau_as"));
     assert!(poisoned.exists());
@@ -105,7 +136,7 @@ fn attack_reduces_scores_end_to_end() {
         .split("tau_as = ")
         .nth(1)
         .unwrap()
-        .trim_end_matches(|c| c == '%' || c == ')')
+        .trim_end_matches(['%', ')'])
         .parse()
         .unwrap();
     assert!(pct > 0.0, "reported tau_as {pct} not positive: {tau_line}");
@@ -116,7 +147,15 @@ fn attack_with_explicit_targets_and_ops_mode() {
     let clean = tmp("explicit_in.edges");
     let poisoned = tmp("explicit_out.edges");
     binattack()
-        .args(["generate", "--dataset", "er", "--out", clean.to_str().unwrap(), "--seed", "9"])
+        .args([
+            "generate",
+            "--dataset",
+            "er",
+            "--out",
+            clean.to_str().unwrap(),
+            "--seed",
+            "9",
+        ])
         .status()
         .unwrap();
     let out = binattack()
@@ -137,9 +176,85 @@ fn attack_with_explicit_targets_and_ops_mode() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("[1, 2, 3]"));
+}
+
+/// Fast CI smoke test: the full generate → score → attack round-trip on
+/// a small Erdős–Rényi graph, cheap enough to run on every push. Uses
+/// the greedy method and a small budget so the whole chain stays well
+/// under a few seconds even on cold CI runners.
+#[test]
+fn smoke_er_generate_score_attack_roundtrip() {
+    let clean = tmp("smoke_er.edges");
+    let poisoned = tmp("smoke_er_poisoned.edges");
+
+    let out = binattack()
+        .args([
+            "generate",
+            "--dataset",
+            "er",
+            "--out",
+            clean.to_str().unwrap(),
+            "--seed",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = binattack()
+        .args(["score", "--graph", clean.to_str().unwrap(), "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = binattack()
+        .args([
+            "attack",
+            "--graph",
+            clean.to_str().unwrap(),
+            "--out",
+            poisoned.to_str().unwrap(),
+            "--budget",
+            "5",
+            "--auto-targets",
+            "2",
+            "--method",
+            "gradmax",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(poisoned.exists());
+
+    // The poisoned graph must still be a readable edge list.
+    let out = binattack()
+        .args(["score", "--graph", poisoned.to_str().unwrap(), "--top", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]

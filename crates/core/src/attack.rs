@@ -117,7 +117,9 @@ impl AttackOutcome {
         out.push(clean.target_score_sum(targets));
         for b in 1..=self.max_budget() {
             let poisoned = self.poisoned_graph(g0, b);
-            let model = detector.fit(&poisoned).expect("detector fit on poisoned graph");
+            let model = detector
+                .fit(&poisoned)
+                .expect("detector fit on poisoned graph");
             out.push(model.target_score_sum(targets));
         }
         out
@@ -210,7 +212,10 @@ mod tests {
     fn validate_targets_errors() {
         let g = Graph::new(3);
         assert_eq!(validate_targets(&g, &[]), Err(AttackError::NoTargets));
-        assert_eq!(validate_targets(&g, &[5]), Err(AttackError::TargetOutOfRange(5)));
+        assert_eq!(
+            validate_targets(&g, &[5]),
+            Err(AttackError::TargetOutOfRange(5))
+        );
         assert_eq!(validate_targets(&g, &[0, 2]), Ok(()));
     }
 }

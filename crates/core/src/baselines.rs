@@ -63,10 +63,7 @@ impl StructuralAttack for RandomAttack {
             if !self.config.op_kind.allows(is_edge) {
                 continue;
             }
-            if is_edge
-                && self.config.forbid_singletons
-                && !g.deletion_keeps_no_singletons(i, j)
-            {
+            if is_edge && self.config.forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
                 continue;
             }
             let op = inc.toggle(&mut g, i, j).expect("not a self-loop");
@@ -133,18 +130,10 @@ impl StructuralAttack for CliqueBreaker {
             let (b0, b1) = (ng.beta0, ng.beta1);
             let mut ranked: Vec<NodeId> = targets.to_vec();
             ranked.sort_by(|&x, &y| {
-                let rx = ba_oddball::surrogate_score(
-                    feats.e[x as usize],
-                    feats.n[x as usize],
-                    b0,
-                    b1,
-                );
-                let ry = ba_oddball::surrogate_score(
-                    feats.e[y as usize],
-                    feats.n[y as usize],
-                    b0,
-                    b1,
-                );
+                let rx =
+                    ba_oddball::surrogate_score(feats.e[x as usize], feats.n[x as usize], b0, b1);
+                let ry =
+                    ba_oddball::surrogate_score(feats.e[y as usize], feats.n[y as usize], b0, b1);
                 ry.partial_cmp(&rx).expect("NaN score").then(x.cmp(&y))
             });
             // For the worst target, delete the incident edge with the most
@@ -217,7 +206,10 @@ mod tests {
         let a = RandomAttack::default().attack(&g, &targets, 6).unwrap();
         let b = RandomAttack::default().attack(&g, &targets, 6).unwrap();
         assert_eq!(a.ops_per_budget, b.ops_per_budget);
-        let cfg = AttackConfig { seed: 999, ..AttackConfig::default() };
+        let cfg = AttackConfig {
+            seed: 999,
+            ..AttackConfig::default()
+        };
         let c = RandomAttack::new(cfg).attack(&g, &targets, 6).unwrap();
         assert_ne!(a.ops_per_budget, c.ops_per_budget);
     }
@@ -228,7 +220,10 @@ mod tests {
         let outcome = CliqueBreaker::default().attack(&g, &targets, 12).unwrap();
         let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
         let tau = AttackOutcome::tau_as(&curve, outcome.max_budget());
-        assert!(tau > 0.05, "clique breaker ineffective: τ = {tau}, curve = {curve:?}");
+        assert!(
+            tau > 0.05,
+            "clique breaker ineffective: τ = {tau}, curve = {curve:?}"
+        );
         // All ops are deletions incident to a target.
         for op in outcome.ops(outcome.max_budget()) {
             assert!(!op.added);

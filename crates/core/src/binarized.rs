@@ -147,7 +147,8 @@ impl BinarizedAttack {
                 }
             });
             for (idx, i, j, want) in changed {
-                inc.toggle(&mut g, i, j).expect("candidate pairs are not self-loops");
+                inc.toggle(&mut g, i, j)
+                    .expect("candidate pairs are not self-loops");
                 flipped[idx] = want;
             }
         }
@@ -177,9 +178,14 @@ pub(crate) fn extract_budget(
 ) -> Result<(Vec<EdgeOp>, f64), AttackError> {
     // Rank candidates by soft score, descending; ties by index for
     // determinism.
-    let mut order: Vec<usize> = (0..scores.len()).filter(|&i| mask[i] && scores[i] > 0.0).collect();
+    let mut order: Vec<usize> = (0..scores.len())
+        .filter(|&i| mask[i] && scores[i] > 0.0)
+        .collect();
     order.sort_by(|&a, &bidx| {
-        scores[bidx].partial_cmp(&scores[a]).expect("NaN score").then(a.cmp(&bidx))
+        scores[bidx]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(a.cmp(&bidx))
     });
     let mut g = g0.clone();
     let mut inc = IncrementalEgonet::new(&g);
@@ -216,7 +222,12 @@ impl StructuralAttack for BinarizedAttack {
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
-        let mask = static_mask(&candidates, g0, self.config.op_kind, self.config.forbid_singletons);
+        let mask = static_mask(
+            &candidates,
+            g0,
+            self.config.op_kind,
+            self.config.forbid_singletons,
+        );
 
         // Optimise per λ, collecting Ż snapshots across the whole sweep.
         let mut sweep: Vec<Vec<f64>> = Vec::new();
@@ -336,14 +347,24 @@ mod tests {
         let outcome = fast_attack().attack(&g, &targets, 5).unwrap();
         assert!(outcome.loss_trajectory.len() > 10);
         let first = outcome.loss_trajectory[0];
-        let min = outcome.loss_trajectory.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(min < first, "trajectory never improved: {first} -> min {min}");
+        let min = outcome
+            .loss_trajectory
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min < first,
+            "trajectory never improved: {first} -> min {min}"
+        );
     }
 
     #[test]
     fn add_only_mode_only_adds() {
         let (g, targets) = anomalous_graph(39);
-        let cfg = AttackConfig { op_kind: EdgeOpKind::AddOnly, ..AttackConfig::default() };
+        let cfg = AttackConfig {
+            op_kind: EdgeOpKind::AddOnly,
+            ..AttackConfig::default()
+        };
         let outcome = BinarizedAttack::new(cfg)
             .with_iterations(40)
             .with_lambdas(vec![0.02])
@@ -357,7 +378,10 @@ mod tests {
     #[test]
     fn delete_only_mode_only_deletes() {
         let (g, targets) = anomalous_graph(41);
-        let cfg = AttackConfig { op_kind: EdgeOpKind::DeleteOnly, ..AttackConfig::default() };
+        let cfg = AttackConfig {
+            op_kind: EdgeOpKind::DeleteOnly,
+            ..AttackConfig::default()
+        };
         let outcome = BinarizedAttack::new(cfg)
             .with_iterations(40)
             .with_lambdas(vec![0.02])

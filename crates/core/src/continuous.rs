@@ -34,7 +34,12 @@ pub struct ContinuousA {
 impl ContinuousA {
     /// Creates the attack with defaults (`T = 60`, `η = 0.05`).
     pub fn new(config: AttackConfig) -> Self {
-        Self { config, iterations: 60, learning_rate: 0.05, threads: 0 }
+        Self {
+            config,
+            iterations: 60,
+            learning_rate: 0.05,
+            threads: 0,
+        }
     }
 
     /// The configuration in use.
@@ -64,7 +69,9 @@ impl ContinuousA {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         }
     }
 }
@@ -92,7 +99,12 @@ impl StructuralAttack for ContinuousA {
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
-        let mask = static_mask(&candidates, g0, self.config.op_kind, self.config.forbid_singletons);
+        let mask = static_mask(
+            &candidates,
+            g0,
+            self.config.op_kind,
+            self.config.forbid_singletons,
+        );
         let threads = self.thread_count();
 
         // Relaxed adjacency, initialised at the clean graph.

@@ -103,7 +103,14 @@ pub fn node_grads(n: &[f64], e: &[f64], targets: &[NodeId]) -> Result<NodeGrads,
         g_e[k] = dl_de_direct + dl_dv * dv_de;
         h[k] = g_n[k] + g_e[k];
     }
-    Ok(NodeGrads { loss, beta0: b0, beta1: b1, g_n, g_e, h })
+    Ok(NodeGrads {
+        loss,
+        beta0: b0,
+        beta1: b1,
+        g_n,
+        g_e,
+        h,
+    })
 }
 
 /// Gradient of the loss w.r.t. the single unordered pair `{i, j}` on a
@@ -141,8 +148,7 @@ fn pair_key(i: NodeId, j: NodeId) -> u64 {
 /// `O(Σ_m deg(m)²)` — cheap on the paper's sparse graphs, and *much*
 /// cheaper than a dense `A²` product.
 pub fn correction_map(g: &Graph, g_e: &[f64]) -> HashMap<u64, (f64, f64)> {
-    let mut map: HashMap<u64, (f64, f64)> =
-        HashMap::with_capacity(4 * g.num_edges());
+    let mut map: HashMap<u64, (f64, f64)> = HashMap::with_capacity(4 * g.num_edges());
     for m in 0..g.num_nodes() as NodeId {
         let gem = g_e[m as usize];
         let nbrs: Vec<NodeId> = g.neighbors(m).iter().copied().collect();
@@ -306,11 +312,7 @@ mod tests {
     fn dense_features_match_sparse_on_binary_graph() {
         let g = generators::erdos_renyi(50, 0.1, 4);
         let (n_sparse, e_sparse) = feature_vectors(&g);
-        let a = ba_linalg::Matrix::from_vec(
-            50,
-            50,
-            ba_graph::adjacency::to_row_major(&g),
-        );
+        let a = ba_linalg::Matrix::from_vec(50, 50, ba_graph::adjacency::to_row_major(&g));
         let (n_dense, e_dense) = dense_features(&a, 2);
         for k in 0..50 {
             assert!((n_sparse[k] - n_dense[k]).abs() < 1e-9);

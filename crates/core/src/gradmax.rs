@@ -191,7 +191,12 @@ mod tests {
         let final_ops = outcome.ops(outcome.max_budget());
         let mut seen = HashSet::new();
         for op in final_ops {
-            assert!(seen.insert((op.u, op.v)), "pair ({}, {}) modified twice", op.u, op.v);
+            assert!(
+                seen.insert((op.u, op.v)),
+                "pair ({}, {}) modified twice",
+                op.u,
+                op.v
+            );
         }
     }
 
@@ -211,7 +216,10 @@ mod tests {
     fn add_only_and_delete_only_modes() {
         let (g, targets) = anomalous_graph(17);
         for kind in [EdgeOpKind::AddOnly, EdgeOpKind::DeleteOnly] {
-            let cfg = AttackConfig { op_kind: kind, ..AttackConfig::default() };
+            let cfg = AttackConfig {
+                op_kind: kind,
+                ..AttackConfig::default()
+            };
             let outcome = GradMaxSearch::new(cfg).attack(&g, &targets, 10).unwrap();
             for op in outcome.ops(outcome.max_budget()) {
                 match kind {
@@ -237,9 +245,9 @@ mod tests {
         for op in outcome.ops(outcome.max_budget()) {
             let touches = target_set.contains(&op.u)
                 || target_set.contains(&op.v)
-                || targets.iter().any(|&t| {
-                    g.neighbors(t).contains(&op.u) && g.neighbors(t).contains(&op.v)
-                });
+                || targets
+                    .iter()
+                    .any(|&t| g.neighbors(t).contains(&op.u) && g.neighbors(t).contains(&op.v));
             assert!(touches, "op {op:?} outside scope");
         }
     }

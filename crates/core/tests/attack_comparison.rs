@@ -2,8 +2,7 @@
 //! claims, asserted on seeded synthetic graphs at test scale.
 
 use ba_core::{
-    AttackConfig, AttackOutcome, BinarizedAttack, ContinuousA, GradMaxSearch, RandomAttack,
-    StructuralAttack,
+    AttackOutcome, BinarizedAttack, ContinuousA, GradMaxSearch, RandomAttack, StructuralAttack,
 };
 use ba_graph::{generators, Graph, NodeId};
 use ba_oddball::OddBall;
@@ -30,7 +29,9 @@ fn gradient_methods_beat_random() {
     let (g, targets) = anomalous_graph(101, 150);
     let budget = 12;
     let tau_bin = tau_for(
-        &BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.01, 0.05]),
+        &BinarizedAttack::default()
+            .with_iterations(60)
+            .with_lambdas(vec![0.01, 0.05]),
         &g,
         &targets,
         budget,
@@ -75,7 +76,10 @@ fn binarized_is_competitive_with_gradmax() {
             wins += 1;
         }
     }
-    assert!(wins >= 2, "binarized only matched gradmax on {wins}/3 seeds at large budget");
+    assert!(
+        wins >= 2,
+        "binarized only matched gradmax on {wins}/3 seeds at large budget"
+    );
 }
 
 #[test]
@@ -84,9 +88,15 @@ fn strong_attack_with_small_fraction_of_edges() {
     // edges. At our test scale, assert ≥ 50% decrease with ≤ 10% edges.
     let (g, targets) = anomalous_graph(301, 200);
     let budget = (g.num_edges() / 10).min(25);
-    let attack = BinarizedAttack::default().with_iterations(80).with_lambdas(vec![0.01, 0.05]);
+    let attack = BinarizedAttack::default()
+        .with_iterations(80)
+        .with_lambdas(vec![0.01, 0.05]);
     let tau = tau_for(&attack, &g, &targets, budget);
-    assert!(tau > 0.5, "τ_as = {tau} with budget {budget} of {} edges", g.num_edges());
+    assert!(
+        tau > 0.5,
+        "τ_as = {tau} with budget {budget} of {} edges",
+        g.num_edges()
+    );
 }
 
 #[test]
@@ -108,7 +118,9 @@ fn continuous_a_is_erratic_but_runs_end_to_end() {
 #[test]
 fn tau_increases_with_budget_for_binarized() {
     let (g, targets) = anomalous_graph(501, 150);
-    let attack = BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.01, 0.05]);
+    let attack = BinarizedAttack::default()
+        .with_iterations(60)
+        .with_lambdas(vec![0.01, 0.05]);
     let outcome = attack.attack(&g, &targets, 16).unwrap();
     let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
     let tau4 = AttackOutcome::tau_as(&curve, 4);
@@ -117,7 +129,10 @@ fn tau_increases_with_budget_for_binarized() {
         tau16 >= tau4 - 0.02,
         "more budget made the attack notably worse: τ(4)={tau4}, τ(16)={tau16}"
     );
-    assert!(tau16 > tau4 * 1.05 || tau16 > 0.8, "budget had no effect: {tau4} -> {tau16}");
+    assert!(
+        tau16 > tau4 * 1.05 || tau16 > 0.8,
+        "budget had no effect: {tau4} -> {tau16}"
+    );
 }
 
 #[test]
@@ -125,7 +140,9 @@ fn attacks_preserve_untargeted_global_structure() {
     // Side-effect check (Sec. VIII-B3): the attack should not blow up the
     // global feature distribution. Mean degree must move by < 5%.
     let (g, targets) = anomalous_graph(601, 200);
-    let attack = BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.02]);
+    let attack = BinarizedAttack::default()
+        .with_iterations(60)
+        .with_lambdas(vec![0.02]);
     let outcome = attack.attack(&g, &targets, 20).unwrap();
     let poisoned = outcome.poisoned_graph(&g, 20);
     let before = ba_graph::metrics::average_degree(&g);

@@ -77,7 +77,11 @@ fn check_graph(g: &Graph, targets: &[NodeId], tol: f64) {
     let mut vars = std::collections::HashMap::new();
     for i in 0..n {
         for j in (i + 1)..n {
-            let val = if g.has_edge(i as NodeId, j as NodeId) { 1.0 } else { 0.0 };
+            let val = if g.has_edge(i as NodeId, j as NodeId) {
+                1.0
+            } else {
+                0.0
+            };
             vars.insert((i, j), tape.var(val));
         }
     }
@@ -185,8 +189,7 @@ fn gradient_sign_predicts_discrete_toggle_direction() {
         let mut g2 = g.clone();
         g2.toggle_edge(i, j);
         let f2 = ba_graph::egonet::egonet_features(&g2);
-        let new_loss =
-            ba_core::surrogate_loss_from_features(&f2.n, &f2.e, &targets).unwrap();
+        let new_loss = ba_core::surrogate_loss_from_features(&f2.n, &f2.e, &targets).unwrap();
         let delta = new_loss - base_loss;
         // Toggling moves A_ij by +1 (add) or −1 (delete); predicted sign:
         let was_edge = g.has_edge(i, j);

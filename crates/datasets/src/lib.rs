@@ -44,7 +44,13 @@ pub enum Dataset {
 impl Dataset {
     /// All five datasets in Table I order.
     pub fn all() -> [Dataset; 5] {
-        [Dataset::Er, Dataset::Ba, Dataset::Blogcatalog, Dataset::Wikivote, Dataset::BitcoinAlpha]
+        [
+            Dataset::Er,
+            Dataset::Ba,
+            Dataset::Blogcatalog,
+            Dataset::Wikivote,
+            Dataset::BitcoinAlpha,
+        ]
     }
 
     /// Table name.
@@ -105,8 +111,7 @@ impl Dataset {
                 // Fig. 4 wikivote curves clearly exclude.
                 let base = m - m / 4;
                 let cap = (n as f64 / 16.0).max(20.0);
-                let mut g =
-                    generators::power_law_chung_lu_capped(n, base, 2.3, cap, seed);
+                let mut g = generators::power_law_chung_lu_capped(n, base, 2.3, cap, seed);
                 generators::triadic_closure(&mut g, m / 8, seed ^ 0x3c10);
                 plant_attackable_anomalies(&mut g, n / 120 + 2, n / 30, seed ^ 0x717e);
                 generators::attach_isolated(&mut g, seed ^ 0x717f);
@@ -268,9 +273,16 @@ mod tests {
 
     #[test]
     fn stand_ins_have_heavy_tails() {
-        for d in [Dataset::Blogcatalog, Dataset::Wikivote, Dataset::BitcoinAlpha] {
+        for d in [
+            Dataset::Blogcatalog,
+            Dataset::Wikivote,
+            Dataset::BitcoinAlpha,
+        ] {
             let g = d.build(13);
-            let max_deg = (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).max().unwrap();
+            let max_deg = (0..g.num_nodes() as NodeId)
+                .map(|u| g.degree(u))
+                .max()
+                .unwrap();
             let avg = metrics::average_degree(&g);
             assert!(
                 max_deg as f64 > 6.0 * avg,
@@ -282,7 +294,11 @@ mod tests {
 
     #[test]
     fn oddball_finds_planted_anomalies_on_stand_ins() {
-        for d in [Dataset::Blogcatalog, Dataset::Wikivote, Dataset::BitcoinAlpha] {
+        for d in [
+            Dataset::Blogcatalog,
+            Dataset::Wikivote,
+            Dataset::BitcoinAlpha,
+        ] {
             let g = d.build(17);
             let model = OddBall::default().fit(&g).unwrap();
             let top = model.top_k(50);
@@ -302,7 +318,11 @@ mod tests {
     fn scaled_builds_shrink() {
         let g = Dataset::Wikivote.build_scaled(300, 1500, 5);
         assert_eq!(g.num_nodes(), 300);
-        assert!(g.num_edges() > 700 && g.num_edges() < 2600, "{}", g.num_edges());
+        assert!(
+            g.num_edges() > 700 && g.num_edges() < 2600,
+            "{}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -77,13 +77,26 @@ impl Gal {
         let mut opt2 = Adam::new(cfg.hidden, cfg.embed, cfg.lr);
 
         // Class pools within the training set.
-        let pos: Vec<NodeId> = train_nodes.iter().copied().filter(|&u| labels[u as usize]).collect();
-        let neg: Vec<NodeId> =
-            train_nodes.iter().copied().filter(|&u| !labels[u as usize]).collect();
+        let pos: Vec<NodeId> = train_nodes
+            .iter()
+            .copied()
+            .filter(|&u| labels[u as usize])
+            .collect();
+        let neg: Vec<NodeId> = train_nodes
+            .iter()
+            .copied()
+            .filter(|&u| !labels[u as usize])
+            .collect();
         // Degenerate single-class training data: keep the random init
         // (the pipeline guards against this, but don't panic).
         if pos.is_empty() || neg.is_empty() {
-            return Gal { cfg, w1, w2, norm, features };
+            return Gal {
+                cfg,
+                w1,
+                w2,
+                norm,
+                features,
+            };
         }
         // Margins Δ_y = C / n_y^{1/4}.
         let delta_pos = cfg.margin_c / (pos.len() as f64).powf(0.25);
@@ -120,10 +133,18 @@ impl Gal {
                     };
                     let uneg = diff_pool[rng.gen_range(0..diff_pool.len())];
                     let (ui, pi, ni) = (u as usize, upos as usize, uneg as usize);
-                    let g_pos: f64 =
-                        emb.row(ui).iter().zip(emb.row(pi)).map(|(a, b)| a * b).sum();
-                    let g_neg: f64 =
-                        emb.row(ui).iter().zip(emb.row(ni)).map(|(a, b)| a * b).sum();
+                    let g_pos: f64 = emb
+                        .row(ui)
+                        .iter()
+                        .zip(emb.row(pi))
+                        .map(|(a, b)| a * b)
+                        .sum();
+                    let g_neg: f64 = emb
+                        .row(ui)
+                        .iter()
+                        .zip(emb.row(ni))
+                        .map(|(a, b)| a * b)
+                        .sum();
                     if g_neg - g_pos + delta <= 0.0 {
                         continue; // hinge inactive
                     }
@@ -152,7 +173,13 @@ impl Gal {
             opt1.step(&mut w1, &d_w1);
             opt2.step(&mut w2, &d_w2);
         }
-        Gal { cfg, w1, w2, norm, features }
+        Gal {
+            cfg,
+            w1,
+            w2,
+            norm,
+            features,
+        }
     }
 
     /// Embeds the graph the model was trained on.
@@ -199,7 +226,10 @@ mod tests {
     fn embeddings_separate_classes() {
         let (g, labels) = labelled_graph(71);
         let train: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-        let cfg = GalConfig { epochs: 60, ..GalConfig::default() };
+        let cfg = GalConfig {
+            epochs: 60,
+            ..GalConfig::default()
+        };
         let gal = Gal::train(&g, &labels, &train, cfg);
         let emb = gal.embed();
         // Mean within-class similarity must exceed cross-class similarity.
@@ -232,7 +262,10 @@ mod tests {
     fn training_is_deterministic() {
         let (g, labels) = labelled_graph(73);
         let train: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-        let cfg = GalConfig { epochs: 10, ..GalConfig::default() };
+        let cfg = GalConfig {
+            epochs: 10,
+            ..GalConfig::default()
+        };
         let a = Gal::train(&g, &labels, &train, cfg).embed();
         let b = Gal::train(&g, &labels, &train, cfg).embed();
         assert_eq!(a, b);
@@ -243,7 +276,10 @@ mod tests {
         let (g, _) = labelled_graph(75);
         let labels = vec![false; g.num_nodes()];
         let train: Vec<NodeId> = (0..50).collect();
-        let cfg = GalConfig { epochs: 5, ..GalConfig::default() };
+        let cfg = GalConfig {
+            epochs: 5,
+            ..GalConfig::default()
+        };
         let gal = Gal::train(&g, &labels, &train, cfg);
         let emb = gal.embed();
         assert_eq!(emb.rows(), g.num_nodes());
@@ -255,7 +291,10 @@ mod tests {
         let (g, labels) = labelled_graph(77);
         let (g2, _) = labelled_graph(78);
         let train: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-        let cfg = GalConfig { epochs: 5, ..GalConfig::default() };
+        let cfg = GalConfig {
+            epochs: 5,
+            ..GalConfig::default()
+        };
         let gal = Gal::train(&g, &labels, &train, cfg);
         let emb2 = gal.embed_graph(&g2);
         assert_eq!(emb2.rows(), g2.num_nodes());

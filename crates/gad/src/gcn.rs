@@ -66,7 +66,12 @@ pub fn normalized_adjacency(g: &Graph) -> NormAdj {
         }
         indptr.push(indices.len());
     }
-    NormAdj { n, indptr, indices, values }
+    NormAdj {
+        n,
+        indptr,
+        indices,
+        values,
+    }
 }
 
 /// Structural input features per node: `[deg, ln(1+deg), E, ln(1+E),
@@ -131,8 +136,8 @@ mod tests {
         // Dense reference.
         let n = 4;
         let mut dense = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            dense[i][i] = 1.0;
+        for (i, row) in dense.iter_mut().enumerate() {
+            row[i] = 1.0;
         }
         for (u, v) in g.edges() {
             dense[u as usize][v as usize] = 1.0;

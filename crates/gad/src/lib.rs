@@ -32,8 +32,7 @@ pub use gal::{Gal, GalConfig};
 pub use gcn::{normalized_adjacency, structural_features, NormAdj};
 pub use mlp::{Mlp, MlpConfig};
 pub use pipeline::{
-    evaluate_system, identify_targets, train_test_split, GadSystem, TransferConfig,
-    TransferOutcome,
+    evaluate_system, identify_targets, train_test_split, GadSystem, TransferConfig, TransferOutcome,
 };
 pub use refex::{Refex, RefexConfig};
 pub use tsne::{tsne, TsneConfig};

@@ -24,7 +24,13 @@ pub struct MlpConfig {
 
 impl Default for MlpConfig {
     fn default() -> Self {
-        Self { hidden: 16, epochs: 300, lr: 0.02, pos_weight: 3.0, seed: 0x317 }
+        Self {
+            hidden: 16,
+            epochs: 300,
+            lr: 0.02,
+            pos_weight: 3.0,
+            seed: 0x317,
+        }
     }
 }
 
@@ -58,7 +64,10 @@ impl Mlp {
         // Training submatrix.
         let m = train_idx.len();
         let xt = Matrix::from_fn(m, d, |r, c| x[(train_idx[r], c)]);
-        let y: Vec<f64> = train_idx.iter().map(|&i| if labels[i] { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = train_idx
+            .iter()
+            .map(|&i| if labels[i] { 1.0 } else { 0.0 })
+            .collect();
 
         for _ in 0..cfg.epochs {
             // Forward.
@@ -71,7 +80,12 @@ impl Mlp {
             let h = relu(&pre1);
             let logits: Vec<f64> = (0..m)
                 .map(|r| {
-                    h.row(r).iter().zip(w2.col(0).iter()).map(|(a, b)| a * b).sum::<f64>() + b2
+                    h.row(r)
+                        .iter()
+                        .zip(w2.col(0).iter())
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>()
+                        + b2
                 })
                 .collect();
             // Weighted BCE gradient on logits: w_i (σ(z) − y).
@@ -121,9 +135,13 @@ impl Mlp {
         let h = self.penultimate(x);
         (0..x.rows())
             .map(|r| {
-                let z: f64 =
-                    h.row(r).iter().zip(self.w2.col(0).iter()).map(|(a, b)| a * b).sum::<f64>()
-                        + self.b2;
+                let z: f64 = h
+                    .row(r)
+                    .iter()
+                    .zip(self.w2.col(0).iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+                    + self.b2;
                 sigmoid(z)
             })
             .collect()
@@ -181,7 +199,11 @@ mod tests {
     fn penultimate_shape_and_nonnegativity() {
         let (x, labels) = blobs(80);
         let train: Vec<usize> = (0..80).collect();
-        let cfg = MlpConfig { hidden: 7, epochs: 50, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            hidden: 7,
+            epochs: 50,
+            ..MlpConfig::default()
+        };
         let mlp = Mlp::train(&x, &labels, &train, cfg);
         let h = mlp.penultimate(&x);
         assert_eq!(h.rows(), 80);
@@ -195,7 +217,15 @@ mod tests {
     fn probabilities_in_unit_interval() {
         let (x, labels) = blobs(60);
         let train: Vec<usize> = (0..60).collect();
-        let mlp = Mlp::train(&x, &labels, &train, MlpConfig { epochs: 30, ..MlpConfig::default() });
+        let mlp = Mlp::train(
+            &x,
+            &labels,
+            &train,
+            MlpConfig {
+                epochs: 30,
+                ..MlpConfig::default()
+            },
+        );
         for p in mlp.predict_proba(&x) {
             assert!((0.0..=1.0).contains(&p));
         }
@@ -205,7 +235,10 @@ mod tests {
     fn deterministic_training() {
         let (x, labels) = blobs(60);
         let train: Vec<usize> = (0..60).collect();
-        let cfg = MlpConfig { epochs: 20, ..MlpConfig::default() };
+        let cfg = MlpConfig {
+            epochs: 20,
+            ..MlpConfig::default()
+        };
         let a = Mlp::train(&x, &labels, &train, cfg).predict_proba(&x);
         let b = Mlp::train(&x, &labels, &train, cfg).predict_proba(&x);
         assert_eq!(a, b);

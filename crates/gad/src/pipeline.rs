@@ -65,7 +65,12 @@ pub struct TransferConfig {
 
 impl Default for TransferConfig {
     fn default() -> Self {
-        Self { label_fraction: 0.1, train_fraction: 0.7, mlp: MlpConfig::default(), seed: 0x7a5 }
+        Self {
+            label_fraction: 0.1,
+            train_fraction: 0.7,
+            mlp: MlpConfig::default(),
+            seed: 0x7a5,
+        }
     }
 }
 
@@ -167,8 +172,14 @@ pub fn identify_targets(
     let outcome = evaluate_system(system, g, labels, train_nodes, test_nodes, &[], cfg);
     let targets = outcome.predicted_anomalous.clone();
     // Re-derive the target soft sum for the identified targets.
-    let target_soft_sum: f64 = targets.iter().map(|&u| outcome.soft_labels[u as usize]).sum();
-    let outcome = TransferOutcome { target_soft_sum, ..outcome };
+    let target_soft_sum: f64 = targets
+        .iter()
+        .map(|&u| outcome.soft_labels[u as usize])
+        .sum();
+    let outcome = TransferOutcome {
+        target_soft_sum,
+        ..outcome
+    };
     (targets, outcome)
 }
 
@@ -216,7 +227,11 @@ mod tests {
         let (train, test) = train_test_split(g.num_nodes(), cfg.train_fraction, cfg.seed);
         let system = GadSystem::Refex(RefexConfig::default());
         let outcome = evaluate_system(&system, &g, &labels, &train, &test, &[], &cfg);
-        assert!(outcome.auc > 0.65, "ReFeX clean AUC too low: {}", outcome.auc);
+        assert!(
+            outcome.auc > 0.65,
+            "ReFeX clean AUC too low: {}",
+            outcome.auc
+        );
         assert!(outcome.f1 > 0.3, "ReFeX clean F1 too low: {}", outcome.f1);
     }
 
@@ -226,7 +241,10 @@ mod tests {
         let cfg = TransferConfig::default();
         let labels = oddball_labels(&g, cfg.label_fraction);
         let (train, test) = train_test_split(g.num_nodes(), cfg.train_fraction, cfg.seed);
-        let system = GadSystem::Gal(GalConfig { epochs: 60, ..GalConfig::default() });
+        let system = GadSystem::Gal(GalConfig {
+            epochs: 60,
+            ..GalConfig::default()
+        });
         let outcome = evaluate_system(&system, &g, &labels, &train, &test, &[], &cfg);
         assert!(outcome.auc > 0.6, "GAL clean AUC too low: {}", outcome.auc);
     }
@@ -239,7 +257,10 @@ mod tests {
         let (train, test) = train_test_split(g.num_nodes(), cfg.train_fraction, cfg.seed);
         let system = GadSystem::Refex(RefexConfig::default());
         let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &cfg);
-        assert!(!targets.is_empty(), "no targets identified on the clean graph");
+        assert!(
+            !targets.is_empty(),
+            "no targets identified on the clean graph"
+        );
 
         // Step 3: poison with the OddBall-designed attack (black-box here).
         let attack = BinarizedAttack::new(AttackConfig::default())
@@ -253,8 +274,7 @@ mod tests {
         // the labels fixed during pre-processing (paper Sec. VI-B: labels
         // are assigned once, on the clean data; only the graph is
         // poisoned).
-        let after =
-            evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &cfg);
+        let after = evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &cfg);
         let db = delta_b(clean.target_soft_sum, after.target_soft_sum);
         assert!(
             db > 0.05,
@@ -263,7 +283,12 @@ mod tests {
             after.target_soft_sum
         );
         // Global accuracy should not collapse (targeted, unnoticeable).
-        assert!(after.auc > clean.auc - 0.25, "AUC collapsed: {} → {}", clean.auc, after.auc);
+        assert!(
+            after.auc > clean.auc - 0.25,
+            "AUC collapsed: {} → {}",
+            clean.auc,
+            after.auc
+        );
     }
 
     #[test]

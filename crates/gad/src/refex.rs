@@ -31,7 +31,11 @@ pub struct RefexConfig {
 
 impl Default for RefexConfig {
     fn default() -> Self {
-        Self { rounds: 2, bin_fraction: 0.5, prune_tolerance: 0.0 }
+        Self {
+            rounds: 2,
+            bin_fraction: 0.5,
+            prune_tolerance: 0.0,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl Refex {
         let keep = prune_duplicates(&binned, cfg.prune_tolerance);
         let retained: Vec<&Vec<usize>> = keep.iter().map(|&j| &binned[j]).collect();
         let embedding = to_binary(&retained, g.num_nodes());
-        Refex { embedding, retained_columns: retained.len() }
+        Refex {
+            embedding,
+            retained_columns: retained.len(),
+        }
     }
 }
 
@@ -115,16 +122,26 @@ fn recurse(g: &Graph, mut x: Matrix, rounds: usize) -> Matrix {
 /// `p`-fraction of nodes get bin 0, the next `p`-fraction of the rest
 /// bin 1, and so on. Ties are ranked stably by node id.
 fn vertical_log_bin(col: &[f64], p: f64) -> Vec<usize> {
-    assert!((0.0..1.0).contains(&p) && p > 0.0, "bin fraction must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&p) && p > 0.0,
+        "bin fraction must be in (0,1)"
+    );
     let n = col.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).expect("NaN feature").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        col[a]
+            .partial_cmp(&col[b])
+            .expect("NaN feature")
+            .then(a.cmp(&b))
+    });
     let mut bins = vec![0usize; n];
     let mut remaining = n;
     let mut start = 0usize;
     let mut bin = 0usize;
     while remaining > 0 {
-        let take = ((remaining as f64 * p).ceil() as usize).max(1).min(remaining);
+        let take = ((remaining as f64 * p).ceil() as usize)
+            .max(1)
+            .min(remaining);
         for &node in &order[start..start + take] {
             bins[node] = bin;
         }
@@ -235,7 +252,11 @@ mod tests {
         let r2 = Refex::extract(&g, RefexConfig::default());
         assert_eq!(r1.embedding, r2.embedding);
         assert_eq!(r1.embedding.rows(), 150);
-        assert!(r1.retained_columns >= 3, "pruned too much: {}", r1.retained_columns);
+        assert!(
+            r1.retained_columns >= 3,
+            "pruned too much: {}",
+            r1.retained_columns
+        );
         // Binary values only.
         for &v in r1.embedding.as_slice() {
             assert!(v == 0.0 || v == 1.0);

@@ -25,7 +25,13 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        Self { perplexity: 30.0, iterations: 400, lr: 100.0, exaggeration: 12.0, seed: 0x75e }
+        Self {
+            perplexity: 30.0,
+            iterations: 400,
+            lr: 100.0,
+            exaggeration: 12.0,
+            seed: 0x75e,
+        }
     }
 }
 
@@ -77,10 +83,18 @@ pub fn tsne(x: &Matrix, cfg: TsneConfig) -> Matrix {
             }
             if diff > 0.0 {
                 beta_min = beta;
-                beta = if beta_max.is_finite() { (beta + beta_max) / 2.0 } else { beta * 2.0 };
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
             } else {
                 beta_max = beta;
-                beta = if beta_min.is_finite() { (beta + beta_min) / 2.0 } else { beta / 2.0 };
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
             }
         }
         let mut sum = 0.0;
@@ -117,7 +131,11 @@ pub fn tsne(x: &Matrix, cfg: TsneConfig) -> Matrix {
 
     let exag_until = cfg.iterations / 4;
     for iter in 0..cfg.iterations {
-        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         // Student-t affinities.
         let mut qsum = 0.0;
         for i in 0..n {
@@ -192,7 +210,11 @@ mod tests {
     #[test]
     fn separated_blobs_stay_separated() {
         let (x, labels) = blob_data(40);
-        let cfg = TsneConfig { iterations: 250, perplexity: 15.0, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 250,
+            perplexity: 15.0,
+            ..TsneConfig::default()
+        };
         let y = tsne(&x, cfg);
         // Compare mean intra-cluster vs inter-cluster 2-D distance.
         let dist = |a: usize, b: usize| -> f64 {
@@ -224,7 +246,10 @@ mod tests {
     #[test]
     fn output_shape_and_determinism() {
         let (x, _) = blob_data(15);
-        let cfg = TsneConfig { iterations: 60, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 60,
+            ..TsneConfig::default()
+        };
         let a = tsne(&x, cfg);
         let b = tsne(&x, cfg);
         assert_eq!(a.rows(), 30);
@@ -235,7 +260,10 @@ mod tests {
     #[test]
     fn output_is_centred() {
         let (x, _) = blob_data(20);
-        let cfg = TsneConfig { iterations: 50, ..TsneConfig::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
         let y = tsne(&x, cfg);
         let mean_x: f64 = (0..y.rows()).map(|i| y[(i, 0)]).sum::<f64>() / y.rows() as f64;
         assert!(mean_x.abs() < 1e-6);

@@ -20,7 +20,10 @@ pub struct DenseAdj {
 impl DenseAdj {
     /// Zero matrix of side `n`.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Side length.

@@ -64,7 +64,9 @@ pub struct IncrementalEgonet {
 impl IncrementalEgonet {
     /// Builds the initial features from `g`.
     pub fn new(g: &Graph) -> Self {
-        Self { feats: egonet_features(g) }
+        Self {
+            feats: egonet_features(g),
+        }
     }
 
     /// Current features.
@@ -176,7 +178,16 @@ mod tests {
         // dense adjacency cube on a small random-ish graph.
         let g = Graph::from_edges(
             6,
-            [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (1, 3)],
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (1, 3),
+            ],
         );
         let f = egonet_features(&g);
         let a = crate::adjacency::to_dense(&g);

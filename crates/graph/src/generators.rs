@@ -291,7 +291,10 @@ mod tests {
         let m = g.num_edges() as f64;
         // 5 sigma tolerance on a binomial.
         let sigma = (expected * (1.0 - p)).sqrt();
-        assert!((m - expected).abs() < 5.0 * sigma, "m={m}, expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 5.0 * sigma,
+            "m={m}, expected≈{expected}"
+        );
     }
 
     #[test]
@@ -329,7 +332,10 @@ mod tests {
         assert!(m > 1200 && m < 4800, "edge count {m} far from target 2400");
         let max_deg = (0..800).map(|u| g.degree(u)).max().unwrap();
         let mean_deg = 2.0 * m as f64 / 800.0;
-        assert!(max_deg as f64 > 5.0 * mean_deg, "no heavy tail: max {max_deg}, mean {mean_deg}");
+        assert!(
+            max_deg as f64 > 5.0 * mean_deg,
+            "no heavy tail: max {max_deg}, mean {mean_deg}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![BTreeSet::new(); n], num_edges: 0 }
+        Self {
+            adj: vec![BTreeSet::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Builds a graph from an iterator of edges. Self-loops and duplicate
@@ -176,7 +179,11 @@ impl Graph {
     pub fn common_neighbor_sum(&self, u: NodeId, v: NodeId, f: impl Fn(NodeId) -> f64) -> f64 {
         let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
         let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        small.iter().filter(|x| large.contains(x)).map(|&m| f(m)).sum()
+        small
+            .iter()
+            .filter(|x| large.contains(x))
+            .map(|&m| f(m))
+            .sum()
     }
 
     /// Number of triangles through node `u` (= `½ (A³)_uu / ... `; exactly

@@ -69,7 +69,10 @@ pub fn read_edge_list(reader: impl Read) -> Result<LoadedGraph, IoError> {
         let (u, v) = match (parse(parts.next()), parse(parts.next())) {
             (Some(u), Some(v)) => (u, v),
             _ => {
-                return Err(IoError::Parse { line_no: idx + 1, line: trimmed.to_string() });
+                return Err(IoError::Parse {
+                    line_no: idx + 1,
+                    line: trimmed.to_string(),
+                });
             }
         };
         let intern = |x: u64, mapping: &mut BTreeMap<u64, NodeId>| -> NodeId {
@@ -128,7 +131,10 @@ mod tests {
         // edge sets through the label mapping.
         assert_eq!(loaded.graph.num_edges(), g.num_edges());
         for (u, v) in loaded.graph.edges() {
-            let (a, b) = (loaded.labels[u as usize] as NodeId, loaded.labels[v as usize] as NodeId);
+            let (a, b) = (
+                loaded.labels[u as usize] as NodeId,
+                loaded.labels[v as usize] as NodeId,
+            );
             assert!(g.has_edge(a, b), "edge ({a},{b}) missing from original");
         }
         let mut labels = loaded.labels.clone();
@@ -165,7 +171,10 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert!(matches!(read_edge_list("# only comments\n".as_bytes()), Err(IoError::Empty)));
+        assert!(matches!(
+            read_edge_list("# only comments\n".as_bytes()),
+            Err(IoError::Empty)
+        ));
     }
 
     #[test]

@@ -27,10 +27,10 @@
 //! }
 //! ```
 
-mod graph;
 pub mod adjacency;
 pub mod egonet;
 pub mod generators;
+mod graph;
 pub mod io;
 pub mod metrics;
 pub mod sample;

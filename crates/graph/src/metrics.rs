@@ -58,7 +58,10 @@ pub fn largest_component_size(g: &Graph) -> usize {
 
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
 pub fn degree_histogram(g: &Graph) -> Vec<usize> {
-    let max_deg = (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).max().unwrap_or(0);
+    let max_deg = (0..g.num_nodes() as NodeId)
+        .map(|u| g.degree(u))
+        .max()
+        .unwrap_or(0);
     let mut hist = vec![0usize; max_deg + 1];
     for u in 0..g.num_nodes() as NodeId {
         hist[g.degree(u)] += 1;
@@ -91,7 +94,10 @@ pub fn average_clustering(g: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n as NodeId).map(|u| local_clustering(g, u)).sum::<f64>() / n as f64
+    (0..n as NodeId)
+        .map(|u| local_clustering(g, u))
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Maximum-likelihood estimate of a power-law degree exponent
@@ -107,7 +113,10 @@ pub fn power_law_exponent_mle(g: &Graph, x_min: usize) -> Option<f64> {
     if degrees.len() < 10 {
         return None;
     }
-    let denom: f64 = degrees.iter().map(|&d| (d / (x_min as f64 - 0.5)).ln()).sum();
+    let denom: f64 = degrees
+        .iter()
+        .map(|&d| (d / (x_min as f64 - 0.5)).ln())
+        .sum();
     Some(1.0 + degrees.len() as f64 / denom)
 }
 
@@ -134,7 +143,10 @@ pub fn stats(g: &Graph) -> GraphStats {
         nodes: g.num_nodes(),
         edges: g.num_edges(),
         avg_degree: average_degree(g),
-        max_degree: (0..g.num_nodes() as NodeId).map(|u| g.degree(u)).max().unwrap_or(0),
+        max_degree: (0..g.num_nodes() as NodeId)
+            .map(|u| g.degree(u))
+            .max()
+            .unwrap_or(0),
         avg_clustering: average_clustering(g),
         components: connected_components(g),
     }

@@ -105,8 +105,6 @@ mod tests {
     fn sample_of_small_component_returns_component() {
         // Two components: a triangle and a big path. Depending on the seed
         // the sample lands in one; ask for more nodes than the triangle has.
-        let mut g = Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
-        let _ = g; // explicit tiny graph case below
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2)]); // + isolated 3,4
         let (sub, _) = bfs_sample(&g, 10, 3);
         assert!(sub.num_nodes() <= 3 || metrics::connected_components(&sub) >= 1);

@@ -134,7 +134,11 @@ pub fn pca(data: &Matrix, k: usize, seed: u64) -> PcaModel {
         explained.push(*lambda);
         components.row_mut(r).copy_from_slice(v.as_slice());
     }
-    PcaModel { mean, components, explained_variance: explained }
+    PcaModel {
+        mean,
+        components,
+        explained_variance: explained,
+    }
 }
 
 #[cfg(test)]

@@ -22,20 +22,18 @@
 //! assert_eq!(a.matvec(&v).as_slice(), &[3.0, 7.0]);
 //! ```
 
-mod matrix;
-mod vector;
-mod solve;
-mod regression;
 mod decomp;
+mod matrix;
 mod parallel;
+mod regression;
+mod solve;
+mod vector;
 
 pub use decomp::{pca, power_iteration, symmetric_topk, PcaModel};
 pub use matrix::Matrix;
 pub use parallel::par_matmul;
-pub use regression::{
-    simple_ols, weighted_ols, LinearFit, Ols2Error,
-};
-pub use solve::{solve, solve2, inverse, LinalgError};
+pub use regression::{simple_ols, weighted_ols, LinearFit, Ols2Error};
+pub use solve::{inverse, solve, solve2, LinalgError};
 pub use vector::Vector;
 
 /// Numerical tolerance used by the crate's own tests and by callers that

@@ -19,12 +19,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -49,7 +57,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix by evaluating `f(i, j)` for every entry.
@@ -220,7 +232,11 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| a * b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Applies `f` to every entry, returning a new matrix.
@@ -257,7 +273,9 @@ impl Matrix {
     /// The main diagonal as a vector. Works for rectangular matrices too
     /// (length is `min(rows, cols)`).
     pub fn diagonal(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Trace (sum of diagonal entries).
@@ -309,8 +327,17 @@ impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
     fn add(self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -318,8 +345,17 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -431,7 +467,10 @@ mod tests {
     fn hadamard_elementwise() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[2.0, 0.5], &[1.0, 0.25]]);
-        assert_eq!(a.hadamard(&b), Matrix::from_rows(&[&[2.0, 1.0], &[3.0, 1.0]]));
+        assert_eq!(
+            a.hadamard(&b),
+            Matrix::from_rows(&[&[2.0, 1.0], &[3.0, 1.0]])
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Thread-parallel matrix multiplication using crossbeam scoped threads.
+//! Thread-parallel matrix multiplication using std scoped threads.
 //!
 //! ContinuousA relaxes the whole adjacency matrix to `[0,1]^{n×n}` (paper
 //! Sec. V-A2), so its forward/backward passes need dense `n × n` products
@@ -32,22 +32,22 @@ pub fn par_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     {
         let out_slice = out.as_mut_slice();
         let chunks: Vec<&mut [f64]> = out_slice.chunks_mut(chunk_rows * p).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (idx, chunk) in chunks.into_iter().enumerate() {
                 let row_start = idx * chunk_rows;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let local_rows = chunk.len() / p;
                     // Build a view of rows [row_start, row_start+local_rows)
                     // of `a`, multiply into the chunk.
-                    let a_rows = &a.as_slice()[row_start * a.cols()..(row_start + local_rows) * a.cols()];
+                    let a_rows =
+                        &a.as_slice()[row_start * a.cols()..(row_start + local_rows) * a.cols()];
                     let a_view = Matrix::from_vec(local_rows, a.cols(), a_rows.to_vec());
                     let mut local = Matrix::zeros(local_rows, p);
                     matmul_into(&a_view, b, &mut local);
                     chunk.copy_from_slice(local.as_slice());
                 });
             }
-        })
-        .expect("par_matmul worker panicked");
+        });
     }
     out
 }
@@ -59,7 +59,9 @@ mod tests {
     fn pseudo_random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         })
     }

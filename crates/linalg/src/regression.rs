@@ -119,7 +119,12 @@ pub fn weighted_ols(x: &[f64], y: &[f64], w: Option<&[f64]>) -> Result<LinearFit
         let r = y[i] - (intercept + slope * x[i]);
         rss += wi * r * r;
     }
-    Ok(LinearFit { intercept, slope, rss, n: n_eff })
+    Ok(LinearFit {
+        intercept,
+        slope,
+        rss,
+        n: n_eff,
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +155,12 @@ mod tests {
 
     #[test]
     fn residual_and_predict_consistent() {
-        let fit = LinearFit { intercept: 1.0, slope: 2.0, rss: 0.0, n: 2 };
+        let fit = LinearFit {
+            intercept: 1.0,
+            slope: 2.0,
+            rss: 0.0,
+            n: 2,
+        };
         assert_eq!(fit.predict(3.0), 7.0);
         assert_eq!(fit.residual(3.0, 10.0), 3.0);
     }
@@ -196,7 +206,10 @@ mod tests {
 
     #[test]
     fn length_mismatch() {
-        assert_eq!(simple_ols(&[1.0], &[1.0, 2.0]), Err(Ols2Error::LengthMismatch));
+        assert_eq!(
+            simple_ols(&[1.0], &[1.0, 2.0]),
+            Err(Ols2Error::LengthMismatch)
+        );
         assert_eq!(
             weighted_ols(&[1.0, 2.0], &[1.0, 2.0], Some(&[1.0])),
             Err(Ols2Error::LengthMismatch)

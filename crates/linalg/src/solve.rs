@@ -131,16 +131,15 @@ mod tests {
 
     #[test]
     fn solve2_singular_detected() {
-        assert_eq!(solve2(1.0, 2.0, 2.0, 4.0, 1.0, 2.0), Err(LinalgError::Singular));
+        assert_eq!(
+            solve2(1.0, 2.0, 2.0, 4.0, 1.0, 2.0),
+            Err(LinalgError::Singular)
+        );
     }
 
     #[test]
     fn solve_matches_manual_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let b = Vector::from(vec![8.0, -11.0, -3.0]);
         let x = solve(&a, &b).unwrap();
         // Known solution: x=2, y=3, z=-1

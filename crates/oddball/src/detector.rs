@@ -37,7 +37,11 @@ impl Regressor {
 
     /// Default RANSAC configuration as used in the defence experiments.
     pub fn default_ransac(seed: u64) -> Self {
-        Regressor::Ransac { trials: 200, inlier_k: 1.0, seed }
+        Regressor::Ransac {
+            trials: 200,
+            inlier_k: 1.0,
+            seed,
+        }
     }
 }
 
@@ -69,7 +73,9 @@ pub struct OddBall {
 
 impl Default for OddBall {
     fn default() -> Self {
-        Self { regressor: Regressor::Ols }
+        Self {
+            regressor: Regressor::Ols,
+        }
     }
 }
 
@@ -101,12 +107,27 @@ impl OddBall {
         let (u, v) = log_features(&feats.n, &feats.e);
         let fit = match self.regressor {
             Regressor::Ols => simple_ols(&u, &v),
-            Regressor::Huber { k } => {
-                huber_fit(&u, &v, HuberConfig { k, ..HuberConfig::default() })
-            }
-            Regressor::Ransac { trials, inlier_k, seed } => {
-                ransac_fit(&u, &v, RansacConfig { trials, inlier_k, seed })
-            }
+            Regressor::Huber { k } => huber_fit(
+                &u,
+                &v,
+                HuberConfig {
+                    k,
+                    ..HuberConfig::default()
+                },
+            ),
+            Regressor::Ransac {
+                trials,
+                inlier_k,
+                seed,
+            } => ransac_fit(
+                &u,
+                &v,
+                RansacConfig {
+                    trials,
+                    inlier_k,
+                    seed,
+                },
+            ),
         }
         .map_err(FitError::Regression)?;
         let scores: Vec<f64> = feats
@@ -115,7 +136,12 @@ impl OddBall {
             .zip(&feats.e)
             .map(|(&n_i, &e_i)| anomaly_score(e_i, n_i, fit.intercept, fit.slope))
             .collect();
-        Ok(OddBallModel { beta0: fit.intercept, beta1: fit.slope, feats, scores })
+        Ok(OddBallModel {
+            beta0: fit.intercept,
+            beta1: fit.slope,
+            feats,
+            scores,
+        })
     }
 }
 
@@ -182,7 +208,10 @@ impl OddBallModel {
                 .expect("NaN score")
                 .then(a.cmp(&b))
         });
-        idx.into_iter().take(k).map(|i| (i, self.scores[i as usize])).collect()
+        idx.into_iter()
+            .take(k)
+            .map(|i| (i, self.scores[i as usize]))
+            .collect()
     }
 
     /// Boolean anomaly labels for the `frac` highest-scoring nodes
@@ -218,7 +247,11 @@ mod tests {
         let model = OddBall::default().fit(&g).unwrap();
         // The paper reports 1 <= alpha <= 2 for real graphs; ER graphs sit
         // near 1 (egonets are mostly stars of spokes).
-        assert!(model.beta1() > 0.5 && model.beta1() < 2.5, "beta1 = {}", model.beta1());
+        assert!(
+            model.beta1() > 0.5 && model.beta1() < 2.5,
+            "beta1 = {}",
+            model.beta1()
+        );
     }
 
     #[test]
@@ -227,7 +260,10 @@ mod tests {
         let model = OddBall::default().fit(&g).unwrap();
         let top: Vec<NodeId> = model.top_k(20).into_iter().map(|(i, _)| i).collect();
         let clique_hits = top.iter().filter(|&&i| i < 12).count();
-        assert!(clique_hits >= 6, "clique hits = {clique_hits}, top = {top:?}");
+        assert!(
+            clique_hits >= 6,
+            "clique hits = {clique_hits}, top = {top:?}"
+        );
         assert!(top.contains(&20), "star centre not in top-20: {top:?}");
     }
 
@@ -264,10 +300,7 @@ mod tests {
     #[test]
     fn robust_regressors_fit_too() {
         let g = planted_graph(23);
-        for reg in [
-            Regressor::default_huber(),
-            Regressor::default_ransac(7),
-        ] {
+        for reg in [Regressor::default_huber(), Regressor::default_ransac(7)] {
             let model = OddBall::new(reg).fit(&g).unwrap();
             assert!(model.beta1().is_finite());
             // Robust fits should still rank the star centre highly.

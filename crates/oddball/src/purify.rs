@@ -29,7 +29,11 @@ pub struct PurifyConfig {
 
 impl Default for PurifyConfig {
     fn default() -> Self {
-        Self { rank: 24, iterations: 120, seed: 0x10a }
+        Self {
+            rank: 24,
+            iterations: 120,
+            seed: 0x10a,
+        }
     }
 }
 
@@ -95,7 +99,13 @@ mod tests {
         // Two dense communities: rank-2 structure, so even rank-4
         // purification should retain most intra-community edges.
         let g = generators::planted_partition(60, 2, 0.5, 0.02, 5);
-        let p = low_rank_purify(&g, PurifyConfig { rank: 4, ..PurifyConfig::default() });
+        let p = low_rank_purify(
+            &g,
+            PurifyConfig {
+                rank: 4,
+                ..PurifyConfig::default()
+            },
+        );
         let retention = edge_retention(&g, &p);
         // A random intra-block edge set is not exactly low-rank, so exact
         // retention is impossible; but the bulk must survive, and the
@@ -103,7 +113,10 @@ mod tests {
         assert!(retention > 0.55, "retention {retention} too low");
         let comm = |x: NodeId| (x as usize) * 2 / 60;
         let intra = p.edges().filter(|&(u, v)| comm(u) == comm(v)).count();
-        assert!(intra * 10 >= p.num_edges() * 9, "purified graph lost community structure");
+        assert!(
+            intra * 10 >= p.num_edges() * 9,
+            "purified graph lost community structure"
+        );
     }
 
     #[test]
@@ -137,8 +150,17 @@ mod tests {
                 adversarial.push((u.min(v), u.max(v)));
             }
         }
-        let p = low_rank_purify(&g, PurifyConfig { rank: 4, ..PurifyConfig::default() });
-        let adv_kept = adversarial.iter().filter(|&&(u, v)| p.has_edge(u, v)).count() as f64
+        let p = low_rank_purify(
+            &g,
+            PurifyConfig {
+                rank: 4,
+                ..PurifyConfig::default()
+            },
+        );
+        let adv_kept = adversarial
+            .iter()
+            .filter(|&&(u, v)| p.has_edge(u, v))
+            .count() as f64
             / adversarial.len() as f64;
         let total_retention = edge_retention(&g, &p);
         assert!(

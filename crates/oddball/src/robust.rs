@@ -21,7 +21,11 @@ pub struct HuberConfig {
 
 impl Default for HuberConfig {
     fn default() -> Self {
-        Self { k: 1.345, max_iters: 60, tol: 1e-10 }
+        Self {
+            k: 1.345,
+            max_iters: 60,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -58,11 +62,16 @@ pub fn huber_fit(x: &[f64], y: &[f64], cfg: HuberConfig) -> Result<LinearFit, Ol
         let cutoff = cfg.k * s;
         let w: Vec<f64> = residuals
             .iter()
-            .map(|&r| if r.abs() <= cutoff { 1.0 } else { cutoff / r.abs() })
+            .map(|&r| {
+                if r.abs() <= cutoff {
+                    1.0
+                } else {
+                    cutoff / r.abs()
+                }
+            })
             .collect();
         let next = weighted_ols(x, y, Some(&w))?;
-        let moved =
-            (next.intercept - fit.intercept).abs() + (next.slope - fit.slope).abs();
+        let moved = (next.intercept - fit.intercept).abs() + (next.slope - fit.slope).abs();
         fit = next;
         if moved < cfg.tol {
             break;
@@ -86,7 +95,11 @@ pub struct RansacConfig {
 
 impl Default for RansacConfig {
     fn default() -> Self {
-        Self { trials: 200, inlier_k: 1.0, seed: 0x5ac }
+        Self {
+            trials: 200,
+            inlier_k: 1.0,
+            seed: 0x5ac,
+        }
     }
 }
 
@@ -146,7 +159,12 @@ pub fn ransac_fit(x: &[f64], y: &[f64], cfg: RansacConfig) -> Result<LinearFit, 
         Ok(fit) => Ok(fit),
         // Inlier set collapsed (all inliers share one x): keep the
         // hypothesis line itself.
-        Err(_) => Ok(LinearFit { intercept, slope, rss: 0.0, n: 2 }),
+        Err(_) => Ok(LinearFit {
+            intercept,
+            slope,
+            rss: 0.0,
+            n: 2,
+        }),
     }
 }
 
@@ -157,7 +175,10 @@ mod tests {
     /// y = 1 + 2x with `n_out` gross outliers appended.
     fn line_with_outliers(n: usize, n_out: usize) -> (Vec<f64>, Vec<f64>) {
         let mut x: Vec<f64> = (0..n).map(|i| i as f64 / 4.0).collect();
-        let mut y: Vec<f64> = x.iter().map(|&v| 1.0 + 2.0 * v + 0.01 * (v * 7.0).sin()).collect();
+        let mut y: Vec<f64> = x
+            .iter()
+            .map(|&v| 1.0 + 2.0 * v + 0.01 * (v * 7.0).sin())
+            .collect();
         for k in 0..n_out {
             x.push(k as f64);
             y.push(100.0 + 10.0 * k as f64);
@@ -170,7 +191,11 @@ mod tests {
         let (x, y) = line_with_outliers(60, 6);
         let ols = simple_ols(&x, &y).unwrap();
         let huber = huber_fit(&x, &y, HuberConfig::default()).unwrap();
-        assert!((huber.slope - 2.0).abs() < 0.2, "huber slope {}", huber.slope);
+        assert!(
+            (huber.slope - 2.0).abs() < 0.2,
+            "huber slope {}",
+            huber.slope
+        );
         assert!(
             (huber.slope - 2.0).abs() < (ols.slope - 2.0).abs(),
             "huber ({}) no better than ols ({})",
@@ -192,16 +217,32 @@ mod tests {
     #[test]
     fn ransac_recovers_line_under_heavy_contamination() {
         let (x, y) = line_with_outliers(50, 15); // 23% outliers
-        let fit = ransac_fit(&x, &y, RansacConfig { trials: 400, inlier_k: 3.0, seed: 5 })
-            .unwrap();
+        let fit = ransac_fit(
+            &x,
+            &y,
+            RansacConfig {
+                trials: 400,
+                inlier_k: 3.0,
+                seed: 5,
+            },
+        )
+        .unwrap();
         assert!((fit.slope - 2.0).abs() < 0.15, "slope {}", fit.slope);
-        assert!((fit.intercept - 1.0).abs() < 0.3, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 1.0).abs() < 0.3,
+            "intercept {}",
+            fit.intercept
+        );
     }
 
     #[test]
     fn ransac_deterministic_per_seed() {
         let (x, y) = line_with_outliers(30, 5);
-        let cfg = RansacConfig { trials: 100, inlier_k: 2.0, seed: 9 };
+        let cfg = RansacConfig {
+            trials: 100,
+            inlier_k: 2.0,
+            seed: 9,
+        };
         let a = ransac_fit(&x, &y, cfg).unwrap();
         let b = ransac_fit(&x, &y, cfg).unwrap();
         assert_eq!(a, b);

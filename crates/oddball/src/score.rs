@@ -39,13 +39,7 @@ pub fn surrogate_score(e_i: f64, n_i: f64, beta0: f64, beta1: f64) -> f64 {
 
 /// The smooth objective actually optimised by the attacks
 /// (paper Eq. (5a)/(8a)): `Σ_{a ∈ targets} (E_a − e^{ρ_a})²`.
-pub fn surrogate_loss(
-    e: &[f64],
-    n: &[f64],
-    beta0: f64,
-    beta1: f64,
-    targets: &[u32],
-) -> f64 {
+pub fn surrogate_loss(e: &[f64], n: &[f64], beta0: f64, beta1: f64, targets: &[u32]) -> f64 {
     targets
         .iter()
         .map(|&a| {

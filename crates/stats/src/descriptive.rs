@@ -98,7 +98,11 @@ pub fn histogram(xs: &[f64], bins: usize) -> Histogram {
         let idx = (((x - min) / span) * bins as f64) as usize;
         counts[idx.min(bins - 1)] += 1;
     }
-    Histogram { min, max: min + span, counts }
+    Histogram {
+        min,
+        max: min + span,
+        counts,
+    }
 }
 
 #[cfg(test)]

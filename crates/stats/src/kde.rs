@@ -23,7 +23,10 @@ impl Kde {
         } else {
             1.0
         };
-        Self { sample: sample.to_vec(), bandwidth: h }
+        Self {
+            sample: sample.to_vec(),
+            bandwidth: h,
+        }
     }
 
     /// Builds a KDE with an explicit bandwidth.
@@ -33,7 +36,10 @@ impl Kde {
     pub fn with_bandwidth(sample: &[f64], bandwidth: f64) -> Self {
         assert!(!sample.is_empty(), "KDE of empty sample");
         assert!(bandwidth > 0.0, "bandwidth must be positive");
-        Self { sample: sample.to_vec(), bandwidth }
+        Self {
+            sample: sample.to_vec(),
+            bandwidth,
+        }
     }
 
     /// The bandwidth in use.

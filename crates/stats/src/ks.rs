@@ -43,7 +43,10 @@ pub fn ks_test(x: &[f64], y: &[f64]) -> KsResult {
     let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
     let sqrt_ne = ne.sqrt();
     let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
-    KsResult { statistic: d, p_value: kolmogorov_q(lambda) }
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+    }
 }
 
 /// The Kolmogorov survival function `Q(λ)`.
@@ -112,10 +115,21 @@ mod tests {
         let x: Vec<f64> = (0..800).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let y: Vec<f64> = (0..800).map(|_| rng.gen_range(-3.0..3.0)).collect();
         let ks = ks_test(&x, &y);
-        assert!(ks.p_value < 1e-6, "KS missed variance change: p = {}", ks.p_value);
+        assert!(
+            ks.p_value < 1e-6,
+            "KS missed variance change: p = {}",
+            ks.p_value
+        );
         // ... while the mean-based permutation test does not.
-        let perm = crate::PermutationTest { resamples: 2000, seed: 4 }.pvalue(&x, &y);
-        assert!(perm > 0.05, "permutation test unexpectedly detected it: p = {perm}");
+        let perm = crate::PermutationTest {
+            resamples: 2000,
+            seed: 4,
+        }
+        .pvalue(&x, &y);
+        assert!(
+            perm > 0.05,
+            "permutation test unexpectedly detected it: p = {perm}"
+        );
     }
 
     #[test]

@@ -21,7 +21,12 @@ pub struct Confusion {
 /// Panics on length mismatch.
 pub fn confusion(scores: &[f64], labels: &[bool], threshold: f64) -> Confusion {
     assert_eq!(scores.len(), labels.len(), "length mismatch");
-    let mut c = Confusion { tp: 0, fp: 0, tn: 0, fn_: 0 };
+    let mut c = Confusion {
+        tp: 0,
+        fp: 0,
+        tn: 0,
+        fn_: 0,
+    };
     for (&s, &y) in scores.iter().zip(labels) {
         match (s >= threshold, y) {
             (true, true) => c.tp += 1,
@@ -117,7 +122,9 @@ mod tests {
     #[test]
     fn random_ties_auc_half() {
         let scores = [0.5; 10];
-        let labels = [true, false, true, false, true, false, true, false, true, false];
+        let labels = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert_eq!(auc_roc(&scores, &labels), 0.5);
     }
 
@@ -139,7 +146,15 @@ mod tests {
         let scores = [0.9, 0.6, 0.4, 0.2];
         let labels = [true, false, true, false];
         let c = confusion(&scores, &labels, 0.5);
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct PermutationTest {
 
 impl Default for PermutationTest {
     fn default() -> Self {
-        Self { resamples: 100_000, seed: 0x0ddba11 }
+        Self {
+            resamples: 100_000,
+            seed: 0x0ddba11,
+        }
     }
 }
 
@@ -37,16 +40,19 @@ impl PermutationTest {
         let t0 = (crate::mean(x) - crate::mean(y)).abs();
         let mut pool: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
         let nx = x.len();
+        let ny = y.len();
         let total: f64 = pool.iter().sum();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut hits = 0usize;
         for _ in 0..self.resamples {
-            // Partial Fisher–Yates: only the first nx positions need to be
-            // a uniform sample of the pool.
-            pool.partial_shuffle(&mut rng, nx);
-            let sum_x: f64 = pool[..nx].iter().sum();
+            // Partial Fisher–Yates: only nx positions need to be a uniform
+            // sample of the pool. Use the returned sample slice rather
+            // than a fixed index range — upstream rand and the vendored
+            // stub place the sample at opposite ends of the slice.
+            let (sample, _) = pool.partial_shuffle(&mut rng, nx);
+            let sum_x: f64 = sample.iter().sum();
             let mean_x = sum_x / nx as f64;
-            let mean_y = (total - sum_x) / (pool.len() - nx) as f64;
+            let mean_y = (total - sum_x) / ny as f64;
             if (mean_x - mean_y).abs() >= t0 {
                 hits += 1;
             }
@@ -57,7 +63,11 @@ impl PermutationTest {
 
 /// Convenience wrapper with the paper's default `M = 100 000`.
 pub fn permutation_test_pvalue(x: &[f64], y: &[f64], seed: u64) -> f64 {
-    PermutationTest { resamples: 100_000, seed }.pvalue(x, y)
+    PermutationTest {
+        resamples: 100_000,
+        seed,
+    }
+    .pvalue(x, y)
 }
 
 #[cfg(test)]
@@ -70,7 +80,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let x: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
         let y: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
-        let p = PermutationTest { resamples: 5_000, seed: 2 }.pvalue(&x, &y);
+        let p = PermutationTest {
+            resamples: 5_000,
+            seed: 2,
+        }
+        .pvalue(&x, &y);
         assert!(p > 0.01, "p = {p} too small for same-distribution samples");
     }
 
@@ -79,7 +93,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let x: Vec<f64> = (0..300).map(|_| rng.gen_range(0.0..1.0)).collect();
         let y: Vec<f64> = (0..300).map(|_| rng.gen_range(0.5..1.5)).collect();
-        let p = PermutationTest { resamples: 5_000, seed: 4 }.pvalue(&x, &y);
+        let p = PermutationTest {
+            resamples: 5_000,
+            seed: 4,
+        }
+        .pvalue(&x, &y);
         assert!(p < 0.01, "p = {p} too large for clearly shifted samples");
     }
 
@@ -87,7 +105,10 @@ mod tests {
     fn pvalue_in_unit_interval_and_deterministic() {
         let x = [1.0, 2.0, 3.0];
         let y = [2.0, 3.0, 4.0];
-        let t = PermutationTest { resamples: 2_000, seed: 9 };
+        let t = PermutationTest {
+            resamples: 2_000,
+            seed: 9,
+        };
         let p1 = t.pvalue(&x, &y);
         let p2 = t.pvalue(&x, &y);
         assert_eq!(p1, p2);
@@ -100,7 +121,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let x: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let y: Vec<f64> = (0..1000).map(|_| rng.gen_range(-1.0..1.0) + 0.3).collect();
-        let p = PermutationTest { resamples: 3_000, seed: 6 }.pvalue(&x, &y);
+        let p = PermutationTest {
+            resamples: 3_000,
+            seed: 6,
+        }
+        .pvalue(&x, &y);
         assert!(p < 0.01);
     }
 
@@ -115,7 +140,11 @@ mod tests {
         let x = vec![1.0; 10];
         let mut y = vec![1.0; 500];
         y[0] = 1.0;
-        let p = PermutationTest { resamples: 1_000, seed: 7 }.pvalue(&x, &y);
+        let p = PermutationTest {
+            resamples: 1_000,
+            seed: 7,
+        }
+        .pvalue(&x, &y);
         // Identical constant data: every permuted statistic equals t0 = 0.
         assert_eq!(p, 1.0);
     }

@@ -34,7 +34,10 @@ fn main() {
         .position(|&(n, _)| n == cc)
         .unwrap()
         + 1;
-    println!("C&C anomaly rank before attack: {rank_before} (score {:.3})", before.score(cc));
+    println!(
+        "C&C anomaly rank before attack: {rank_before} (score {:.3})",
+        before.score(cc)
+    );
 
     // The C&C center coordinates its own bots: candidate flips restricted
     // to its neighbourhood (bot-to-bot links + its own spokes).
@@ -66,5 +69,8 @@ fn main() {
         after.score(cc)
     );
     assert!(after.score(cc) < before.score(cc));
-    assert!(rank_after > 10, "C&C should leave the top-10 (got rank {rank_after})");
+    assert!(
+        rank_after > 10,
+        "C&C should leave the top-10 (got rank {rank_after})"
+    );
 }

@@ -35,7 +35,10 @@ fn main() {
     // 4. The defender re-fits on the poisoned graph.
     let model_after = detector.fit(&poisoned).expect("fit poisoned");
     let (s0, sb) = (model.score(target), model_after.score(target));
-    println!("\ntarget v{target}: AScore {s0:.3} -> {sb:.3} after {} flips", outcome.ops(12).len());
+    println!(
+        "\ntarget v{target}: AScore {s0:.3} -> {sb:.3} after {} flips",
+        outcome.ops(12).len()
+    );
     let rank_after = model_after
         .top_k(g.num_nodes())
         .iter()

@@ -19,7 +19,10 @@ fn main() {
             let tmp = std::env::temp_dir().join("binattack_example.edges");
             let g = datasets::Dataset::Wikivote.build_scaled(600, 2800, 11);
             binarized_attack::graph::io::save_edge_list(&g, &tmp).expect("save");
-            println!("(no path given; wrote a synthetic stand-in to {})", tmp.display());
+            println!(
+                "(no path given; wrote a synthetic stand-in to {})",
+                tmp.display()
+            );
             tmp
         }
     };
@@ -49,7 +52,10 @@ fn main() {
     let attack = BinarizedAttack::new(AttackConfig::default());
     let outcome = attack.attack(&g, &targets, budget).expect("attack");
     let poisoned = outcome.poisoned_graph(&g, budget);
-    let sb = detector.fit(&poisoned).expect("fit poisoned").target_score_sum(&targets);
+    let sb = detector
+        .fit(&poisoned)
+        .expect("fit poisoned")
+        .target_score_sum(&targets);
     println!(
         "attacked {} targets with {} edge flips: AScore sum {s0:.2} -> {sb:.2} (tau_as {:.1}%)",
         targets.len(),

@@ -23,7 +23,10 @@ fn main() {
     let outcome = attack.attack(&g, &targets, budget).expect("attack");
     let poisoned = outcome.poisoned_graph(&g, budget);
 
-    println!("{:>12}  {:>10}  {:>10}  {:>8}", "estimator", "S_clean", "S_poison", "tau_as");
+    println!(
+        "{:>12}  {:>10}  {:>10}  {:>8}",
+        "estimator", "S_clean", "S_poison", "tau_as"
+    );
     let mut taus = Vec::new();
     for (name, reg) in [
         ("OLS", Regressor::Ols),
@@ -32,7 +35,10 @@ fn main() {
     ] {
         let det = OddBall::new(reg);
         let s0 = det.fit(&g).expect("fit clean").target_score_sum(&targets);
-        let sb = det.fit(&poisoned).expect("fit poisoned").target_score_sum(&targets);
+        let sb = det
+            .fit(&poisoned)
+            .expect("fit poisoned")
+            .target_score_sum(&targets);
         let tau = (s0 - sb) / s0.max(1e-12);
         println!("{name:>12}  {s0:>10.3}  {sb:>10.3}  {tau:>8.3}");
         taus.push(tau);
@@ -40,6 +46,9 @@ fn main() {
     // The attack must remain effective under every estimator (paper:
     // robust estimation "slightly mitigates" it).
     for (i, tau) in taus.iter().enumerate() {
-        assert!(*tau > 0.15, "estimator #{i} fully defended (tau = {tau}) — unexpected");
+        assert!(
+            *tau > 0.15,
+            "estimator #{i} fully defended (tau = {tau}) — unexpected"
+        );
     }
 }

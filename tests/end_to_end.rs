@@ -12,7 +12,9 @@ fn attack_pipeline_on_every_dataset() {
         let (n, m) = d.paper_statistics();
         let g = d.build_scaled(n / 4, m / 4, 5);
         let detector = OddBall::default();
-        let model = detector.fit(&g).unwrap_or_else(|e| panic!("{}: {e}", d.name()));
+        let model = detector
+            .fit(&g)
+            .unwrap_or_else(|e| panic!("{}: {e}", d.name()));
         let targets: Vec<NodeId> = model.top_k(5).into_iter().map(|(i, _)| i).collect();
         let s0 = model.target_score_sum(&targets);
         assert!(s0 > 0.0, "{}: no anomaly signal to attack", d.name());
@@ -48,7 +50,9 @@ fn method_ordering_holds() {
         let curve = o.ascore_curve(&g, &targets, &OddBall::default());
         ba_core::AttackOutcome::tau_as(&curve, o.max_budget().min(budget))
     };
-    let bin = run(&BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.01, 0.05]));
+    let bin = run(&BinarizedAttack::default()
+        .with_iterations(60)
+        .with_lambdas(vec![0.01, 0.05]));
     let gms = run(&GradMaxSearch::default());
     let rnd = run(&RandomAttack::default());
     assert!(bin > rnd, "binarized {bin} <= random {rnd}");
@@ -71,7 +75,9 @@ fn poisoned_graph_io_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("poisoned.edges");
     binarized_attack::graph::io::save_edge_list(&poisoned, &path).unwrap();
-    let reloaded = binarized_attack::graph::io::load_edge_list(&path).unwrap().graph;
+    let reloaded = binarized_attack::graph::io::load_edge_list(&path)
+        .unwrap()
+        .graph;
     std::fs::remove_file(&path).ok();
 
     // Isolated nodes cannot appear (attack forbids singletons), so the
@@ -107,10 +113,16 @@ fn robust_defense_bounded_mitigation() {
     let g = Dataset::Wikivote.build_scaled(300, 1400, 13);
     let model = OddBall::default().fit(&g).unwrap();
     let targets: Vec<NodeId> = model.top_k(4).into_iter().map(|(i, _)| i).collect();
-    let attack = BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.01, 0.05]);
+    let attack = BinarizedAttack::default()
+        .with_iterations(60)
+        .with_lambdas(vec![0.01, 0.05]);
     let outcome = attack.attack(&g, &targets, 15).unwrap();
     let poisoned = outcome.poisoned_graph(&g, 15);
-    for reg in [Regressor::Ols, Regressor::default_huber(), Regressor::default_ransac(3)] {
+    for reg in [
+        Regressor::Ols,
+        Regressor::default_huber(),
+        Regressor::default_ransac(3),
+    ] {
         let det = OddBall::new(reg);
         let s0 = det.fit(&g).unwrap().target_score_sum(&targets);
         let sb = det.fit(&poisoned).unwrap().target_score_sum(&targets);
@@ -126,12 +138,20 @@ fn small_attack_is_statistically_unnoticeable_in_n() {
     let g = Dataset::BitcoinAlpha.build_scaled(400, 950, 15);
     let model = OddBall::default().fit(&g).unwrap();
     let targets: Vec<NodeId> = model.top_k(5).into_iter().map(|(i, _)| i).collect();
-    let attack = BinarizedAttack::default().with_iterations(60).with_lambdas(vec![0.02]);
+    let attack = BinarizedAttack::default()
+        .with_iterations(60)
+        .with_lambdas(vec![0.02]);
     let outcome = attack.attack(&g, &targets, 12).unwrap();
     let poisoned = outcome.poisoned_graph(&g, 12);
     let clean = binarized_attack::graph::egonet::egonet_features(&g);
     let pois = binarized_attack::graph::egonet::egonet_features(&poisoned);
-    let p = binarized_attack::stats::PermutationTest { resamples: 3000, seed: 5 }
-        .pvalue(&clean.n, &pois.n);
-    assert!(p > 0.01, "degree distribution significantly shifted: p = {p}");
+    let p = binarized_attack::stats::PermutationTest {
+        resamples: 3000,
+        seed: 5,
+    }
+    .pvalue(&clean.n, &pois.n);
+    assert!(
+        p > 0.01,
+        "degree distribution significantly shifted: p = {p}"
+    );
 }

@@ -1,0 +1,316 @@
+//! Offline stand-in for the subset of the `criterion` bench API this
+//! workspace uses: `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`BenchmarkId`] and [`Bencher::iter`].
+//!
+//! It is a real (if simple) harness: each benchmark is warmed up once,
+//! timed for `sample_size` samples, and the per-iteration mean / min /
+//! max are printed as a table row. There is no statistical analysis,
+//! no HTML report and no saved baselines — swap the `vendor/criterion`
+//! path dependency for the real crate to get those.
+//!
+//! The binaries understand the arguments cargo passes to `harness =
+//! false` targets: `--bench` is ignored, `--test` switches to a
+//! single-iteration smoke mode, and a bare string positional argument
+//! filters benchmarks by substring.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build a `Criterion` from the process arguments cargo passes to
+    /// `harness = false` bench targets.
+    pub fn from_args() -> Self {
+        // Flags that take a separate value argument in real criterion;
+        // anything else starting with "--" is treated as boolean so a
+        // following positional filter is never swallowed.
+        const VALUE_FLAGS: &[&str] = &[
+            "--baseline",
+            "--color",
+            "--measurement-time",
+            "--output-format",
+            "--profile-time",
+            "--sample-size",
+            "--save-baseline",
+            "--warm-up-time",
+        ];
+        let mut c = Criterion::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {
+                    if VALUE_FLAGS.contains(&s) {
+                        let _ = args.next();
+                    }
+                }
+                positional => c.filter = Some(positional.to_string()),
+            }
+        }
+        c
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // Empty group name: standalone benchmarks report a bare id, like
+        // real criterion, rather than "name/name".
+        let mut group = self.benchmark_group("");
+        group.run(&id.id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_budget: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing driver passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up, and a floor on iterations per sample so that
+        // sub-microsecond routines are not dominated by timer overhead.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed();
+        let target = self.measurement_time.max(Duration::from_millis(1)) / 10;
+        self.iters_per_sample = if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+
+        let deadline = Instant::now() + self.measurement_time;
+        self.samples.clear();
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        println!(
+            "{name:<44} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max),
+            self.samples.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Declares a function that runs each listed benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            test_mode: true,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("other", |_b| ran = true);
+        group.bench_function("wanted", |_b| ran = true);
+        group.finish();
+        assert!(ran, "matching benchmark must run");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro (including `#![proptest_config(..)]`),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! and [`collection::vec`].
+//!
+//! It is a real property-test runner — each test samples fresh inputs
+//! from its strategies for `ProptestConfig::cases` cases and fails with
+//! the case number and seed on the first violated assertion — but there
+//! is no shrinking and no persisted failure files. Sampling is
+//! deterministic: the RNG is seeded from the test name, so a failure
+//! reproduces by re-running the same test binary.
+//!
+//! Case count defaults to 64 and can be overridden with the
+//! `PROPTEST_CASES` environment variable, matching upstream's knob.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Per-test runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from the test's name so every test draws an independent,
+    /// reproducible stream.
+    pub fn deterministic(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub fn gen_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+
+    pub fn gen_f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+
+    pub fn gen_usize_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_usize_below: empty bound");
+        self.0.gen_range(0..bound)
+    }
+}
+
+/// Drives one property test: samples cases, counts rejects, panics on
+/// the first failure. Called from the expansion of [`proptest!`].
+pub fn run_property_test<F>(name: &str, config: &ProptestConfig, mut one_case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::deterministic(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    while passed < config.cases {
+        match one_case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    // Matches upstream: an assumption this strict means the
+                    // property was never meaningfully exercised, which must
+                    // fail loudly rather than pass vacuously.
+                    panic!(
+                        "proptest {name}: too many prop_assume rejects \
+                         ({rejected}; {passed}/{} cases passed)",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case {} (after {rejected} rejects) failed:\n{msg}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}
+
+/// Property-test declaration macro. Mirrors upstream's surface grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn my_prop(x in 0u32..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property_test(
+                    stringify!($name),
+                    &config,
+                    |__rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        let ( $($pat,)+ ) =
+                            ( $( $crate::Strategy::sample(&($strat), __rng), )+ );
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (it is re-drawn, not counted) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

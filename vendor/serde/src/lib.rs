@@ -1,0 +1,15 @@
+//! Offline stand-in for the subset of `serde` this workspace uses:
+//! importing `Serialize` / `Deserialize` and deriving them on data types.
+//!
+//! The derives (re-exported from the sibling `serde_derive` stub) expand
+//! to nothing, and the traits here are empty markers. Nothing in-tree
+//! performs serialization yet; replacing the `vendor/serde*` path
+//! dependencies with the real crates requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

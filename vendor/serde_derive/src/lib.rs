@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace derives these traits on core data types so downstream
+//! users *can* wire up real serialization, but nothing in-tree serializes
+//! yet and the build environment cannot reach crates.io. These derives
+//! accept the same attribute syntax and expand to nothing; swap the
+//! `vendor/serde*` path dependencies for the real crates to activate them.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
