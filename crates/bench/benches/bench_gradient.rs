@@ -1,10 +1,16 @@
 //! Criterion benches for the analytic gradient engine — the inner loop
-//! of every attack.
+//! of every attack. The headline comparison (sparse assembly vs the
+//! retired dense path, with the ≥5× gate) lives in the `grad_bench`
+//! binary; these benches track the individual kernels.
 
 use ba_bench::sample_targets;
-use ba_core::{correction_map, dense_pair_gradient, node_grads, pair_grad};
+use ba_core::{
+    assemble_pair_grads, correction_map, dense_pair_gradient, node_grads, pair_grad,
+    CandidateScope, Candidates,
+};
 use ba_datasets::Dataset;
 use ba_graph::egonet::egonet_features;
+use ba_graph::CsrGraph;
 use ba_linalg::Matrix;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -52,6 +58,25 @@ fn bench_single_pair_grad(c: &mut Criterion) {
     });
 }
 
+/// The attack hot loop's backward pass: assemble G_ij for every
+/// candidate pair over the CSR substrate (strategy auto-selected).
+fn bench_sparse_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble_pair_grads");
+    for d in [Dataset::Er, Dataset::Wikivote] {
+        let g = d.build(7);
+        let csr = CsrGraph::from(&g);
+        let feats = egonet_features(&g);
+        let targets = sample_targets(&g, 10, 50, 1);
+        let ng = node_grads(&feats.n, &feats.e, &targets).unwrap();
+        let candidates = Candidates::build(CandidateScope::Full, &g, &targets);
+        let mask = vec![true; candidates.len()];
+        group.bench_with_input(BenchmarkId::from_parameter(d.name()), &(), |b, _| {
+            b.iter(|| black_box(assemble_pair_grads(&csr, &ng, &candidates, &mask, 0)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_dense_gradient(c: &mut Criterion) {
     // Dense path at reduced scale (ContinuousA inner loop).
     let g = Dataset::Er.build_scaled(300, 900, 7);
@@ -73,6 +98,7 @@ criterion_group!(
     bench_node_grads,
     bench_correction_map,
     bench_single_pair_grad,
+    bench_sparse_assembly,
     bench_dense_gradient
 );
 criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Pair-gradient assembly micro-benchmark: sparse CSR merge vs dense
+//! matmul.
+//!
+//! Times one full backward pass of the attack engine — `G_ij` for every
+//! unordered candidate pair — on a 1000-node, ~5000-edge Erdős–Rényi
+//! graph, two ways:
+//!
+//! * **sparse** — [`ba_core::assemble_pair_grads`] over the frozen
+//!   [`CsrGraph`]: parallel sorted-merge common-neighbour scans,
+//!   `O(Σ_pairs deg(i)+deg(j))`, no `n×n` allocation;
+//! * **dense** — [`ba_core::dense_pair_gradient`]: the two `n×n`
+//!   products (`A²`, `A·diag(gE)·A`) the pre-CSR engine paid per step
+//!   (retained in production only for ContinuousA's fractional state).
+//!
+//! Exits non-zero if the sparse path is less than 5× faster — the CI
+//! smoke gate for the "no dense matmuls in the attack hot path"
+//! acceptance criterion. `--quick` runs fewer repetitions (CI), `--csv`
+//! emits a machine-readable line.
+
+use ba_core::{assemble_pair_grads, dense_pair_gradient, node_grads, CandidateScope, Candidates};
+use ba_graph::egonet::egonet_features;
+use ba_graph::{generators, CsrGraph};
+use std::time::Instant;
+
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let (sparse_reps, dense_reps) = if quick { (5, 1) } else { (20, 3) };
+
+    // ~5000 edges: p = 0.01 on n = 1000 gives E[m] ≈ 4995.
+    let n = 1000usize;
+    let g = generators::erdos_renyi(n, 0.01, 7);
+    let feats = egonet_features(&g);
+    let targets: Vec<u32> = (0..10).collect();
+    let ng = node_grads(&feats.n, &feats.e, &targets).expect("node grads");
+    let candidates = Candidates::build(CandidateScope::Full, &g, &targets);
+    let mask = vec![true; candidates.len()];
+    let csr = CsrGraph::from(&g);
+    let threads = ba_core::resolve_threads(0);
+
+    eprintln!(
+        "graph: n = {n}, m = {}, pairs = {}, threads = {threads}",
+        g.num_edges(),
+        candidates.len()
+    );
+
+    // Sparse: parallel merge assembly over the CSR substrate.
+    let mut sparse_out = Vec::new();
+    let sparse_s = time_best_of(sparse_reps, || {
+        sparse_out = assemble_pair_grads(&csr, &ng, &candidates, &mask, threads);
+    });
+
+    // Dense: the retired hot-path (two n×n products + n² assembly).
+    let a = ba_linalg::Matrix::from_vec(n, n, ba_graph::adjacency::to_row_major(&g));
+    let mut dense_out = ba_linalg::Matrix::zeros(0, 0);
+    let dense_s = time_best_of(dense_reps, || {
+        dense_out = dense_pair_gradient(&a, &ng, threads);
+    });
+
+    // Cross-check before reporting: both paths must agree.
+    let mut max_diff = 0.0f64;
+    candidates.for_each(|idx, i, j| {
+        let d = (sparse_out[idx] - dense_out[(i as usize, j as usize)]).abs();
+        max_diff = max_diff.max(d);
+    });
+    assert!(
+        max_diff < 1e-9,
+        "sparse/dense gradient mismatch: max |Δ| = {max_diff:e}"
+    );
+
+    let speedup = dense_s / sparse_s;
+    if csv {
+        println!("n,m,pairs,threads,sparse_s,dense_s,speedup");
+        println!(
+            "{n},{},{},{threads},{sparse_s:.6},{dense_s:.6},{speedup:.2}",
+            g.num_edges(),
+            candidates.len()
+        );
+    } else {
+        println!("sparse assembly: {:>10.3} ms", sparse_s * 1e3);
+        println!("dense  assembly: {:>10.3} ms", dense_s * 1e3);
+        println!("speedup:         {speedup:>10.2}x (gate: ≥{REQUIRED_SPEEDUP}x)");
+    }
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!("FAIL: sparse path is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
+        std::process::exit(1);
+    }
+}

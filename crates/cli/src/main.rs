@@ -16,7 +16,7 @@ use ba_core::{
 };
 use ba_datasets::Dataset;
 use ba_graph::io::{load_edge_list, save_edge_list};
-use ba_graph::{Graph, NodeId};
+use ba_graph::{CsrGraph, DeltaOverlay, EditableGraph, Graph, NodeId};
 use ba_oddball::{OddBall, Regressor};
 use std::process::ExitCode;
 
@@ -196,11 +196,18 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
 
     let b = outcome.max_budget();
-    let poisoned = outcome.poisoned_graph(&g, b);
-    save_edge_list(&poisoned, out).map_err(|e| e.to_string())?;
-    let before = OddBall::default().fit(&g).map_err(|e| e.to_string())?;
+    // Score the before/after pair through one frozen CSR substrate: the
+    // poisoned graph is just a delta overlay, so the detector refits
+    // without a second adjacency build.
+    let csr = CsrGraph::from(&g);
+    let mut poisoned_view = DeltaOverlay::new(&csr);
+    poisoned_view.apply_ops(outcome.ops(b));
+    // Persist the attack result before scoring: a degenerate refit must
+    // not lose the poisoned graph the user asked for.
+    save_edge_list(&poisoned_view.to_graph(), out).map_err(|e| e.to_string())?;
+    let before = OddBall::default().fit(&csr).map_err(|e| e.to_string())?;
     let after = OddBall::default()
-        .fit(&poisoned)
+        .fit(&poisoned_view)
         .map_err(|e| e.to_string())?;
     let s0 = before.target_score_sum(&targets);
     let sb = after.target_score_sum(&targets);

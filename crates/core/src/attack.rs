@@ -2,7 +2,7 @@
 
 use crate::loss::LossError;
 use crate::pair::{CandidateScope, EdgeOpKind};
-use ba_graph::{EdgeOp, Graph, NodeId};
+use ba_graph::{CsrGraph, DeltaOverlay, EdgeOp, EditableGraph, Graph, GraphView, NodeId};
 use ba_oddball::OddBall;
 use serde::{Deserialize, Serialize};
 
@@ -113,12 +113,17 @@ impl AttackOutcome {
     /// budget `b`.
     pub fn ascore_curve(&self, g0: &Graph, targets: &[NodeId], detector: &OddBall) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.max_budget() + 1);
-        let clean = detector.fit(g0).expect("detector fit on clean graph");
+        // One frozen CSR substrate; each budget's poisoned graph is a
+        // throwaway overlay over it — no adjacency rebuild per refit.
+        let csr = CsrGraph::from(g0);
+        let clean = detector.fit(&csr).expect("detector fit on clean graph");
         out.push(clean.target_score_sum(targets));
+        let mut overlay = DeltaOverlay::new(&csr);
         for b in 1..=self.max_budget() {
-            let poisoned = self.poisoned_graph(g0, b);
+            overlay.reset();
+            overlay.apply_ops(self.ops(b));
             let model = detector
-                .fit(&poisoned)
+                .fit(&overlay)
                 .expect("detector fit on poisoned graph");
             out.push(model.target_score_sum(targets));
         }
@@ -136,8 +141,11 @@ impl AttackOutcome {
     }
 }
 
-/// Validates target set against the graph.
-pub(crate) fn validate_targets(g: &Graph, targets: &[NodeId]) -> Result<(), AttackError> {
+/// Validates a target set against any graph view.
+pub(crate) fn validate_targets<V: GraphView + ?Sized>(
+    g: &V,
+    targets: &[NodeId],
+) -> Result<(), AttackError> {
     if targets.is_empty() {
         return Err(AttackError::NoTargets);
     }

@@ -1,10 +1,10 @@
 //! Non-gradient baselines used in the ablation benches: a uniformly
 //! random attacker and a structural heuristic (clique breaking).
 
-use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
+use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::pair::Candidates;
-use ba_graph::egonet::IncrementalEgonet;
-use ba_graph::{Graph, NodeId};
+use crate::session::AttackSession;
+use ba_graph::{CsrGraph, Graph, GraphView, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -40,7 +40,8 @@ impl StructuralAttack for RandomAttack {
         targets: &[NodeId],
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        validate_targets(g0, targets)?;
+        let csr = CsrGraph::from(g0);
+        let mut session = AttackSession::new(&csr, targets)?;
         let candidates = Candidates::build(self.config.scope, g0, targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
@@ -49,8 +50,6 @@ impl StructuralAttack for RandomAttack {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         order.shuffle(&mut rng);
 
-        let mut g = g0.clone();
-        let mut inc = IncrementalEgonet::new(&g);
         let mut ops = Vec::new();
         let mut ops_per_budget = Vec::new();
         let mut loss_per_budget = Vec::new();
@@ -59,6 +58,7 @@ impl StructuralAttack for RandomAttack {
                 break;
             }
             let (i, j) = candidates.pair(idx);
+            let g = session.graph();
             let is_edge = g.has_edge(i, j);
             if !self.config.op_kind.allows(is_edge) {
                 continue;
@@ -66,10 +66,9 @@ impl StructuralAttack for RandomAttack {
             if is_edge && self.config.forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
                 continue;
             }
-            let op = inc.toggle(&mut g, i, j).expect("not a self-loop");
+            let op = session.toggle(i, j).expect("not a self-loop");
             ops.push(op);
-            let feats = inc.features();
-            let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+            let loss = session.loss()?;
             ops_per_budget.push(ops.clone());
             loss_per_budget.push(loss);
         }
@@ -116,17 +115,16 @@ impl StructuralAttack for CliqueBreaker {
         targets: &[NodeId],
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        validate_targets(g0, targets)?;
-        let mut g = g0.clone();
-        let mut inc = IncrementalEgonet::new(&g);
+        let csr = CsrGraph::from(g0);
+        let mut session = AttackSession::new(&csr, targets)?;
         let mut ops = Vec::new();
         let mut ops_per_budget = Vec::new();
         let mut loss_per_budget = Vec::new();
 
         for _ in 0..budget {
             // Rank targets by current squared residual from the fitted law.
-            let feats = inc.features();
-            let ng = crate::grad::node_grads(&feats.n, &feats.e, targets)?;
+            let ng = session.node_grads()?;
+            let feats = session.features();
             let (b0, b1) = (ng.beta0, ng.beta1);
             let mut ranked: Vec<NodeId> = targets.to_vec();
             ranked.sort_by(|&x, &y| {
@@ -138,9 +136,10 @@ impl StructuralAttack for CliqueBreaker {
             });
             // For the worst target, delete the incident edge with the most
             // common neighbours.
+            let g = session.graph();
             let mut choice: Option<(NodeId, NodeId, usize)> = None;
             'outer: for &t in &ranked {
-                let nbrs: Vec<NodeId> = g.neighbors(t).iter().copied().collect();
+                let nbrs: Vec<NodeId> = g.neighbors_sorted(t).to_vec();
                 for x in nbrs {
                     if self.config.forbid_singletons && !g.deletion_keeps_no_singletons(t, x) {
                         continue;
@@ -155,10 +154,9 @@ impl StructuralAttack for CliqueBreaker {
                 }
             }
             let Some((t, x, _)) = choice else { break };
-            let op = inc.toggle(&mut g, t, x).expect("distinct nodes");
+            let op = session.toggle(t, x).expect("distinct nodes");
             ops.push(op);
-            let feats = inc.features();
-            let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+            let loss = session.loss()?;
             ops_per_budget.push(ops.clone());
             loss_per_budget.push(loss);
         }

@@ -23,11 +23,10 @@
 //! schedule), and λ is therefore expressed in normalised-gradient units.
 //! The `ablation` bench quantifies both choices.
 
-use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
-use crate::grad::{correction_map, node_grads, pair_grad_with_corrections};
+use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::pair::{static_mask, Candidates};
-use ba_graph::egonet::IncrementalEgonet;
-use ba_graph::{EdgeOp, Graph, NodeId};
+use crate::session::AttackSession;
+use ba_graph::{CsrGraph, EdgeOp, Graph, GraphView, NodeId};
 
 /// The BinarizedAttack optimiser.
 #[derive(Debug, Clone)]
@@ -86,16 +85,15 @@ impl BinarizedAttack {
     /// and the loss trajectory.
     fn optimise_one_lambda(
         &self,
-        g0: &Graph,
-        targets: &[NodeId],
+        session: &mut AttackSession<'_>,
         candidates: &Candidates,
         mask: &[bool],
         lambda: f64,
     ) -> Result<(Vec<Vec<f64>>, Vec<f64>), AttackError> {
+        session.reset();
+        let base = session.base();
         let mut zdot = vec![0.0f64; candidates.len()];
         let mut grads = vec![0.0f64; candidates.len()];
-        let mut g = g0.clone();
-        let mut inc = IncrementalEgonet::new(&g);
         // Current flip set (candidate indices with Ż > ½).
         let mut flipped = vec![false; candidates.len()];
         let mut trajectory = Vec::with_capacity(self.iterations);
@@ -106,21 +104,21 @@ impl BinarizedAttack {
             if t > 0 && t % snap_every == 0 {
                 snapshots.push(zdot.clone());
             }
-            // Forward: objective and node grads on the *discrete* graph.
-            let feats = inc.features();
-            let ng = node_grads(&feats.n, &feats.e, targets)?;
+            // Forward: objective and node grads on the *discrete* graph
+            // (features are maintained incrementally by the session).
+            let ng = session.node_grads()?;
             trajectory.push(ng.loss);
-            let corrections = correction_map(&g, &ng.g_e);
-
-            // Backward: dL/dŻ per candidate (STE), normalised step.
+            // Backward: sparse parallel assembly of G_ij per candidate,
+            // then the straight-through sign `1 − 2A₀_ij` and the
+            // normalised-step scale.
+            session.pair_gradients_into(&ng, candidates, mask, &mut grads);
             let mut max_abs = 0.0f64;
             candidates.for_each(|idx, i, j| {
                 if !mask[idx] {
-                    grads[idx] = 0.0;
-                    return;
+                    return; // grads[idx] is already 0.0
                 }
-                let s = if g0.has_edge(i, j) { -1.0 } else { 1.0 }; // 1 − 2A₀
-                let gr = pair_grad_with_corrections(&ng, &corrections, i, j) * s;
+                let s = if base.has_edge(i, j) { -1.0 } else { 1.0 }; // 1 − 2A₀
+                let gr = grads[idx] * s;
                 grads[idx] = gr;
                 max_abs = max_abs.max(gr.abs());
             });
@@ -147,7 +145,8 @@ impl BinarizedAttack {
                 }
             });
             for (idx, i, j, want) in changed {
-                inc.toggle(&mut g, i, j)
+                session
+                    .toggle(i, j)
                     .expect("candidate pairs are not self-loops");
                 flipped[idx] = want;
             }
@@ -168,8 +167,7 @@ impl Default for BinarizedAttack {
 /// against the *evolving* poisoned graph). Returns the ops and the
 /// resulting surrogate loss.
 pub(crate) fn extract_budget(
-    g0: &Graph,
-    targets: &[NodeId],
+    session: &mut AttackSession<'_>,
     candidates: &Candidates,
     mask: &[bool],
     scores: &[f64],
@@ -187,22 +185,21 @@ pub(crate) fn extract_budget(
             .expect("NaN score")
             .then(a.cmp(&bidx))
     });
-    let mut g = g0.clone();
-    let mut inc = IncrementalEgonet::new(&g);
+    session.reset();
     let mut ops = Vec::with_capacity(b);
     for idx in order {
         if ops.len() >= b {
             break;
         }
         let (i, j) = candidates.pair(idx);
+        let g = session.graph();
         if g.has_edge(i, j) && forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
             continue;
         }
-        let op = inc.toggle(&mut g, i, j).expect("not a self-loop");
+        let op = session.toggle(i, j).expect("not a self-loop");
         ops.push(op);
     }
-    let feats = inc.features();
-    let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+    let loss = session.loss()?;
     Ok((ops, loss))
 }
 
@@ -217,7 +214,8 @@ impl StructuralAttack for BinarizedAttack {
         targets: &[NodeId],
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        validate_targets(g0, targets)?;
+        let csr = CsrGraph::from(g0);
+        let mut session = AttackSession::new(&csr, targets)?;
         let candidates = Candidates::build(self.config.scope, g0, targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
@@ -230,11 +228,13 @@ impl StructuralAttack for BinarizedAttack {
         );
 
         // Optimise per λ, collecting Ż snapshots across the whole sweep.
+        // The session is reused across λs and extractions: resetting the
+        // overlay is O(edits), the substrate is never rebuilt.
         let mut sweep: Vec<Vec<f64>> = Vec::new();
         let mut trajectory = Vec::new();
         for &lambda in &self.lambdas {
             let (snapshots, traj) =
-                self.optimise_one_lambda(g0, targets, &candidates, &mask, lambda)?;
+                self.optimise_one_lambda(&mut session, &candidates, &mask, lambda)?;
             if traj.len() > trajectory.len() {
                 trajectory = traj; // keep the longest trace for ablations
             }
@@ -252,8 +252,7 @@ impl StructuralAttack for BinarizedAttack {
             let mut best: Option<(Vec<EdgeOp>, f64)> = None;
             for zdot in &sweep {
                 let (ops, loss) = extract_budget(
-                    g0,
-                    targets,
+                    &mut session,
                     &candidates,
                     &mask,
                     zdot,

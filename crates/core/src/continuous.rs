@@ -12,11 +12,13 @@
 //! which is why the paper observes it scales poorly and converts
 //! erratically — behaviour this implementation reproduces.
 
-use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
+use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::binarized::extract_budget;
-use crate::grad::{dense_features, dense_pair_gradient, node_grads};
+use crate::dense::{dense_features, dense_pair_gradient};
+use crate::grad::{node_grads, resolve_threads};
 use crate::pair::{static_mask, Candidates};
-use ba_graph::{Graph, NodeId};
+use crate::session::AttackSession;
+use ba_graph::{CsrGraph, Graph, NodeId};
 use ba_linalg::Matrix;
 
 /// The continuous-relaxation attack.
@@ -66,13 +68,7 @@ impl ContinuousA {
     }
 
     fn thread_count(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        resolve_threads(self.threads)
     }
 }
 
@@ -93,7 +89,8 @@ impl StructuralAttack for ContinuousA {
         targets: &[NodeId],
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        validate_targets(g0, targets)?;
+        let csr = CsrGraph::from(g0);
+        let mut session = AttackSession::new(&csr, targets)?;
         let n = g0.num_nodes();
         let candidates = Candidates::build(self.config.scope, g0, targets);
         if candidates.is_empty() {
@@ -150,8 +147,7 @@ impl StructuralAttack for ContinuousA {
         let mut loss_per_budget = Vec::with_capacity(budget);
         for b in 1..=budget {
             let (ops, loss) = extract_budget(
-                g0,
-                targets,
+                &mut session,
                 &candidates,
                 &mask,
                 &scores,

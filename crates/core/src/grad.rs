@@ -17,13 +17,18 @@
 //!
 //! The `(A²)`/`(A diag A)` terms come from `E_k = N_k + ½(A³)_kk`:
 //! differentiating `tr(diag(gE/2)·A³)` w.r.t. a symmetric pair
-//! perturbation yields exactly those common-neighbour sums. Everything
-//! here is verified against `ba-autodiff` and finite differences in
-//! `tests/grad_check.rs`.
+//! perturbation yields exactly those common-neighbour sums — so on a
+//! *binary* graph the whole pair gradient is a sorted-merge
+//! common-neighbour scan, `O(deg(i) + deg(j))` per pair, with no `n×n`
+//! matrix anywhere ([`pair_grad`], [`assemble_pair_grads_into`]). The
+//! dense fallback for fractional adjacencies (ContinuousA only) lives in
+//! [`crate::dense`]. Everything here is verified against `ba-autodiff`
+//! and finite differences in `tests/grad_check.rs`.
 
 use crate::loss::{fit_beta, safe_exp, LossError};
-use ba_graph::{Graph, NodeId};
-use ba_oddball::log_features;
+use crate::pair::Candidates;
+use ba_graph::view::merge_common;
+use ba_graph::{GraphView, NodeId};
 use std::collections::HashMap;
 
 /// Per-node derivatives of the surrogate loss, plus the fitted regression
@@ -52,7 +57,7 @@ pub fn node_grads(n: &[f64], e: &[f64], targets: &[NodeId]) -> Result<NodeGrads,
     if targets.iter().any(|&t| (t as usize) >= n_nodes) {
         return Err(LossError::TargetOutOfRange);
     }
-    let (u, v) = log_features(n, e);
+    let (u, v) = ba_oddball::log_features(n, e);
     let (b0, b1) = fit_beta(&u, &v)?;
 
     // Normal-equation sums (S entries).
@@ -114,23 +119,232 @@ pub fn node_grads(n: &[f64], e: &[f64], targets: &[NodeId]) -> Result<NodeGrads,
 }
 
 /// Gradient of the loss w.r.t. the single unordered pair `{i, j}` on a
-/// *binary* graph, computed sparsely from common neighbours.
-pub fn pair_grad(g: &Graph, ng: &NodeGrads, i: NodeId, j: NodeId) -> f64 {
+/// *binary* graph, computed sparsely from common neighbours: one sorted
+/// merge over the two neighbour slices, `O(deg(i) + deg(j))`.
+pub fn pair_grad<V: GraphView + ?Sized>(g: &V, ng: &NodeGrads, i: NodeId, j: NodeId) -> f64 {
     debug_assert_ne!(i, j);
     let mut cn = 0usize;
     let mut wsum = 0.0;
-    let (a, b) = (g.neighbors(i), g.neighbors(j));
-    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    for &m in small {
-        if large.contains(&m) {
-            cn += 1;
-            wsum += ng.g_e[m as usize];
-        }
-    }
+    merge_common(g.neighbors_sorted(i), g.neighbors_sorted(j), |m| {
+        cn += 1;
+        wsum += ng.g_e[m as usize];
+    });
     ng.h[i as usize]
         + ng.h[j as usize]
         + cn as f64 * (ng.g_e[i as usize] + ng.g_e[j as usize])
         + wsum
+}
+
+/// Resolves a thread-count request: `0` means autodetect via
+/// [`std::thread::available_parallelism`].
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Assembles the pair gradient `G_ij` for every candidate pair into
+/// `out`: `out[idx]` receives [`pair_grad`] for the pair at `idx` when
+/// `mask[idx]` is set, `0.0` otherwise. No `n×n` matrix is ever
+/// allocated, and the result is bit-identical for any thread count and
+/// either internal strategy — determinism the fixed-seed attack
+/// equivalence tests rely on.
+///
+/// Two sparse strategies, chosen by a cost model:
+///
+/// * **per-pair merge** — a sorted-merge common-neighbour scan per
+///   candidate, `O(deg(i) + deg(j))` each, parallelised over candidate
+///   chunks with scoped threads. Wins when the candidate set is small
+///   relative to the graph (e.g. `TargetNeighborhood` scope).
+/// * **wedge scatter** — enumerate every wedge `a–m–b` once
+///   (`O(Σ_m deg(m)²)`) and scatter `(count, Σ gE_m)` into flat arrays
+///   indexed by candidate, then combine in one linear pass. Wins when
+///   the candidates are dense in the pair space (`Full` scope), where
+///   per-pair merges would re-walk every adjacency list `n` times.
+///
+/// Both accumulate common-neighbour contributions in increasing `m` and
+/// combine with the same expression, so they agree to the last bit.
+pub fn assemble_pair_grads_into<V: GraphView + Sync + ?Sized>(
+    g: &V,
+    ng: &NodeGrads,
+    candidates: &Candidates,
+    mask: &[bool],
+    threads: usize,
+    out: &mut [f64],
+) {
+    assemble_pair_grads_with_scratch(g, ng, candidates, mask, threads, out, &mut Vec::new());
+}
+
+/// [`assemble_pair_grads_into`] with a caller-owned scratch buffer for
+/// the wedge-scatter strategy's per-candidate corrections, so hot loops
+/// (one assembly per optimiser iteration) avoid re-allocating a
+/// candidate-sized buffer every call. Results are identical to
+/// [`assemble_pair_grads_into`] regardless of the scratch's prior
+/// contents.
+pub fn assemble_pair_grads_with_scratch<V: GraphView + Sync + ?Sized>(
+    g: &V,
+    ng: &NodeGrads,
+    candidates: &Candidates,
+    mask: &[bool],
+    threads: usize,
+    out: &mut [f64],
+    scratch: &mut Vec<(f64, f64)>,
+) {
+    let len = candidates.len();
+    assert_eq!(mask.len(), len, "mask length mismatch");
+    assert_eq!(out.len(), len, "output length mismatch");
+    if len == 0 {
+        return;
+    }
+    // Cost model (unit = one adjacency touch). Merge re-walks both
+    // endpoint lists per pair; scatter touches every wedge once plus a
+    // constant amount per candidate slot.
+    let n = g.num_nodes().max(1);
+    let avg_deg = 2.0 * g.num_edges() as f64 / n as f64;
+    let merge_cost = len as f64 * (2.0 * avg_deg + 4.0);
+    let wedges: f64 = (0..n as NodeId)
+        .map(|m| {
+            let d = g.degree(m) as f64;
+            d * (d - 1.0) * 0.5
+        })
+        .sum();
+    let scatter_cost = wedges + 4.0 * len as f64;
+    if scatter_cost < merge_cost {
+        scatter_pair_grads(g, ng, candidates, mask, threads, out, scratch);
+    } else {
+        merge_pair_grads(g, ng, candidates, mask, threads, out);
+    }
+}
+
+/// Per-pair sorted-merge strategy (see [`assemble_pair_grads_into`]).
+fn merge_pair_grads<V: GraphView + Sync + ?Sized>(
+    g: &V,
+    ng: &NodeGrads,
+    candidates: &Candidates,
+    mask: &[bool],
+    threads: usize,
+    out: &mut [f64],
+) {
+    let len = candidates.len();
+    let threads = resolve_threads(threads).min(len.max(1));
+    let fill = |start: usize, chunk: &mut [f64]| {
+        let end = start + chunk.len();
+        candidates.for_each_range(start, end, |idx, i, j| {
+            chunk[idx - start] = if mask[idx] {
+                pair_grad(g, ng, i, j)
+            } else {
+                0.0
+            };
+        });
+    };
+    if threads <= 1 || len < 1024 {
+        fill(0, out);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let fill = &fill;
+    std::thread::scope(|scope| {
+        for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || fill(c * chunk, out_chunk));
+        }
+    });
+}
+
+/// Wedge-scatter strategy (see [`assemble_pair_grads_into`]): the flat-
+/// array descendant of [`correction_map`] — same sums, no hashing.
+fn scatter_pair_grads<V: GraphView + Sync + ?Sized>(
+    g: &V,
+    ng: &NodeGrads,
+    candidates: &Candidates,
+    mask: &[bool],
+    threads: usize,
+    out: &mut [f64],
+    scratch: &mut Vec<(f64, f64)>,
+) {
+    let len = candidates.len();
+    let n = g.num_nodes();
+    // Per-candidate `(common-neighbour count, Σ gE_m)`, interleaved so a
+    // wedge hit costs one cache line. Enumeration is endpoint-ordered —
+    // ascending smaller endpoint `a`, then `m ∈ N(a)` ascending, then
+    // `b ∈ N(m)` past `a` — which (1) clusters the scatter writes by
+    // pair-space row and (2) delivers each pair's contributions in
+    // ascending `m`, so the accumulated sums are bit-identical to the
+    // sorted merge's.
+    scratch.clear();
+    scratch.resize(len, (0.0, 0.0));
+    let corr: &mut [(f64, f64)] = scratch;
+    for a in 0..n as NodeId {
+        for &m in g.neighbors_sorted(a) {
+            let gem = ng.g_e[m as usize];
+            let nbrs_m = g.neighbors_sorted(m);
+            let from = nbrs_m.partition_point(|&b| b <= a);
+            for &b in &nbrs_m[from..] {
+                if let Some(idx) = candidates.index_of(a, b) {
+                    let slot = &mut corr[idx];
+                    slot.0 += 1.0;
+                    slot.1 += gem;
+                }
+            }
+        }
+    }
+    // Combine pass: same expression as `pair_grad` (the `cn == 0` branch
+    // only skips adding exact zeros).
+    let threads = resolve_threads(threads).min(len.max(1));
+    if threads <= 1 || len < 1024 {
+        combine_chunk(ng, candidates, mask, corr, 0, out);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    let corr = &corr;
+    std::thread::scope(|scope| {
+        for (c, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || combine_chunk(ng, candidates, mask, corr, c * chunk, out_chunk));
+        }
+    });
+}
+
+/// One combine chunk of the scatter strategy: `out[idx] = G_ij` from the
+/// accumulated `(cn, Σ gE_m)` corrections, matching [`pair_grad`]'s
+/// evaluation order exactly.
+fn combine_chunk(
+    ng: &NodeGrads,
+    candidates: &Candidates,
+    mask: &[bool],
+    corr: &[(f64, f64)],
+    start: usize,
+    chunk: &mut [f64],
+) {
+    let end = start + chunk.len();
+    candidates.for_each_range(start, end, |idx, i, j| {
+        chunk[idx - start] = if mask[idx] {
+            let base = ng.h[i as usize] + ng.h[j as usize];
+            let (c, w) = corr[idx];
+            if c != 0.0 {
+                base + c * (ng.g_e[i as usize] + ng.g_e[j as usize]) + w
+            } else {
+                base
+            }
+        } else {
+            0.0
+        };
+    });
+}
+
+/// Allocating convenience wrapper around [`assemble_pair_grads_into`].
+pub fn assemble_pair_grads<V: GraphView + Sync + ?Sized>(
+    g: &V,
+    ng: &NodeGrads,
+    candidates: &Candidates,
+    mask: &[bool],
+    threads: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0; candidates.len()];
+    assemble_pair_grads_into(g, ng, candidates, mask, threads, &mut out);
+    out
 }
 
 /// Packs an unordered pair into a `u64` map key.
@@ -145,13 +359,16 @@ fn pair_key(i: NodeId, j: NodeId) -> u64 {
 /// `(common-neighbour count, Σ_m gE_m over common neighbours)`.
 ///
 /// Enumerating the middle node `m` and all pairs of its neighbours costs
-/// `O(Σ_m deg(m)²)` — cheap on the paper's sparse graphs, and *much*
-/// cheaper than a dense `A²` product.
-pub fn correction_map(g: &Graph, g_e: &[f64]) -> HashMap<u64, (f64, f64)> {
+/// `O(Σ_m deg(m)²)` and a hash insert per wedge. The per-pair merge path
+/// ([`assemble_pair_grads_into`]) replaced this in the attack hot loops —
+/// it allocates nothing per step and parallelises — but the map remains
+/// the independent reference implementation the equivalence tests check
+/// the merge path against.
+pub fn correction_map<V: GraphView + ?Sized>(g: &V, g_e: &[f64]) -> HashMap<u64, (f64, f64)> {
     let mut map: HashMap<u64, (f64, f64)> = HashMap::with_capacity(4 * g.num_edges());
     for m in 0..g.num_nodes() as NodeId {
         let gem = g_e[m as usize];
-        let nbrs: Vec<NodeId> = g.neighbors(m).iter().copied().collect();
+        let nbrs = g.neighbors_sorted(m);
         for (ai, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[ai + 1..] {
                 let entry = map.entry(pair_key(a, b)).or_insert((0.0, 0.0));
@@ -180,64 +397,12 @@ pub fn pair_grad_with_corrections(
     }
 }
 
-/// Dense pair gradient for a *fractional* symmetric adjacency matrix
-/// (ContinuousA). Returns an `n × n` symmetric matrix `G` whose `(i,j)`
-/// entry is the derivative w.r.t. the unordered pair; the diagonal is 0.
-///
-/// Uses two dense products: `A²` and `A·diag(gE)·A`.
-pub fn dense_pair_gradient(
-    a: &ba_linalg::Matrix,
-    ng: &NodeGrads,
-    threads: usize,
-) -> ba_linalg::Matrix {
-    let n = a.rows();
-    assert_eq!(n, a.cols(), "adjacency must be square");
-    assert_eq!(n, ng.h.len(), "gradient size mismatch");
-    let a2 = ba_linalg::par_matmul(a, a, threads);
-    // AW: scale columns of A by gE (W = diag(gE)); then (AW)·A.
-    let mut aw = a.clone();
-    for i in 0..n {
-        let row = aw.row_mut(i);
-        for (j, x) in row.iter_mut().enumerate() {
-            *x *= ng.g_e[j];
-        }
-    }
-    let awa = ba_linalg::par_matmul(&aw, a, threads);
-    let mut g = ba_linalg::Matrix::zeros(n, n);
-    for i in 0..n {
-        for j in 0..n {
-            if i == j {
-                continue;
-            }
-            g[(i, j)] = ng.h[i] + ng.h[j] + a2[(i, j)] * (ng.g_e[i] + ng.g_e[j]) + awa[(i, j)];
-        }
-    }
-    g
-}
-
-/// Computes fractional egonet features `N = A·1`, `E = N + ½ diag(A³)`
-/// from a dense symmetric adjacency. Returns `(n, e)`.
-pub fn dense_features(a: &ba_linalg::Matrix, threads: usize) -> (Vec<f64>, Vec<f64>) {
-    let n = a.rows();
-    let a2 = ba_linalg::par_matmul(a, a, threads);
-    let mut deg = vec![0.0; n];
-    let mut e = vec![0.0; n];
-    for i in 0..n {
-        let row = a.row(i);
-        deg[i] = row.iter().sum();
-        // diag(A³)_i = Σ_m (A²)_im A_mi = row_i(A²)·row_i(A) for symmetric A.
-        let a2row = a2.row(i);
-        let t: f64 = a2row.iter().zip(row).map(|(x, y)| x * y).sum();
-        e[i] = deg[i] + 0.5 * t;
-    }
-    (deg, e)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pair::CandidateScope;
     use ba_graph::egonet::egonet_features;
-    use ba_graph::generators;
+    use ba_graph::{generators, CsrGraph, DeltaOverlay, Graph};
 
     fn feature_vectors(g: &Graph) -> (Vec<f64>, Vec<f64>) {
         let f = egonet_features(g);
@@ -309,32 +474,102 @@ mod tests {
     }
 
     #[test]
-    fn dense_features_match_sparse_on_binary_graph() {
-        let g = generators::erdos_renyi(50, 0.1, 4);
-        let (n_sparse, e_sparse) = feature_vectors(&g);
-        let a = ba_linalg::Matrix::from_vec(50, 50, ba_graph::adjacency::to_row_major(&g));
-        let (n_dense, e_dense) = dense_features(&a, 2);
-        for k in 0..50 {
-            assert!((n_sparse[k] - n_dense[k]).abs() < 1e-9);
-            assert!((e_sparse[k] - e_dense[k]).abs() < 1e-9, "node {k}");
+    fn assembly_bitwise_matches_correction_map_and_any_thread_count() {
+        let g = generators::barabasi_albert(120, 4, 9);
+        let (n, e) = feature_vectors(&g);
+        let ng = node_grads(&n, &e, &[1, 17, 33]).unwrap();
+        let candidates = Candidates::build(CandidateScope::Full, &g, &[1, 17, 33]);
+        let mask = vec![true; candidates.len()];
+        let corr = correction_map(&g, &ng.g_e);
+
+        let serial = assemble_pair_grads(&g, &ng, &candidates, &mask, 1);
+        for threads in [2usize, 4, 7] {
+            let parallel = assemble_pair_grads(&g, &ng, &candidates, &mask, threads);
+            assert_eq!(serial, parallel, "thread count {threads} diverged");
+        }
+        candidates.for_each(|idx, i, j| {
+            let via_map = pair_grad_with_corrections(&ng, &corr, i, j);
+            assert_eq!(
+                serial[idx], via_map,
+                "pair ({i},{j}): merge path must be bit-identical to the map path"
+            );
+        });
+    }
+
+    #[test]
+    fn merge_and_scatter_strategies_agree_bitwise() {
+        // Both internal strategies must be interchangeable to the last
+        // bit — the cost model may pick either depending on graph shape.
+        let g = generators::barabasi_albert(100, 5, 21);
+        let (n, e) = feature_vectors(&g);
+        let targets = [3u32, 11];
+        let ng = node_grads(&n, &e, &targets).unwrap();
+        for scope in [CandidateScope::Full, CandidateScope::TargetNeighborhood] {
+            let candidates = Candidates::build(scope, &g, &targets);
+            let mut mask = vec![true; candidates.len()];
+            mask[candidates.len() / 2] = false;
+            let mut via_merge = vec![0.0; candidates.len()];
+            let mut via_scatter = vec![0.0; candidates.len()];
+            super::merge_pair_grads(&g, &ng, &candidates, &mask, 1, &mut via_merge);
+            super::scatter_pair_grads(
+                &g,
+                &ng,
+                &candidates,
+                &mask,
+                1,
+                &mut via_scatter,
+                &mut Vec::new(),
+            );
+            assert_eq!(via_merge, via_scatter, "scope {scope:?}");
         }
     }
 
     #[test]
-    fn dense_pair_gradient_matches_sparse_on_binary_graph() {
-        let g = generators::erdos_renyi(40, 0.12, 5);
+    fn for_each_range_matches_pair_decode() {
+        let g = generators::erdos_renyi(40, 0.1, 2);
+        for scope in [CandidateScope::Full, CandidateScope::TargetNeighborhood] {
+            let candidates = Candidates::build(scope, &g, &[0, 1]);
+            let len = candidates.len();
+            for (start, end) in [(0, len), (len / 3, 2 * len / 3), (len - 1, len)] {
+                candidates.for_each_range(start, end, |idx, i, j| {
+                    assert_eq!(candidates.pair(idx), (i, j), "idx {idx}");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn assembly_identical_across_representations() {
+        let g = generators::erdos_renyi(90, 0.06, 12);
         let (n, e) = feature_vectors(&g);
-        let ng = node_grads(&n, &e, &[0, 8]).unwrap();
-        let a = ba_linalg::Matrix::from_vec(40, 40, ba_graph::adjacency::to_row_major(&g));
-        let dense = dense_pair_gradient(&a, &ng, 2);
-        for i in 0..40u32 {
-            for j in (i + 1)..40u32 {
-                let sparse = pair_grad(&g, &ng, i, j);
-                let d = dense[(i as usize, j as usize)];
-                assert!(
-                    (sparse - d).abs() < 1e-9,
-                    "pair ({i},{j}): sparse {sparse} vs dense {d}"
-                );
+        let targets = [4u32, 8];
+        let ng = node_grads(&n, &e, &targets).unwrap();
+        let candidates = Candidates::build(CandidateScope::Full, &g, &targets);
+        let mask = vec![true; candidates.len()];
+        let csr = CsrGraph::from(&g);
+        let ov = DeltaOverlay::new(&csr);
+        let a = assemble_pair_grads(&g, &ng, &candidates, &mask, 2);
+        let b = assemble_pair_grads(&csr, &ng, &candidates, &mask, 2);
+        let c = assemble_pair_grads(&ov, &ng, &candidates, &mask, 2);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn assembly_respects_mask() {
+        let g = generators::erdos_renyi(30, 0.2, 5);
+        let (n, e) = feature_vectors(&g);
+        let ng = node_grads(&n, &e, &[0]).unwrap();
+        let candidates = Candidates::build(CandidateScope::Full, &g, &[0]);
+        let mut mask = vec![false; candidates.len()];
+        mask[3] = true;
+        let grads = assemble_pair_grads(&g, &ng, &candidates, &mask, 2);
+        for (idx, &v) in grads.iter().enumerate() {
+            if idx == 3 {
+                let (i, j) = candidates.pair(idx);
+                assert_eq!(v, pair_grad(&g, &ng, i, j));
+            } else {
+                assert_eq!(v, 0.0);
             }
         }
     }

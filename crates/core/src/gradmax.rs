@@ -9,11 +9,10 @@
 //! pairs is never revisited, and deletions that would create singleton
 //! nodes are skipped (both rules are explicit in the paper).
 
-use crate::attack::{validate_targets, AttackConfig, AttackError, AttackOutcome, StructuralAttack};
-use crate::grad::{correction_map, node_grads, pair_grad_with_corrections};
+use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::pair::{CandidateScope, Candidates};
-use ba_graph::egonet::IncrementalEgonet;
-use ba_graph::{Graph, NodeId};
+use crate::session::AttackSession;
+use ba_graph::{CsrGraph, Graph, GraphView, NodeId};
 use std::collections::HashSet;
 
 /// The greedy per-edge gradient attack.
@@ -57,44 +56,54 @@ impl StructuralAttack for GradMaxSearch {
         targets: &[NodeId],
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        validate_targets(g0, targets)?;
+        let csr = CsrGraph::from(g0);
+        let mut session = AttackSession::new(&csr, targets)?;
         let candidates = Candidates::build(self.config.scope, g0, targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
-        let mut g = g0.clone();
-        let mut inc = IncrementalEgonet::new(&g);
         let mut pool: HashSet<u64> = HashSet::new();
+        let mut eligible = vec![false; candidates.len()];
+        let mut is_edge_cache = vec![false; candidates.len()];
+        let mut grads = vec![0.0f64; candidates.len()];
         let mut ops = Vec::new();
         let mut ops_per_budget = Vec::with_capacity(budget);
         let mut loss_per_budget = Vec::with_capacity(budget);
         let mut trajectory = Vec::with_capacity(budget + 1);
 
         for _step in 0..budget {
-            let feats = inc.features();
-            let ng = node_grads(&feats.n, &feats.e, targets)?;
+            let ng = session.node_grads()?;
             trajectory.push(ng.loss);
-            let corrections = correction_map(&g, &ng.g_e);
+
+            // Mark the feasible moves (never-revisited pool, op kind,
+            // singleton protection against the evolving poisoned graph),
+            // then assemble their gradients sparsely in parallel.
+            let kind = self.config.op_kind;
+            let forbid_singletons = self.config.forbid_singletons;
+            let g = session.graph();
+            candidates.for_each(|idx, i, j| {
+                let is_edge = g.has_edge(i, j);
+                is_edge_cache[idx] = is_edge;
+                eligible[idx] = !pool.contains(&pool_key(i, j))
+                    && kind.allows(is_edge)
+                    && !(is_edge && forbid_singletons && !g.deletion_keeps_no_singletons(i, j));
+            });
+            session.pair_gradients_into(&ng, &candidates, &eligible, &mut grads);
 
             // Scan candidates for the best sign-consistent move.
             let mut best: Option<(NodeId, NodeId, f64)> = None;
-            let kind = self.config.op_kind;
-            let forbid_singletons = self.config.forbid_singletons;
-            candidates.for_each(|_, i, j| {
-                if pool.contains(&pool_key(i, j)) {
+            candidates.for_each(|idx, i, j| {
+                if !eligible[idx] {
                     return;
                 }
-                let is_edge = g.has_edge(i, j);
-                if !kind.allows(is_edge) {
-                    return;
-                }
-                if is_edge && forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
-                    return;
-                }
-                let grad = pair_grad_with_corrections(&ng, &corrections, i, j);
+                let grad = grads[idx];
                 // Sign consistency: adding requires dL/dA < 0; deleting
                 // requires dL/dA > 0.
-                let valid = if is_edge { grad > 0.0 } else { grad < 0.0 };
+                let valid = if is_edge_cache[idx] {
+                    grad > 0.0
+                } else {
+                    grad < 0.0
+                };
                 if !valid {
                     return;
                 }
@@ -106,15 +115,14 @@ impl StructuralAttack for GradMaxSearch {
             let Some((i, j, _)) = best else {
                 break; // saturated: no feasible move improves the objective
             };
-            let op = inc.toggle(&mut g, i, j).expect("valid pair");
-            let feats = inc.features();
-            let loss = crate::loss::surrogate_loss_from_features(&feats.n, &feats.e, targets)?;
+            let op = session.toggle(i, j).expect("valid pair");
+            let loss = session.loss()?;
             // The gradient is a linearisation; a discrete ±1 flip can
             // overshoot once the objective is nearly minimised. Revert
             // and stop — the attack has saturated (paper: "we stop
             // attacking until the changes of AScore saturated").
             if loss > ng.loss + 1e-12 {
-                inc.toggle(&mut g, i, j).expect("revert");
+                session.toggle(i, j).expect("revert");
                 break;
             }
             pool.insert(pool_key(i, j));

@@ -51,16 +51,23 @@ pub mod attack;
 pub mod baselines;
 pub mod binarized;
 pub mod continuous;
+pub mod dense;
 pub mod grad;
 pub mod gradmax;
 pub mod loss;
 pub mod pair;
+pub mod session;
 
 pub use attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 pub use baselines::{CliqueBreaker, RandomAttack};
 pub use binarized::BinarizedAttack;
 pub use continuous::ContinuousA;
-pub use grad::{correction_map, dense_pair_gradient, node_grads, pair_grad, NodeGrads};
+pub use dense::{dense_features, dense_pair_gradient};
+pub use grad::{
+    assemble_pair_grads, assemble_pair_grads_into, assemble_pair_grads_with_scratch,
+    correction_map, node_grads, pair_grad, resolve_threads, NodeGrads,
+};
 pub use gradmax::GradMaxSearch;
 pub use loss::{fit_beta, surrogate_loss_from_features, LossError};
 pub use pair::{CandidateScope, Candidates, EdgeOpKind, PairSpace};
+pub use session::AttackSession;

@@ -68,6 +68,11 @@ impl PairSpace {
         Self { n, offsets }
     }
 
+    /// Number of nodes the pair space spans.
+    pub fn nodes(&self) -> usize {
+        self.n
+    }
+
     /// Number of unordered pairs.
     pub fn len(&self) -> usize {
         self.n * (self.n.saturating_sub(1)) / 2
@@ -122,7 +127,7 @@ impl Candidates {
                             set.insert(if t < x { (t, x) } else { (x, t) });
                         }
                     }
-                    let nbrs: Vec<NodeId> = g.neighbors(t).iter().copied().collect();
+                    let nbrs: Vec<NodeId> = g.neighbors(t).to_vec();
                     for (ai, &a) in nbrs.iter().enumerate() {
                         for &b in &nbrs[ai + 1..] {
                             set.insert(if a < b { (a, b) } else { (b, a) });
@@ -148,21 +153,40 @@ impl Candidates {
     }
 
     /// Calls `f(flat_index, i, j)` for every candidate pair.
-    pub fn for_each(&self, mut f: impl FnMut(usize, NodeId, NodeId)) {
+    pub fn for_each(&self, f: impl FnMut(usize, NodeId, NodeId)) {
+        self.for_each_range(0, self.len(), f);
+    }
+
+    /// Calls `f(flat_index, i, j)` for the candidates in
+    /// `[start, end)`, walking pairs incrementally (no per-index
+    /// decode) — the kernel the chunked parallel gradient assembly
+    /// iterates with.
+    pub fn for_each_range(
+        &self,
+        start: usize,
+        end: usize,
+        mut f: impl FnMut(usize, NodeId, NodeId),
+    ) {
+        debug_assert!(start <= end && end <= self.len());
+        if start >= end {
+            return;
+        }
         match self {
             Candidates::Full(ps) => {
                 let n = ps.n as NodeId;
-                let mut idx = 0usize;
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        f(idx, i, j);
-                        idx += 1;
+                let (mut i, mut j) = ps.pair(start);
+                for idx in start..end {
+                    f(idx, i, j);
+                    j += 1;
+                    if j == n {
+                        i += 1;
+                        j = i + 1;
                     }
                 }
             }
             Candidates::List(v) => {
-                for (idx, &(i, j)) in v.iter().enumerate() {
-                    f(idx, i, j);
+                for (off, &(i, j)) in v[start..end].iter().enumerate() {
+                    f(start + off, i, j);
                 }
             }
         }

@@ -1,0 +1,187 @@
+//! The shared attack pipeline state.
+//!
+//! Every attack needs the same loop machinery: the clean graph, a
+//! mutable working copy, incrementally-maintained egonet features, the
+//! surrogate forward pass, and the pair-gradient backward pass.
+//! [`AttackSession`] owns that state once — a [`DeltaOverlay`] over the
+//! frozen [`CsrGraph`] substrate plus an [`IncrementalEgonet`] — so
+//! `BinarizedAttack`, `GradMaxSearch`, and the non-gradient baselines
+//! share one forward/score/flip implementation instead of each cloning
+//! the graph and re-deriving features. Resetting to the clean graph
+//! (done once per λ sweep and once per budget extraction) drops the
+//! overlay's dirty rows and restores cached base features: `O(edits)`,
+//! not `O(n + m)`.
+
+use crate::attack::{validate_targets, AttackError};
+use crate::grad::{assemble_pair_grads_with_scratch, node_grads, NodeGrads};
+use crate::loss::surrogate_loss_from_features;
+use crate::pair::Candidates;
+use ba_graph::egonet::{EgonetFeatures, IncrementalEgonet};
+use ba_graph::{CsrGraph, DeltaOverlay, EdgeOp, NodeId};
+
+/// Mutable attack state over a frozen CSR substrate: the poisoned graph
+/// as a delta overlay, live egonet features, and the target set.
+#[derive(Debug, Clone)]
+pub struct AttackSession<'g> {
+    overlay: DeltaOverlay<'g>,
+    inc: IncrementalEgonet,
+    base_feats: EgonetFeatures,
+    targets: Vec<NodeId>,
+    threads: usize,
+    /// Reusable correction buffer for the backward pass (one assembly
+    /// per optimiser iteration; candidate-sized).
+    grad_scratch: Vec<(f64, f64)>,
+}
+
+impl<'g> AttackSession<'g> {
+    /// Opens a session on a clean graph. Validates the target set and
+    /// extracts the base features once.
+    pub fn new(base: &'g CsrGraph, targets: &[NodeId]) -> Result<Self, AttackError> {
+        validate_targets(base, targets)?;
+        let inc = IncrementalEgonet::new(base);
+        let base_feats = inc.features().clone();
+        Ok(Self {
+            overlay: DeltaOverlay::new(base),
+            inc,
+            base_feats,
+            targets: targets.to_vec(),
+            threads: 0,
+            grad_scratch: Vec::new(),
+        })
+    }
+
+    /// Overrides the worker-thread count for gradient assembly
+    /// (`0` = autodetect).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The target node set.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// The clean-graph substrate the session was opened on.
+    pub fn base(&self) -> &'g CsrGraph {
+        self.overlay.base()
+    }
+
+    /// The current (possibly poisoned) graph view.
+    pub fn graph(&self) -> &DeltaOverlay<'g> {
+        &self.overlay
+    }
+
+    /// Current egonet features (kept incrementally; never recomputed).
+    pub fn features(&self) -> &EgonetFeatures {
+        self.inc.features()
+    }
+
+    /// Drops all edits, returning to the clean graph in `O(dirty rows)`.
+    pub fn reset(&mut self) {
+        self.overlay.reset();
+        self.inc = IncrementalEgonet::from_features(self.base_feats.clone());
+    }
+
+    /// Toggles the pair `{i, j}` on the working graph, patching features
+    /// incrementally. Returns the op performed (`None` for self-loops).
+    pub fn toggle(&mut self, i: NodeId, j: NodeId) -> Option<EdgeOp> {
+        self.inc.toggle(&mut self.overlay, i, j)
+    }
+
+    /// Forward pass: surrogate loss and the per-node total derivatives at
+    /// the current features.
+    pub fn node_grads(&self) -> Result<NodeGrads, AttackError> {
+        let feats = self.features();
+        Ok(node_grads(&feats.n, &feats.e, &self.targets)?)
+    }
+
+    /// Surrogate loss at the current features (cheaper than a full
+    /// [`AttackSession::node_grads`] when only the value is needed).
+    pub fn loss(&self) -> Result<f64, AttackError> {
+        let feats = self.features();
+        Ok(surrogate_loss_from_features(
+            &feats.n,
+            &feats.e,
+            &self.targets,
+        )?)
+    }
+
+    /// Backward pass: assembles `G_ij` for every masked candidate pair
+    /// into `out` via parallel sorted-merge common-neighbour scans over
+    /// the current graph view. No dense matrix is allocated.
+    pub fn pair_gradients_into(
+        &mut self,
+        ng: &NodeGrads,
+        candidates: &Candidates,
+        mask: &[bool],
+        out: &mut [f64],
+    ) {
+        assemble_pair_grads_with_scratch(
+            &self.overlay,
+            ng,
+            candidates,
+            mask,
+            self.threads,
+            out,
+            &mut self.grad_scratch,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::CandidateScope;
+    use ba_graph::egonet::egonet_features;
+    use ba_graph::generators;
+
+    #[test]
+    fn session_tracks_features_and_resets() {
+        let g = generators::erdos_renyi(50, 0.1, 3);
+        let csr = CsrGraph::from(&g);
+        let mut s = AttackSession::new(&csr, &[0, 1]).unwrap();
+        let clean_loss = s.loss().unwrap();
+
+        let op = s.toggle(0, 1).unwrap();
+        assert_eq!(op.u, 0);
+        assert_eq!(s.features(), &egonet_features(s.graph()));
+        s.toggle(2, 3);
+        assert_eq!(s.features(), &egonet_features(s.graph()));
+
+        s.reset();
+        assert_eq!(s.graph().dirty_rows(), 0);
+        assert_eq!(s.loss().unwrap(), clean_loss);
+        assert_eq!(s.features(), &egonet_features(&csr));
+    }
+
+    #[test]
+    fn session_rejects_bad_targets() {
+        let g = generators::erdos_renyi(10, 0.2, 1);
+        let csr = CsrGraph::from(&g);
+        assert!(matches!(
+            AttackSession::new(&csr, &[]),
+            Err(AttackError::NoTargets)
+        ));
+        assert!(matches!(
+            AttackSession::new(&csr, &[99]),
+            Err(AttackError::TargetOutOfRange(99))
+        ));
+    }
+
+    #[test]
+    fn session_gradients_match_standalone_assembly() {
+        let g = generators::barabasi_albert(60, 3, 8);
+        let csr = CsrGraph::from(&g);
+        let targets = [2u32, 5];
+        let mut s = AttackSession::new(&csr, &targets).unwrap();
+        s.toggle(0, 7);
+        let ng = s.node_grads().unwrap();
+        let candidates = Candidates::build(CandidateScope::Full, &g, &targets);
+        let mask = vec![true; candidates.len()];
+        let mut out = vec![0.0; candidates.len()];
+        s.pair_gradients_into(&ng, &candidates, &mask, &mut out);
+        let reference = crate::grad::assemble_pair_grads(s.graph(), &ng, &candidates, &mask, 1);
+        assert_eq!(out, reference);
+    }
+}

@@ -12,7 +12,7 @@
 //! * [`mlp`] — the MLP classification head both systems feed (paper:
 //!   "embeddings are fed into classifiers such as MLP"), with access to
 //!   the penultimate hidden features visualised in Figs. 8–9.
-//! * [`tsne`] — exact t-SNE for the embedding scatterplots.
+//! * [`mod@tsne`] — exact t-SNE for the embedding scatterplots.
 //! * [`pipeline`] — the four-step transfer-attack methodology of
 //!   Sec. VI-B: data pre-processing (OddBall labelling), target
 //!   identification, graph poisoning, and evaluation (AUC / F1 / soft

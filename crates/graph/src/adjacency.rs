@@ -1,16 +1,25 @@
-//! Conversions between the sparse [`Graph`] and dense adjacency matrices
-//! (`ba_linalg::Matrix` is not a dependency here to keep the graph crate
-//! standalone; we use a tiny local dense type with just what the tests and
-//! `ba-gad` need, convertible to raw `Vec<f64>`).
+//! Conversions between the sparse graph substrate and dense adjacency
+//! buffers.
+//!
+//! ## Boundary with `ba-linalg`
+//!
+//! Dense linear algebra belongs to `ba-linalg` (which is deliberately
+//! *not* a dependency of `ba-graph`: the graph substrate sits at the
+//! bottom of the crate DAG). Production code that needs dense products —
+//! `ContinuousA`'s relaxed forward/backward passes, the purification
+//! defense — exports a row-major buffer via [`to_row_major`] and builds a
+//! `ba_linalg::Matrix` from it. The tiny [`DenseAdj`] type here exists
+//! only so `ba-graph`'s own tests can cross-check the sparse kernels
+//! against the `A²`/`A³` definitions without a dependency cycle; its
+//! matmul is accordingly compiled for tests only. CSR structure for
+//! external kernels (e.g. the GCN propagation in `ba-gad`) comes from
+//! [`crate::CsrGraph`].
 
+use crate::view::GraphView;
 use crate::{Graph, NodeId};
 
-/// Minimal dense square matrix for adjacency algebra cross-checks.
-///
-/// `ba-linalg` is deliberately *not* a dependency of `ba-graph` (the graph
-/// substrate sits at the bottom of the crate DAG), so this small type
-/// exists for dense cross-validation of the sparse kernels; heavy dense
-/// work happens in `ba-linalg` via [`to_row_major`].
+/// Minimal dense square matrix for adjacency algebra cross-checks in
+/// tests. Not a general linear-algebra type — see the module docs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseAdj {
     n: usize,
@@ -43,8 +52,10 @@ impl DenseAdj {
         self.data[i * self.n + j] = v;
     }
 
-    /// Naive dense product (test-scale only).
-    pub fn matmul(&self, other: &DenseAdj) -> DenseAdj {
+    /// Naive dense product, for cross-checking sparse kernels in tests
+    /// only (real dense work routes through `ba_linalg::par_matmul`).
+    #[cfg(test)]
+    pub(crate) fn matmul(&self, other: &DenseAdj) -> DenseAdj {
         assert_eq!(self.n, other.n);
         let n = self.n;
         let mut out = DenseAdj::zeros(n);
@@ -62,11 +73,6 @@ impl DenseAdj {
         out
     }
 
-    /// Dense entry indexing sugar used by tests.
-    pub fn row(&self, i: usize) -> &[f64] {
-        &self.data[i * self.n..(i + 1) * self.n]
-    }
-
     /// The underlying row-major buffer.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -80,24 +86,26 @@ impl std::ops::Index<(usize, usize)> for DenseAdj {
     }
 }
 
-/// Converts a graph to its dense adjacency matrix.
-pub fn to_dense(g: &Graph) -> DenseAdj {
+/// Converts any graph view to its dense adjacency matrix.
+pub fn to_dense<V: GraphView + ?Sized>(g: &V) -> DenseAdj {
     let n = g.num_nodes();
     let mut a = DenseAdj::zeros(n);
-    for (u, v) in g.edges() {
+    g.for_each_edge(|u, v| {
         a.set(u as usize, v as usize, 1.0);
         a.set(v as usize, u as usize, 1.0);
-    }
+    });
     a
 }
 
-/// Converts a graph to a row-major dense buffer (for `ba_linalg::Matrix::from_vec`).
-pub fn to_row_major(g: &Graph) -> Vec<f64> {
+/// Converts any graph view to a row-major dense buffer (for
+/// `ba_linalg::Matrix::from_vec`).
+pub fn to_row_major<V: GraphView + ?Sized>(g: &V) -> Vec<f64> {
     to_dense(g).into_vec()
 }
 
-/// Builds a graph back from a dense 0/1 matrix (entries ≥ 0.5 become
-/// edges; the matrix is symmetrised by OR-ing `(i,j)` and `(j,i)`).
+/// Builds a graph back from a dense 0/1 matrix (entries ≥ `threshold`
+/// become edges; the matrix is symmetrised by OR-ing `(i,j)` and
+/// `(j,i)`).
 pub fn from_dense_threshold(n: usize, data: &[f64], threshold: f64) -> Graph {
     assert_eq!(data.len(), n * n, "buffer size mismatch");
     let mut g = Graph::new(n);
@@ -111,32 +119,10 @@ pub fn from_dense_threshold(n: usize, data: &[f64], threshold: f64) -> Graph {
     g
 }
 
-/// CSR (compressed sparse row) view of the adjacency, used by `ba-gad`'s
-/// GCN for fast `Â · X` products.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Csr {
-    /// Row pointer array, length `n + 1`.
-    pub indptr: Vec<usize>,
-    /// Column indices, length `2m`.
-    pub indices: Vec<u32>,
-}
-
-/// Builds the CSR structure of `g` (values are implicitly 1.0).
-pub fn to_csr(g: &Graph) -> Csr {
-    let n = g.num_nodes();
-    let mut indptr = Vec::with_capacity(n + 1);
-    let mut indices = Vec::with_capacity(2 * g.num_edges());
-    indptr.push(0);
-    for u in 0..n as NodeId {
-        indices.extend(g.neighbors(u).iter().copied());
-        indptr.push(indices.len());
-    }
-    Csr { indptr, indices }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CsrGraph;
 
     #[test]
     fn dense_roundtrip() {
@@ -147,6 +133,14 @@ mod tests {
         assert_eq!(d[(0, 2)], 0.0);
         let g2 = from_dense_threshold(4, &d.clone().into_vec(), 0.5);
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn dense_from_csr_matches() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (3, 1), (3, 2), (4, 0)]);
+        let csr = CsrGraph::from(&g);
+        assert_eq!(to_dense(&g), to_dense(&csr));
+        assert_eq!(to_row_major(&g), to_row_major(&csr));
     }
 
     #[test]
@@ -175,14 +169,6 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn csr_structure() {
-        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
-        let csr = to_csr(&g);
-        assert_eq!(csr.indptr, vec![0, 1, 3, 4]);
-        assert_eq!(csr.indices, vec![1, 0, 2, 1]);
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The frozen CSR substrate and its copy-on-write mutation overlay.
+//!
+//! Attack optimisers read graph structure millions of times per run
+//! (every pair gradient is a sorted-merge over two adjacency lists) but
+//! mutate it rarely (one edge toggle per greedy step, a handful per PGD
+//! re-binarisation). [`CsrGraph`] serves the read side: one contiguous
+//! `offsets`/`cols` pair, cache-friendly sorted neighbour slices, zero
+//! per-node allocation. [`DeltaOverlay`] serves the write side: it
+//! borrows a frozen `CsrGraph` and absorbs single-edge toggles by
+//! materialising a private sorted copy of just the touched rows, so a
+//! greedy attack never rebuilds the substrate and resetting to the clean
+//! graph is O(dirty rows), not O(n + m).
+
+use crate::view::{EditableGraph, GraphView};
+use crate::{Graph, NodeId};
+
+/// Compressed-sparse-row adjacency: `cols[offsets[u]..offsets[u+1]]` is
+/// the strictly increasing neighbour list of `u`. Immutable by design —
+/// edits go through a [`DeltaOverlay`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    cols: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds the CSR structure from any graph view.
+    pub fn from_view<V: GraphView + ?Sized>(g: &V) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0);
+        for u in 0..n as NodeId {
+            cols.extend_from_slice(g.neighbors_sorted(u));
+            offsets.push(cols.len());
+        }
+        Self {
+            offsets,
+            cols,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Row pointer array, length `n + 1` (for external kernels, e.g. the
+    /// GCN propagation in `ba-gad`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Concatenated column indices, length `2m`.
+    pub fn cols(&self) -> &[NodeId] {
+        &self.cols
+    }
+
+    /// Materialises a mutable [`Graph`] with the same edge set.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_nodes());
+        self.for_each_edge(|u, v| {
+            g.add_edge(u, v);
+        });
+        g
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        Self::from_view(g)
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn neighbors_sorted(&self, u: NodeId) -> &[NodeId] {
+        &self.cols[self.offsets[u as usize]..self.offsets[u as usize + 1]]
+    }
+}
+
+/// A set of single-edge toggles over a borrowed [`CsrGraph`].
+///
+/// Rows untouched by any toggle are served straight from the base CSR;
+/// the first toggle on a row copies it into a private sorted `Vec` that
+/// subsequent toggles patch in `O(deg)`. [`DeltaOverlay::reset`] drops
+/// the patches, returning to the clean graph without rebuilding anything
+/// — the operation attack loops perform once per λ / per budget
+/// extraction.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay<'a> {
+    base: &'a CsrGraph,
+    /// Materialised rows, indexed by node (`None` = serve from the
+    /// base). A plain index keeps row access off the hash path — the
+    /// gradient assembly reads two rows per candidate pair.
+    rows: Vec<Option<Vec<NodeId>>>,
+    /// Nodes whose row has been materialised (for O(dirty) reset).
+    dirty: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl<'a> DeltaOverlay<'a> {
+    /// A fresh overlay with no edits.
+    pub fn new(base: &'a CsrGraph) -> Self {
+        Self {
+            base,
+            rows: vec![None; base.num_nodes()],
+            dirty: Vec::new(),
+            num_edges: base.num_edges(),
+        }
+    }
+
+    /// The frozen base graph.
+    pub fn base(&self) -> &'a CsrGraph {
+        self.base
+    }
+
+    /// Number of rows that have diverged from the base.
+    pub fn dirty_rows(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Drops all edits, returning to the base edge set in
+    /// `O(dirty rows)`.
+    pub fn reset(&mut self) {
+        for &u in &self.dirty {
+            self.rows[u as usize] = None;
+        }
+        self.dirty.clear();
+        self.num_edges = self.base.num_edges();
+    }
+
+    /// Materialises a standalone [`Graph`] of the current edge set.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.num_nodes());
+        self.for_each_edge(|u, v| {
+            g.add_edge(u, v);
+        });
+        g
+    }
+
+    fn row_mut(&mut self, u: NodeId) -> &mut Vec<NodeId> {
+        let slot = &mut self.rows[u as usize];
+        if slot.is_none() {
+            *slot = Some(self.base.neighbors_sorted(u).to_vec());
+            self.dirty.push(u);
+        }
+        slot.as_mut().expect("just materialised")
+    }
+
+    /// Inserts `v` into `u`'s row; `true` if it was absent.
+    fn half_add(&mut self, u: NodeId, v: NodeId) -> bool {
+        let row = self.row_mut(u);
+        match row.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                row.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Removes `v` from `u`'s row; `true` if it was present.
+    fn half_remove(&mut self, u: NodeId, v: NodeId) -> bool {
+        let row = self.row_mut(u);
+        match row.binary_search(&v) {
+            Ok(pos) => {
+                row.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl GraphView for DeltaOverlay<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn neighbors_sorted(&self, u: NodeId) -> &[NodeId] {
+        match &self.rows[u as usize] {
+            Some(row) => row,
+            None => self.base.neighbors_sorted(u),
+        }
+    }
+}
+
+impl EditableGraph for DeltaOverlay<'_> {
+    fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        assert!(
+            (u as usize) < self.num_nodes() && (v as usize) < self.num_nodes(),
+            "node id out of range"
+        );
+        if self.half_add(u, v) {
+            self.half_add(v, u);
+            self.num_edges += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || (u as usize) >= self.num_nodes() || (v as usize) >= self.num_nodes() {
+            return false;
+        }
+        if self.half_remove(u, v) {
+            self.half_remove(v, u);
+            self.num_edges -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeOp;
+
+    fn sample() -> Graph {
+        Graph::from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)])
+    }
+
+    #[test]
+    fn csr_matches_graph_view() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.num_nodes(), g.num_nodes());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        for u in 0..g.num_nodes() as NodeId {
+            assert_eq!(csr.neighbors_sorted(u), g.neighbors_sorted(u));
+            assert_eq!(csr.degree(u), g.degree(u));
+        }
+        assert!(csr.has_edge(2, 0));
+        assert!(!csr.has_edge(0, 5));
+        assert_eq!(csr.common_neighbors(0, 1), 1);
+        assert_eq!(csr.to_graph(), g);
+    }
+
+    #[test]
+    fn csr_offsets_shape() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.offsets(), &[0, 1, 3, 4]);
+        assert_eq!(csr.cols(), &[1, 0, 2, 1]);
+    }
+
+    #[test]
+    fn overlay_toggles_and_resets() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        assert_eq!(ov.dirty_rows(), 0);
+
+        let op = ov.toggle_edge(0, 3).unwrap();
+        assert_eq!(op, EdgeOp::new(0, 3, true));
+        assert!(ov.has_edge(0, 3));
+        assert_eq!(ov.num_edges(), g.num_edges() + 1);
+        assert_eq!(ov.dirty_rows(), 2);
+
+        let op = ov.toggle_edge(0, 1).unwrap();
+        assert_eq!(op, EdgeOp::new(0, 1, false));
+        assert!(!ov.has_edge(1, 0));
+        // Untouched rows still come from the base.
+        assert_eq!(ov.neighbors_sorted(5), csr.neighbors_sorted(5));
+
+        ov.reset();
+        assert_eq!(ov.dirty_rows(), 0);
+        assert_eq!(ov.num_edges(), g.num_edges());
+        assert_eq!(ov.to_graph(), g);
+    }
+
+    #[test]
+    fn overlay_self_loop_rejected() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        assert!(ov.toggle_edge(2, 2).is_none());
+        assert!(!ov.add_edge(2, 2));
+        assert_eq!(ov.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn overlay_apply_ops_matches_graph() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let ops = [
+            EdgeOp::new(0, 3, true),
+            EdgeOp::new(0, 1, false),
+            EdgeOp::new(2, 5, true),
+        ];
+        let mut ov = DeltaOverlay::new(&csr);
+        EditableGraph::apply_ops(&mut ov, &ops);
+        assert_eq!(ov.to_graph(), g.with_ops(&ops));
+    }
+
+    #[test]
+    fn overlay_rows_stay_sorted() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        for v in [5u32, 3, 4] {
+            ov.toggle_edge(1, v);
+        }
+        let row = ov.neighbors_sorted(1);
+        assert!(row.windows(2).all(|w| w[0] < w[1]), "row = {row:?}");
+    }
+}

@@ -7,12 +7,17 @@
 //!   the `N_i` spokes plus the edges among the neighbours (each triangle
 //!   through `i` contributes one such edge, and `(A³)_ii = 2·triangles`).
 //!
-//! This module provides both a batch extractor and an incremental updater
-//! that maintains `(N, E)` under single-edge toggles in
-//! `O(deg(u) + deg(v))`; the greedy attack flips one edge per step, so
-//! recomputing all features from scratch there would be quadratic.
+//! Everything here is generic over [`GraphView`], so features come out of
+//! the mutable [`Graph`](crate::Graph), the frozen
+//! [`CsrGraph`](crate::CsrGraph), and the
+//! [`DeltaOverlay`](crate::DeltaOverlay) identically. The incremental
+//! updater maintains `(N, E)` under single-edge toggles in
+//! `O(deg(u) + deg(v))` on any [`EditableGraph`]; the greedy attack flips
+//! one edge per step, so recomputing all features from scratch there
+//! would be quadratic.
 
-use crate::{EdgeOp, Graph, NodeId};
+use crate::view::{merge_common, EditableGraph, GraphView};
+use crate::{EdgeOp, NodeId};
 
 /// The `(N, E)` feature vectors of every node.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,7 +43,7 @@ impl EgonetFeatures {
 /// Computes `(N_i, E_i)` for every node by sorted-merge triangle counting.
 /// Complexity `O(Σ_u deg(u)²)` worst case, fast in practice on the sparse
 /// graphs the paper evaluates.
-pub fn egonet_features(g: &Graph) -> EgonetFeatures {
+pub fn egonet_features<V: GraphView + ?Sized>(g: &V) -> EgonetFeatures {
     let n_nodes = g.num_nodes();
     let mut n = vec![0.0; n_nodes];
     let mut e = vec![0.0; n_nodes];
@@ -52,10 +57,12 @@ pub fn egonet_features(g: &Graph) -> EgonetFeatures {
 
 /// Maintains egonet features incrementally while a graph is being edited.
 ///
-/// The updater owns nothing: callers keep mutating the [`Graph`] through
+/// The updater owns nothing: callers keep mutating the graph through
 /// [`IncrementalEgonet::toggle`], which applies the edge flip and patches
 /// the features of exactly the affected nodes (the two endpoints and
-/// their common neighbours).
+/// their common neighbours). Works on any [`EditableGraph`] — the
+/// in-place [`Graph`](crate::Graph) or a
+/// [`DeltaOverlay`](crate::DeltaOverlay) over a frozen CSR base.
 #[derive(Debug, Clone)]
 pub struct IncrementalEgonet {
     feats: EgonetFeatures,
@@ -63,10 +70,16 @@ pub struct IncrementalEgonet {
 
 impl IncrementalEgonet {
     /// Builds the initial features from `g`.
-    pub fn new(g: &Graph) -> Self {
+    pub fn new<V: GraphView + ?Sized>(g: &V) -> Self {
         Self {
             feats: egonet_features(g),
         }
+    }
+
+    /// Rebuilds the updater from precomputed features (used by attack
+    /// sessions to restore the clean-graph state without re-extraction).
+    pub fn from_features(feats: EgonetFeatures) -> Self {
+        Self { feats }
     }
 
     /// Current features.
@@ -86,7 +99,12 @@ impl IncrementalEgonet {
     ///   its edges to u's other neighbours); symmetrically for `E_v`;
     /// * for every common neighbour `m`, `E_m` changes by ±1 (the edge
     ///   `{u,v}` lies inside m's egonet).
-    pub fn toggle(&mut self, g: &mut Graph, u: NodeId, v: NodeId) -> Option<EdgeOp> {
+    pub fn toggle<G: EditableGraph + ?Sized>(
+        &mut self,
+        g: &mut G,
+        u: NodeId,
+        v: NodeId,
+    ) -> Option<EdgeOp> {
         if u == v {
             return None;
         }
@@ -94,12 +112,10 @@ impl IncrementalEgonet {
         if adding {
             // Common neighbours *before* adding determine the new
             // neighbour-edges; compute first, then mutate.
-            let commons: Vec<NodeId> = g
-                .neighbors(u)
-                .iter()
-                .filter(|x| g.neighbors(v).contains(x))
-                .copied()
-                .collect();
+            let mut commons: Vec<NodeId> = Vec::new();
+            merge_common(g.neighbors_sorted(u), g.neighbors_sorted(v), |m| {
+                commons.push(m)
+            });
             g.add_edge(u, v);
             self.feats.n[u as usize] += 1.0;
             self.feats.n[v as usize] += 1.0;
@@ -117,12 +133,10 @@ impl IncrementalEgonet {
         } else {
             g.remove_edge(u, v);
             // Common neighbours *after* removal = triangles that were broken.
-            let commons: Vec<NodeId> = g
-                .neighbors(u)
-                .iter()
-                .filter(|x| g.neighbors(v).contains(x))
-                .copied()
-                .collect();
+            let mut commons: Vec<NodeId> = Vec::new();
+            merge_common(g.neighbors_sorted(u), g.neighbors_sorted(v), |m| {
+                commons.push(m)
+            });
             self.feats.n[u as usize] -= 1.0;
             self.feats.n[v as usize] -= 1.0;
             self.feats.e[u as usize] -= 1.0;
@@ -140,6 +154,7 @@ impl IncrementalEgonet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{CsrGraph, DeltaOverlay, Graph};
 
     #[test]
     fn star_features() {
@@ -200,6 +215,16 @@ mod tests {
     }
 
     #[test]
+    fn features_identical_across_representations() {
+        let g = Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
+        let csr = CsrGraph::from(&g);
+        let ov = DeltaOverlay::new(&csr);
+        let from_graph = egonet_features(&g);
+        assert_eq!(from_graph, egonet_features(&csr));
+        assert_eq!(from_graph, egonet_features(&ov));
+    }
+
+    #[test]
     fn incremental_matches_batch_on_edit_sequence() {
         let mut g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
         let mut inc = IncrementalEgonet::new(&g);
@@ -216,6 +241,22 @@ mod tests {
             inc.toggle(&mut g, u, v).unwrap();
             let batch = egonet_features(&g);
             assert_eq!(inc.features(), &batch, "after toggling ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn incremental_on_overlay_matches_batch() {
+        let base = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let csr = CsrGraph::from(&base);
+        let mut ov = DeltaOverlay::new(&csr);
+        let mut inc = IncrementalEgonet::new(&ov);
+        for &(u, v) in &[(0u32, 2u32), (0, 3), (1, 2), (0, 2), (2, 4), (5, 0)] {
+            inc.toggle(&mut ov, u, v).unwrap();
+            assert_eq!(
+                inc.features(),
+                &egonet_features(&ov),
+                "after toggling ({u},{v})"
+            );
         }
     }
 

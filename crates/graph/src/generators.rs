@@ -152,7 +152,7 @@ pub fn triadic_closure(g: &mut Graph, edges_to_add: usize, seed: u64) -> usize {
         }
         let pick = |rng: &mut StdRng, g: &Graph| -> NodeId {
             let k = rng.gen_range(0..g.degree(m));
-            *g.neighbors(m).iter().nth(k).expect("degree checked")
+            g.neighbors(m)[k]
         };
         let a = pick(&mut rng, g);
         let b = pick(&mut rng, g);

@@ -1,10 +1,10 @@
 //! The core undirected simple graph type.
 
+use crate::view::{EditableGraph, GraphView};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
 /// Node identifier. Graphs in the paper's evaluation have ~1000 nodes, so
-/// `u32` is ample and keeps adjacency sets compact.
+/// `u32` is ample and keeps adjacency lists compact.
 pub type NodeId = u32;
 
 /// An edge flip operation: which unordered pair, and whether the edge was
@@ -29,14 +29,15 @@ impl EdgeOp {
 
 /// A simple (no self-loops, no multi-edges), undirected, unweighted graph.
 ///
-/// Adjacency is stored as one sorted set per node (`BTreeSet<NodeId>`),
-/// which gives `O(log d)` membership tests, deterministic iteration order
-/// (important for reproducible attacks), and cheap sorted-merge common-
-/// neighbour counting — the kernel behind both the egonet feature `E_i`
-/// and the analytic attack gradient.
+/// Adjacency is stored as one sorted `Vec<NodeId>` per node: `O(log d)`
+/// membership tests via binary search, deterministic iteration order
+/// (important for reproducible attacks), contiguous neighbour slices for
+/// the sorted-merge kernels, and `O(d)` insertion — cheap at the degrees
+/// the paper's sparse graphs exhibit. Frozen read-optimised snapshots are
+/// provided by [`crate::CsrGraph`]; both satisfy [`GraphView`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
-    adj: Vec<BTreeSet<NodeId>>,
+    adj: Vec<Vec<NodeId>>,
     num_edges: usize,
 }
 
@@ -44,7 +45,7 @@ impl Graph {
     /// Creates an empty graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
         Self {
-            adj: vec![BTreeSet::new(); n],
+            adj: vec![Vec::new(); n],
             num_edges: 0,
         }
     }
@@ -80,12 +81,12 @@ impl Graph {
     /// Whether the edge `{u, v}` exists.
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u as usize].contains(&v)
+        self.adj[u as usize].binary_search(&v).is_ok()
     }
 
-    /// Sorted neighbours of `u`.
+    /// Neighbours of `u` in strictly increasing order.
     #[inline]
-    pub fn neighbors(&self, u: NodeId) -> &BTreeSet<NodeId> {
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         &self.adj[u as usize]
     }
 
@@ -99,37 +100,43 @@ impl Graph {
             (u as usize) < self.adj.len() && (v as usize) < self.adj.len(),
             "node id out of range"
         );
-        let inserted = self.adj[u as usize].insert(v);
-        if inserted {
-            self.adj[v as usize].insert(u);
-            self.num_edges += 1;
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.adj[u as usize].insert(pos, v);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency symmetry violated");
+                self.adj[v as usize].insert(pos_v, u);
+                self.num_edges += 1;
+                true
+            }
         }
-        inserted
     }
 
     /// Removes the edge `{u, v}`. Returns `true` if an edge was removed.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        let removed = self.adj[u as usize].remove(&v);
-        if removed {
-            self.adj[v as usize].remove(&u);
-            self.num_edges -= 1;
+        if (u as usize) >= self.adj.len() || (v as usize) >= self.adj.len() {
+            return false;
         }
-        removed
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(pos) => {
+                self.adj[u as usize].remove(pos);
+                let pos_v = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency symmetry violated");
+                self.adj[v as usize].remove(pos_v);
+                self.num_edges -= 1;
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Toggles the edge `{u, v}` and returns the resulting [`EdgeOp`].
     /// No-op (returns `None`) for self-loops.
     pub fn toggle_edge(&mut self, u: NodeId, v: NodeId) -> Option<EdgeOp> {
-        if u == v {
-            return None;
-        }
-        if self.has_edge(u, v) {
-            self.remove_edge(u, v);
-            Some(EdgeOp::new(u, v, false))
-        } else {
-            self.add_edge(u, v);
-            Some(EdgeOp::new(u, v, true))
-        }
+        EditableGraph::toggle_edge(self, u, v)
     }
 
     /// Applies a list of edge ops (as produced by an attack) to the graph.
@@ -139,15 +146,7 @@ impl Graph {
     /// state (adding an existing edge / deleting a missing one), since
     /// that indicates a corrupted attack result.
     pub fn apply_ops(&mut self, ops: &[EdgeOp]) {
-        for op in ops {
-            if op.added {
-                let fresh = self.add_edge(op.u, op.v);
-                debug_assert!(fresh, "op adds an existing edge {op:?}");
-            } else {
-                let existed = self.remove_edge(op.u, op.v);
-                debug_assert!(existed, "op deletes a missing edge {op:?}");
-            }
-        }
+        EditableGraph::apply_ops(self, ops)
     }
 
     /// Returns a new graph with the ops applied.
@@ -168,51 +167,32 @@ impl Graph {
     /// Number of common neighbours of `u` and `v` — this equals `(A²)_uv`
     /// for a binary symmetric adjacency with zero diagonal.
     pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> usize {
-        let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
-        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        small.iter().filter(|x| large.contains(x)).count()
+        GraphView::common_neighbors(self, u, v)
     }
 
     /// Sum of `f(m)` over all common neighbours `m` of `u` and `v`.
     /// This is `(A·diag(w)·A)_uv` with `w_m = f(m)` — the second-order
     /// term of the analytic attack gradient.
-    pub fn common_neighbor_sum(&self, u: NodeId, v: NodeId, f: impl Fn(NodeId) -> f64) -> f64 {
-        let (a, b) = (&self.adj[u as usize], &self.adj[v as usize]);
-        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-        small
-            .iter()
-            .filter(|x| large.contains(x))
-            .map(|&m| f(m))
-            .sum()
+    pub fn common_neighbor_sum(&self, u: NodeId, v: NodeId, f: impl FnMut(NodeId) -> f64) -> f64 {
+        GraphView::common_neighbor_sum(self, u, v, f)
     }
 
-    /// Number of triangles through node `u` (= `½ (A³)_uu / ... `; exactly
-    /// `(A³)_uu = 2 · triangles(u)` for simple graphs, so this returns
-    /// `(A³)_uu / 2`).
+    /// Number of triangles through node `u` (exactly `(A³)_uu / 2` for
+    /// simple graphs).
     pub fn triangles_at(&self, u: NodeId) -> usize {
-        let nbrs = &self.adj[u as usize];
-        let mut count = 0usize;
-        for &a in nbrs {
-            // Count each neighbour pair once: a < b.
-            for &b in nbrs.range((a + 1)..) {
-                if self.has_edge(a, b) {
-                    count += 1;
-                }
-            }
-        }
-        count
+        GraphView::triangles_at(self, u)
     }
 
     /// Degree sequence as f64 (used by the attack's feature vectors).
     pub fn degrees_f64(&self) -> Vec<f64> {
-        self.adj.iter().map(|s| s.len() as f64).collect()
+        GraphView::degrees_f64(self)
     }
 
     /// Nodes with degree ≤ 1 would become singletons if their last edge
     /// were deleted; the paper's attacks avoid creating singletons.
     /// Returns `true` when deleting `{u, v}` is safe in that sense.
     pub fn deletion_keeps_no_singletons(&self, u: NodeId, v: NodeId) -> bool {
-        self.degree(u) > 1 && self.degree(v) > 1
+        GraphView::deletion_keeps_no_singletons(self, u, v)
     }
 
     /// Symmetric difference with another graph, as a set of edge ops that
@@ -234,6 +214,38 @@ impl Graph {
             }
         }
         ops
+    }
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    #[inline]
+    fn neighbors_sorted(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    #[inline]
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Graph::has_edge(self, u, v)
+    }
+}
+
+impl EditableGraph for Graph {
+    fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        Graph::add_edge(self, u, v)
+    }
+
+    fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        Graph::remove_edge(self, u, v)
     }
 }
 
@@ -271,6 +283,13 @@ mod tests {
         for u in 0..3 {
             assert_eq!(g.degree(u), 2);
         }
+    }
+
+    #[test]
+    fn neighbors_sorted_invariant() {
+        let g = Graph::from_edges(5, [(4, 0), (4, 2), (4, 1), (4, 3), (1, 0)]);
+        assert_eq!(g.neighbors(4), &[0, 1, 2, 3]);
+        assert_eq!(g.neighbors(0), &[1, 4]);
     }
 
     #[test]

@@ -12,13 +12,38 @@ use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseReason {
+    /// The line had fewer than two whitespace-separated fields.
+    MissingField,
+    /// A field was not a non-negative integer node id.
+    BadNodeId(String),
+}
+
+impl std::fmt::Display for ParseReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseReason::MissingField => write!(f, "expected two node ids"),
+            ParseReason::BadNodeId(tok) => write!(f, "invalid node id {tok:?}"),
+        }
+    }
+}
+
 /// Errors raised while reading an edge list.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying IO failure.
     Io(std::io::Error),
     /// A line could not be parsed as `u v`.
-    Parse { line_no: usize, line: String },
+    Parse {
+        /// 1-based line number of the offending line.
+        line_no: usize,
+        /// The offending line (trimmed).
+        line: String,
+        /// What exactly failed on it.
+        reason: ParseReason,
+    },
     /// The file contained no edges.
     Empty,
 }
@@ -27,8 +52,12 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
-            IoError::Parse { line_no, line } => {
-                write!(f, "cannot parse line {line_no}: {line:?}")
+            IoError::Parse {
+                line_no,
+                line,
+                reason,
+            } => {
+                write!(f, "cannot parse line {line_no} ({reason}): {line:?}")
             }
             IoError::Empty => write!(f, "edge list is empty"),
         }
@@ -65,13 +94,18 @@ pub fn read_edge_list(reader: impl Read) -> Result<LoadedGraph, IoError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse = |s: Option<&str>| -> Option<u64> { s.and_then(|t| t.parse().ok()) };
-        let (u, v) = match (parse(parts.next()), parse(parts.next())) {
-            (Some(u), Some(v)) => (u, v),
-            _ => {
+        let field = |parts: &mut std::str::SplitWhitespace<'_>| -> Result<u64, ParseReason> {
+            let tok = parts.next().ok_or(ParseReason::MissingField)?;
+            tok.parse()
+                .map_err(|_| ParseReason::BadNodeId(tok.to_string()))
+        };
+        let (u, v) = match (field(&mut parts), field(&mut parts)) {
+            (Ok(u), Ok(v)) => (u, v),
+            (Err(reason), _) | (_, Err(reason)) => {
                 return Err(IoError::Parse {
                     line_no: idx + 1,
                     line: trimmed.to_string(),
+                    reason,
                 });
             }
         };
@@ -161,11 +195,54 @@ mod tests {
     }
 
     #[test]
-    fn parse_error_reports_line() {
+    fn parse_error_reports_line_and_token() {
         let text = "1 2\nhello world\n";
         match read_edge_list(text.as_bytes()) {
-            Err(IoError::Parse { line_no, .. }) => assert_eq!(line_no, 2),
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("line 2"), "message: {msg}");
+                assert!(msg.contains("hello"), "message: {msg}");
+                match e {
+                    IoError::Parse {
+                        line_no, reason, ..
+                    } => {
+                        assert_eq!(line_no, 2);
+                        assert_eq!(reason, ParseReason::BadNodeId("hello".into()));
+                    }
+                    other => panic!("expected parse error, got {other:?}"),
+                }
+            }
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_missing_field() {
+        let text = "1 2\n3 4\n5\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(IoError::Parse {
+                line_no, reason, ..
+            }) => {
+                assert_eq!(line_no, 3);
+                assert_eq!(reason, ParseReason::MissingField);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_negative_id() {
+        let text = "1 -2\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(IoError::Parse {
+                line_no,
+                reason: ParseReason::BadNodeId(tok),
+                ..
+            }) => {
+                assert_eq!(line_no, 1);
+                assert_eq!(tok, "-2");
+            }
+            other => panic!("expected bad-node-id error, got {other:?}"),
         }
     }
 

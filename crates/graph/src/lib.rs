@@ -4,6 +4,13 @@
 //! undirected, unweighted graph (exactly the object OddBall and the
 //! attacks operate on — paper Sec. III, `A ∈ {0,1}^{n×n}`), together with
 //!
+//! The substrate has two representations behind one read interface
+//! ([`GraphView`]): the mutable [`Graph`] (sorted adjacency vectors) and
+//! the frozen [`CsrGraph`] (contiguous offsets + column array) with its
+//! copy-on-write [`DeltaOverlay`] for single-edge toggles — the attack
+//! optimisers read through views and never rebuild the substrate.
+//! On top of it:
+//!
 //! * random-graph generators (Erdős–Rényi, Barabási–Albert, power-law
 //!   configuration graphs) and planted near-clique / near-star anomalies,
 //! * BFS sampling of ~1000-node connected subgraphs (the paper's
@@ -28,11 +35,15 @@
 //! ```
 
 pub mod adjacency;
+pub mod csr;
 pub mod egonet;
 pub mod generators;
 mod graph;
 pub mod io;
 pub mod metrics;
 pub mod sample;
+pub mod view;
 
+pub use csr::{CsrGraph, DeltaOverlay};
 pub use graph::{EdgeOp, Graph, NodeId};
+pub use view::{EditableGraph, GraphView};

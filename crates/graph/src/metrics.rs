@@ -1,11 +1,17 @@
 //! Graph statistics: components, degree distribution, clustering.
 //! Used for Table I reporting and for validating the synthetic stand-ins
 //! against the real datasets' published statistics.
+//!
+//! All functions are generic over [`GraphView`], so they evaluate the
+//! mutable [`Graph`](crate::Graph), the frozen
+//! [`CsrGraph`](crate::CsrGraph), and a live
+//! [`DeltaOverlay`](crate::DeltaOverlay) alike.
 
-use crate::{Graph, NodeId};
+use crate::view::GraphView;
+use crate::NodeId;
 
 /// Number of connected components (BFS over all nodes).
-pub fn connected_components(g: &Graph) -> usize {
+pub fn connected_components<V: GraphView + ?Sized>(g: &V) -> usize {
     let n = g.num_nodes();
     let mut seen = vec![false; n];
     let mut components = 0;
@@ -18,7 +24,7 @@ pub fn connected_components(g: &Graph) -> usize {
         seen[start] = true;
         queue.push_back(start as NodeId);
         while let Some(u) = queue.pop_front() {
-            for &v in g.neighbors(u) {
+            for &v in g.neighbors_sorted(u) {
                 if !seen[v as usize] {
                     seen[v as usize] = true;
                     queue.push_back(v);
@@ -30,7 +36,7 @@ pub fn connected_components(g: &Graph) -> usize {
 }
 
 /// Size of the largest connected component.
-pub fn largest_component_size(g: &Graph) -> usize {
+pub fn largest_component_size<V: GraphView + ?Sized>(g: &V) -> usize {
     let n = g.num_nodes();
     let mut seen = vec![false; n];
     let mut best = 0;
@@ -43,7 +49,7 @@ pub fn largest_component_size(g: &Graph) -> usize {
         seen[start] = true;
         queue.push_back(start as NodeId);
         while let Some(u) = queue.pop_front() {
-            for &v in g.neighbors(u) {
+            for &v in g.neighbors_sorted(u) {
                 if !seen[v as usize] {
                     seen[v as usize] = true;
                     size += 1;
@@ -57,7 +63,7 @@ pub fn largest_component_size(g: &Graph) -> usize {
 }
 
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
-pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+pub fn degree_histogram<V: GraphView + ?Sized>(g: &V) -> Vec<usize> {
     let max_deg = (0..g.num_nodes() as NodeId)
         .map(|u| g.degree(u))
         .max()
@@ -70,7 +76,7 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
 }
 
 /// Average degree `2m / n`.
-pub fn average_degree(g: &Graph) -> f64 {
+pub fn average_degree<V: GraphView + ?Sized>(g: &V) -> f64 {
     if g.num_nodes() == 0 {
         return 0.0;
     }
@@ -79,7 +85,7 @@ pub fn average_degree(g: &Graph) -> f64 {
 
 /// Local clustering coefficient of node `u`: fraction of neighbour pairs
 /// that are themselves connected. Zero for degree < 2.
-pub fn local_clustering(g: &Graph, u: NodeId) -> f64 {
+pub fn local_clustering<V: GraphView + ?Sized>(g: &V, u: NodeId) -> f64 {
     let d = g.degree(u);
     if d < 2 {
         return 0.0;
@@ -89,7 +95,7 @@ pub fn local_clustering(g: &Graph, u: NodeId) -> f64 {
 }
 
 /// Mean local clustering coefficient.
-pub fn average_clustering(g: &Graph) -> f64 {
+pub fn average_clustering<V: GraphView + ?Sized>(g: &V) -> f64 {
     let n = g.num_nodes();
     if n == 0 {
         return 0.0;
@@ -104,7 +110,7 @@ pub fn average_clustering(g: &Graph) -> f64 {
 /// (Clauset–Shalizi–Newman continuous approximation with `x_min`):
 /// `γ̂ = 1 + n / Σ ln(d_i / (x_min − ½))` over degrees `d_i ≥ x_min`.
 /// Returns `None` when fewer than 10 nodes reach `x_min`.
-pub fn power_law_exponent_mle(g: &Graph, x_min: usize) -> Option<f64> {
+pub fn power_law_exponent_mle<V: GraphView + ?Sized>(g: &V, x_min: usize) -> Option<f64> {
     let x_min = x_min.max(1);
     let degrees: Vec<f64> = (0..g.num_nodes() as NodeId)
         .map(|u| g.degree(u) as f64)
@@ -138,7 +144,7 @@ pub struct GraphStats {
 }
 
 /// Computes the full statistics bundle.
-pub fn stats(g: &Graph) -> GraphStats {
+pub fn stats<V: GraphView + ?Sized>(g: &V) -> GraphStats {
     GraphStats {
         nodes: g.num_nodes(),
         edges: g.num_edges(),
@@ -155,6 +161,7 @@ pub fn stats(g: &Graph) -> GraphStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Graph;
 
     #[test]
     fn components_of_disjoint_edges() {

@@ -6,6 +6,7 @@
 //! sample) from a random seed node, which keeps the sample connected and
 //! preserves local structure — exactly what the egonet features measure.
 
+use crate::view::GraphView;
 use crate::{Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,7 +19,7 @@ use std::collections::BTreeMap;
 ///
 /// If the component containing the start node is smaller than `target`,
 /// the whole component is returned.
-pub fn bfs_sample(g: &Graph, target: usize, seed: u64) -> (Graph, Vec<NodeId>) {
+pub fn bfs_sample<V: GraphView + ?Sized>(g: &V, target: usize, seed: u64) -> (Graph, Vec<NodeId>) {
     let n = g.num_nodes();
     assert!(n > 0, "cannot sample an empty graph");
     let target = target.min(n);
@@ -45,7 +46,7 @@ pub fn bfs_sample(g: &Graph, target: usize, seed: u64) -> (Graph, Vec<NodeId>) {
             break;
         }
         let mut nbrs: Vec<NodeId> = g
-            .neighbors(u)
+            .neighbors_sorted(u)
             .iter()
             .copied()
             .filter(|&v| !visited[v as usize])
@@ -67,7 +68,7 @@ pub fn bfs_sample(g: &Graph, target: usize, seed: u64) -> (Graph, Vec<NodeId>) {
 
 /// Induces the subgraph on `nodes`, compacting ids to `0..nodes.len()`.
 /// Returns the subgraph and the original id of each compact node.
-pub fn induce(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+pub fn induce<V: GraphView + ?Sized>(g: &V, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
     let mut mapping: BTreeMap<NodeId, NodeId> = BTreeMap::new();
     for (i, &u) in nodes.iter().enumerate() {
         let prev = mapping.insert(u, i as NodeId);
@@ -75,7 +76,7 @@ pub fn induce(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
     }
     let mut sub = Graph::new(nodes.len());
     for (&orig_u, &cu) in &mapping {
-        for &orig_v in g.neighbors(orig_u) {
+        for &orig_v in g.neighbors_sorted(orig_u) {
             if orig_v > orig_u {
                 if let Some(&cv) = mapping.get(&orig_v) {
                     sub.add_edge(cu, cv);

@@ -1,7 +1,7 @@
 //! Property-based tests for the graph substrate.
 
 use ba_graph::egonet::{egonet_features, IncrementalEgonet};
-use ba_graph::{generators, Graph, NodeId};
+use ba_graph::{generators, CsrGraph, DeltaOverlay, EditableGraph, Graph, GraphView, NodeId};
 use proptest::prelude::*;
 
 /// Strategy: a random simple graph on up to `max_n` nodes.
@@ -100,6 +100,50 @@ proptest! {
             loaded_edges.sort_unstable();
             prop_assert_eq!(orig_edges, loaded_edges);
         }
+    }
+
+    #[test]
+    fn overlay_stays_equivalent_to_reference_under_toggles(
+        g in arb_graph(20),
+        toggles in proptest::collection::vec((0u32..20, 0u32..20), 1..40),
+    ) {
+        // Drive the same random edge-toggle sequence through the mutable
+        // reference Graph and through CsrGraph + DeltaOverlay; every
+        // observable (edge set, degrees, features, common-neighbour
+        // kernels, metrics) must stay identical at every step.
+        let mut reference = g.clone();
+        let csr = CsrGraph::from(&g);
+        let mut overlay = DeltaOverlay::new(&csr);
+        let n = g.num_nodes() as NodeId;
+        for (u, v) in toggles {
+            let (u, v) = (u % n, v % n);
+            let op_ref = reference.toggle_edge(u, v);
+            let op_ov = overlay.toggle_edge(u, v);
+            prop_assert_eq!(op_ref, op_ov);
+            prop_assert_eq!(overlay.num_edges(), reference.num_edges());
+            for w in 0..n {
+                prop_assert_eq!(overlay.neighbors_sorted(w), reference.neighbors(w));
+            }
+            prop_assert_eq!(egonet_features(&overlay), egonet_features(&reference));
+            prop_assert_eq!(
+                overlay.common_neighbors(u, v),
+                reference.common_neighbors(u, v)
+            );
+            prop_assert_eq!(overlay.to_graph(), reference.clone());
+        }
+        let stats_ref = ba_graph::metrics::stats(&reference);
+        let stats_ov = ba_graph::metrics::stats(&overlay);
+        prop_assert_eq!(stats_ref, stats_ov);
+        // Resetting the overlay returns to the base graph exactly.
+        overlay.reset();
+        prop_assert_eq!(overlay.to_graph(), g);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_graph(g in arb_graph(30)) {
+        let csr = CsrGraph::from(&g);
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        prop_assert_eq!(csr.to_graph(), g);
     }
 
     #[test]

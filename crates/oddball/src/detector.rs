@@ -4,7 +4,7 @@
 use crate::robust::{huber_fit, ransac_fit, HuberConfig, RansacConfig};
 use crate::score::{anomaly_score, log_features, surrogate_score};
 use ba_graph::egonet::{egonet_features, EgonetFeatures};
-use ba_graph::{Graph, NodeId};
+use ba_graph::{GraphView, NodeId};
 use ba_linalg::{simple_ols, Ols2Error};
 use serde::{Deserialize, Serialize};
 
@@ -90,8 +90,11 @@ impl OddBall {
         self.regressor
     }
 
-    /// Extracts egonet features from `g` and fits the detector.
-    pub fn fit(&self, g: &Graph) -> Result<OddBallModel, FitError> {
+    /// Extracts egonet features from `g` and fits the detector. Accepts
+    /// any [`GraphView`] — a mutable `Graph`, a frozen `CsrGraph`, or a
+    /// live `DeltaOverlay` — so attack loops can refit on the poisoned
+    /// view without materialising a graph.
+    pub fn fit<V: GraphView + ?Sized>(&self, g: &V) -> Result<OddBallModel, FitError> {
         if g.num_nodes() == 0 {
             return Err(FitError::EmptyGraph);
         }
@@ -230,7 +233,7 @@ impl OddBallModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_graph::generators;
+    use ba_graph::{generators, CsrGraph, DeltaOverlay, Graph};
 
     fn planted_graph(seed: u64) -> Graph {
         let mut g = generators::erdos_renyi(400, 0.02, seed);
@@ -307,6 +310,18 @@ mod tests {
             let top: Vec<NodeId> = model.top_k(30).into_iter().map(|(i, _)| i).collect();
             assert!(top.contains(&20), "{reg:?}: top = {top:?}");
         }
+    }
+
+    #[test]
+    fn fit_identical_across_views() {
+        let g = planted_graph(41);
+        let csr = CsrGraph::from(&g);
+        let ov = DeltaOverlay::new(&csr);
+        let a = OddBall::default().fit(&g).unwrap();
+        let b = OddBall::default().fit(&csr).unwrap();
+        let c = OddBall::default().fit(&ov).unwrap();
+        assert_eq!(a.scores(), b.scores());
+        assert_eq!(a.scores(), c.scores());
     }
 
     #[test]
