@@ -10,171 +10,20 @@
 //! myopic at large budgets, ContinuousA erratic; < 2% (10 targets) or
 //! < 5% (30 targets) of edges suffice for up to ~90% score decrease.
 //!
-//! Run: `cargo run -p ba-bench --release --bin fig4 [--paper]`
-//! (quick profile: 500-node datasets, 3 samples; `--paper`: Table-I
-//! scale, 5 samples)
+//! The grid runs on the deterministic parallel orchestrator: one cell
+//! per (panel, method, target-sample), byte-identical output at any
+//! `--threads` value, resumable with `--resume`.
+//!
+//! Run: `cargo run -p ba-bench --release --bin fig4 [--paper]
+//! [--threads N] [--resume]` (quick profile: 500-node datasets, 3
+//! samples; `--paper`: Table-I scale, 5 samples)
 
-use ba_bench::{f4, mean_tau_curve, sample_targets, ExpOptions};
-use ba_core::{AttackConfig, BinarizedAttack, ContinuousA, GradMaxSearch};
-use ba_datasets::Dataset;
-use ba_graph::{Graph, NodeId};
-
-struct Panel {
-    label: &'static str,
-    dataset: Dataset,
-    num_targets: usize,
-    /// Budget as a fraction of the panel's edge count.
-    budget_frac: f64,
-}
-
-fn panels() -> Vec<Panel> {
-    vec![
-        Panel {
-            label: "ER",
-            dataset: Dataset::Er,
-            num_targets: 10,
-            budget_frac: 0.003,
-        },
-        Panel {
-            label: "BA",
-            dataset: Dataset::Ba,
-            num_targets: 10,
-            budget_frac: 0.02,
-        },
-        Panel {
-            label: "Blogcatalog-10",
-            dataset: Dataset::Blogcatalog,
-            num_targets: 10,
-            budget_frac: 0.008,
-        },
-        Panel {
-            label: "Blogcatalog-30",
-            dataset: Dataset::Blogcatalog,
-            num_targets: 30,
-            budget_frac: 0.02,
-        },
-        Panel {
-            label: "Bitcoin-Alpha-10",
-            dataset: Dataset::BitcoinAlpha,
-            num_targets: 10,
-            budget_frac: 0.0175,
-        },
-        Panel {
-            label: "Bitcoin-Alpha-30",
-            dataset: Dataset::BitcoinAlpha,
-            num_targets: 30,
-            budget_frac: 0.04,
-        },
-        Panel {
-            label: "Wikivote-10",
-            dataset: Dataset::Wikivote,
-            num_targets: 10,
-            budget_frac: 0.0175,
-        },
-        Panel {
-            label: "Wikivote-30",
-            dataset: Dataset::Wikivote,
-            num_targets: 30,
-            budget_frac: 0.04,
-        },
-    ]
-}
+use ba_bench::experiments::Fig4Experiment;
+use ba_bench::runner::ExperimentRunner;
+use ba_bench::ExpOptions;
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let cfg = AttackConfig::default();
-    // Quick profile shrinks graphs and optimiser effort; --paper restores
-    // Table-I scale.
-    let (bin_iters, bin_lambdas, cont_iters) = if opts.paper {
-        (400, vec![0.002, 0.008, 0.03], 50)
-    } else {
-        (300, vec![0.002, 0.02], 30)
-    };
-    let binarized = BinarizedAttack::new(cfg)
-        .with_iterations(bin_iters)
-        .with_lambdas(bin_lambdas);
-    let gradmax = GradMaxSearch::new(cfg);
-    let continuous = ContinuousA::new(cfg).with_iterations(cont_iters);
-
-    println!(
-        "FIG 4: tau_as vs edges changed (%) — mean over {} target samples",
-        opts.samples
-    );
-    let mut csv = Vec::new();
-    for panel in panels() {
-        let g: Graph = if opts.paper {
-            panel.dataset.build(opts.seed)
-        } else {
-            let (n, m) = panel.dataset.paper_statistics();
-            panel.dataset.build_scaled(n / 2, m / 2, opts.seed)
-        };
-        let edges = g.num_edges();
-        let budget = ((edges as f64 * panel.budget_frac).round() as usize).max(4);
-        let target_sets: Vec<Vec<NodeId>> = (0..opts.samples)
-            .map(|s| sample_targets(&g, panel.num_targets, 50, opts.seed + 100 + s as u64))
-            .collect();
-
-        println!(
-            "\n=== {} (n={}, m={}, budget={} = {:.2}% edges) ===",
-            panel.label,
-            g.num_nodes(),
-            edges,
-            budget,
-            100.0 * budget as f64 / edges as f64
-        );
-        let t0 = std::time::Instant::now();
-        let curve_bin = mean_tau_curve(&binarized, &g, &target_sets, budget);
-        let curve_gms = mean_tau_curve(&gradmax, &g, &target_sets, budget);
-        let curve_con = mean_tau_curve(&continuous, &g, &target_sets, budget);
-        println!("(runtime {:.1}s)", t0.elapsed().as_secs_f64());
-
-        println!(
-            "{:>10}  {:>14}  {:>14}  {:>14}",
-            "edges(%)", "binarized", "gradmax", "continuousA"
-        );
-        let step = (budget / 8).max(1);
-        for b in (0..=budget).step_by(step) {
-            let pct = 100.0 * b as f64 / edges as f64;
-            let get = |c: &Vec<f64>| -> String {
-                if c.is_empty() {
-                    "n/a".into()
-                } else {
-                    f4(c[b.min(c.len() - 1)])
-                }
-            };
-            println!(
-                "{:>10.3}  {:>14}  {:>14}  {:>14}",
-                pct,
-                get(&curve_bin),
-                get(&curve_gms),
-                get(&curve_con)
-            );
-            csv.push(format!(
-                "{},{},{:.5},{},{},{}",
-                panel.label,
-                b,
-                pct,
-                if curve_bin.is_empty() {
-                    f64::NAN
-                } else {
-                    curve_bin[b.min(curve_bin.len() - 1)]
-                },
-                if curve_gms.is_empty() {
-                    f64::NAN
-                } else {
-                    curve_gms[b.min(curve_gms.len() - 1)]
-                },
-                if curve_con.is_empty() {
-                    f64::NAN
-                } else {
-                    curve_con[b.min(curve_con.len() - 1)]
-                },
-            ));
-        }
-    }
-    opts.write_csv(
-        "fig4.csv",
-        "panel,budget,edges_pct,tau_binarized,tau_gradmax,tau_continuousA",
-        &csv,
-    );
+    let exp = Fig4Experiment::standard(&opts);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
 }

@@ -4,80 +4,16 @@
 //! AScore drops 6.05→0.69 (add), 8.4→0.29 (delete), 5.34→0.42 (both) and
 //! shows the near-star / near-clique egonets becoming "normal".
 //!
-//! Run: `cargo run -p ba-bench --release --bin fig5`
+//! Runs the three independent cases as orchestrator cells.
+//!
+//! Run: `cargo run -p ba-bench --release --bin fig5 [--threads N]`
 
+use ba_bench::experiments::Fig5Experiment;
+use ba_bench::runner::ExperimentRunner;
 use ba_bench::ExpOptions;
-use ba_core::{AttackConfig, BinarizedAttack, EdgeOpKind, StructuralAttack};
-use ba_datasets::Dataset;
-use ba_oddball::OddBall;
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let g = Dataset::Wikivote.build(opts.seed);
-    let model = OddBall::default().fit(&g).expect("fit");
-    // Three distinct targets from the top ranks.
-    let top: Vec<u32> = model.top_k(6).into_iter().map(|(i, _)| i).collect();
-    let cases = [
-        ("case1_add_edges", EdgeOpKind::AddOnly, top[0]),
-        ("case2_delete_edges", EdgeOpKind::DeleteOnly, top[1]),
-        ("case3_add_delete", EdgeOpKind::Both, top[2]),
-    ];
-    println!(
-        "FIG 5: single-target case studies (Wikivote-like, n={}, m={})",
-        g.num_nodes(),
-        g.num_edges()
-    );
-    println!(
-        "{:>18} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6}",
-        "case", "target", "S_before", "S_after", "N_b", "E_b", "N_a", "E_a", "#add", "#del"
-    );
-    let mut csv = Vec::new();
-    for (name, kind, target) in cases {
-        let cfg = AttackConfig {
-            op_kind: kind,
-            ..AttackConfig::default()
-        };
-        let attack = BinarizedAttack::new(cfg).with_iterations(400);
-        let budget = 25;
-        let outcome = attack.attack(&g, &[target], budget).expect("attack");
-        let b = outcome.max_budget();
-        let poisoned = outcome.poisoned_graph(&g, b);
-        let model_after = OddBall::default().fit(&poisoned).expect("fit poisoned");
-        let feats_b = model.features();
-        let feats_a = model_after.features();
-        let adds = outcome.ops(b).iter().filter(|op| op.added).count();
-        let dels = outcome.ops(b).len() - adds;
-        println!(
-            "{:>18} {:>7} {:>9.3} {:>9.3} {:>7.0} {:>7.0} {:>7.0} {:>7.0} {:>6} {:>6}",
-            name,
-            target,
-            model.score(target),
-            model_after.score(target),
-            feats_b.n[target as usize],
-            feats_b.e[target as usize],
-            feats_a.n[target as usize],
-            feats_a.e[target as usize],
-            adds,
-            dels
-        );
-        csv.push(format!(
-            "{},{},{:.5},{:.5},{},{},{},{},{},{}",
-            name,
-            target,
-            model.score(target),
-            model_after.score(target),
-            feats_b.n[target as usize],
-            feats_b.e[target as usize],
-            feats_a.n[target as usize],
-            feats_a.e[target as usize],
-            adds,
-            dels
-        ));
-    }
-    opts.write_csv(
-        "fig5.csv",
-        "case,target,score_before,score_after,n_before,e_before,n_after,e_after,adds,deletes",
-        &csv,
-    );
-    println!("\n(paper anchors: 6.05->0.69 add-only, 8.4->0.29 delete-only, 5.34->0.42 both)");
+    let exp = Fig5Experiment::standard(&opts);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
 }

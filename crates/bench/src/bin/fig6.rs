@@ -5,132 +5,17 @@
 //! influence on the high-level anomalies; it also plots the regression
 //! lines on the clean graph and at B = 60.
 //!
+//! A single orchestrator cell (everything derives from one attack run);
+//! `run_all` pools it with the other experiments' cells.
+//!
 //! Run: `cargo run -p ba-bench --release --bin fig6`
 
-use ba_bench::{f4, ExpOptions};
-use ba_core::{AttackConfig, AttackOutcome, BinarizedAttack, StructuralAttack};
-use ba_datasets::Dataset;
-use ba_graph::NodeId;
-use ba_oddball::OddBall;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use ba_bench::experiments::Fig6Experiment;
+use ba_bench::runner::ExperimentRunner;
+use ba_bench::ExpOptions;
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let g = Dataset::Blogcatalog.build(opts.seed);
-    let model = OddBall::default().fit(&g).expect("fit clean");
-    let scores = model.scores();
-    let q1 = ba_stats::percentile(scores, 10.0);
-    let q2 = ba_stats::percentile(scores, 90.0);
-    println!(
-        "FIG 6: Blogcatalog-like, percentile thresholds q1={:.4} (10%), q2={:.4} (90%)",
-        q1, q2
-    );
-
-    // Group membership.
-    let mut low: Vec<NodeId> = Vec::new();
-    let mut med: Vec<NodeId> = Vec::new();
-    let mut high: Vec<NodeId> = Vec::new();
-    for (i, &s) in scores.iter().enumerate() {
-        let id = i as NodeId;
-        if s <= q1 {
-            low.push(id);
-        } else if s >= q2 {
-            high.push(id);
-        } else {
-            med.push(id);
-        }
-    }
-    let mut rng = StdRng::seed_from_u64(opts.seed + 9);
-    for group in [&mut low, &mut med, &mut high] {
-        group.shuffle(&mut rng);
-        group.truncate(10);
-        group.sort_unstable();
-    }
-    let mut all_targets = Vec::new();
-    all_targets.extend_from_slice(&low);
-    all_targets.extend_from_slice(&med);
-    all_targets.extend_from_slice(&high);
-
-    let budget = 60;
-    let attack = BinarizedAttack::new(AttackConfig::default()).with_iterations(if opts.paper {
-        400
-    } else {
-        300
-    });
-    let outcome = attack.attack(&g, &all_targets, budget).expect("attack");
-
-    // Per-group τ_as curves.
-    println!(
-        "{:>8}  {:>10}  {:>10}  {:>10}",
-        "budget", "low", "medium", "high"
-    );
-    let mut csv = Vec::new();
-    let detector = OddBall::default();
-    let group_curve = |targets: &[NodeId]| -> Vec<f64> {
-        let curve = outcome.ascore_curve(&g, targets, &detector);
-        (0..curve.len())
-            .map(|b| AttackOutcome::tau_as(&curve, b))
-            .collect()
-    };
-    let c_low = group_curve(&low);
-    let c_med = group_curve(&med);
-    let c_high = group_curve(&high);
-    for b in (0..=budget).step_by(10) {
-        let at = |c: &Vec<f64>| c[b.min(c.len() - 1)];
-        println!(
-            "{:>8}  {:>10}  {:>10}  {:>10}",
-            b,
-            f4(at(&c_low)),
-            f4(at(&c_med)),
-            f4(at(&c_high))
-        );
-        csv.push(format!("{b},{},{},{}", at(&c_low), at(&c_med), at(&c_high)));
-    }
-    opts.write_csv(
-        "fig6_groups.csv",
-        "budget,tau_low,tau_medium,tau_high",
-        &csv,
-    );
-
-    // Regression lines clean vs poisoned at B = 60 (Fig. 6b/6c).
-    let poisoned = outcome.poisoned_graph(&g, budget);
-    let model_after = OddBall::default().fit(&poisoned).expect("fit poisoned");
-    println!(
-        "\nregression clean:    beta0 = {:.4}, beta1 = {:.4}",
-        model.beta0(),
-        model.beta1()
-    );
-    println!(
-        "regression B={budget}:  beta0 = {:.4}, beta1 = {:.4}",
-        model_after.beta0(),
-        model_after.beta1()
-    );
-    let mut reg_csv = vec![
-        format!("clean,{:.6},{:.6}", model.beta0(), model.beta1()),
-        format!(
-            "poisoned_b{budget},{:.6},{:.6}",
-            model_after.beta0(),
-            model_after.beta1()
-        ),
-    ];
-    // Scatter of the targets for the two panels.
-    for (tag, m) in [("clean", &model), ("poisoned", &model_after)] {
-        for (gname, group) in [("low", &low), ("medium", &med), ("high", &high)] {
-            for &t in group.iter() {
-                let f = m.features();
-                reg_csv.push(format!(
-                    "scatter_{tag}_{gname},{:.6},{:.6}",
-                    f.n[t as usize].max(1.0).ln(),
-                    f.e[t as usize].max(1.0).ln()
-                ));
-            }
-        }
-    }
-    opts.write_csv(
-        "fig6_regression.csv",
-        "series,x_or_beta0,y_or_beta1",
-        &reg_csv,
-    );
+    let exp = Fig6Experiment::standard(&opts);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
 }

@@ -7,89 +7,17 @@
 //! Bitcoin-Alpha) while δ_B climbs to ~25% — a targeted, unnoticeable
 //! attack.
 //!
-//! Run: `cargo run -p ba-bench --release --bin table3 [--paper]`
+//! One orchestrator cell per dataset (the GAL training runs dominate).
+//!
+//! Run: `cargo run -p ba-bench --release --bin table3 [--paper]
+//! [--threads N]`
 
+use ba_bench::experiments::Table3Experiment;
+use ba_bench::runner::ExperimentRunner;
 use ba_bench::ExpOptions;
-use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
-use ba_datasets::Dataset;
-use ba_gad::{
-    evaluate_system, identify_targets, pipeline::delta_b, pipeline::oddball_labels,
-    train_test_split, GadSystem, GalConfig, TransferConfig,
-};
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let gal_epochs = if opts.paper { 120 } else { 60 };
-    let system = GadSystem::Gal(GalConfig {
-        epochs: gal_epochs,
-        ..GalConfig::default()
-    });
-    let tcfg = TransferConfig {
-        seed: opts.seed + 3,
-        ..TransferConfig::default()
-    };
-
-    println!("TABLE III: GAL transfer attack (AUC / F1 / delta_B)");
-    let mut csv = Vec::new();
-    for d in [Dataset::BitcoinAlpha, Dataset::Wikivote] {
-        let g = d.build(opts.seed);
-        let labels = oddball_labels(&g, tcfg.label_fraction);
-        let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, tcfg.seed);
-        let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &tcfg);
-        println!(
-            "\n--- {} (n={}, m={}, {} identified targets) ---",
-            d.name(),
-            g.num_nodes(),
-            g.num_edges(),
-            targets.len()
-        );
-        println!("{:>12} {:>8} {:>8} {:>8}", "edges(%)", "AUC", "F1", "dB(%)");
-        println!(
-            "{:>12} {:>8.3} {:>8.3} {:>8.2}",
-            "0.0", clean.auc, clean.f1, 0.0
-        );
-        csv.push(format!(
-            "{},0.0,{:.4},{:.4},0.0",
-            d.name(),
-            clean.auc,
-            clean.f1
-        ));
-        if targets.is_empty() {
-            eprintln!("warning: no targets identified; skipping dataset");
-            continue;
-        }
-
-        // One attack run at the max budget; reuse per-budget op sets.
-        let max_pct = 2.0;
-        let max_budget = (g.num_edges() as f64 * max_pct / 100.0).round() as usize;
-        let attack = BinarizedAttack::new(AttackConfig::default())
-            .with_iterations(if opts.paper { 120 } else { 60 })
-            .with_lambdas(vec![0.01, 0.05]);
-        let outcome = attack.attack(&g, &targets, max_budget).expect("attack");
-
-        let steps = 10;
-        for s in 1..=steps {
-            let pct = max_pct * s as f64 / steps as f64;
-            let b = (g.num_edges() as f64 * pct / 100.0).round() as usize;
-            let poisoned = outcome.poisoned_graph(&g, b);
-            // Poisoning setting: the system retrains on the poisoned
-            // graph; labels stay fixed from pre-processing (Sec. VI-B).
-            let after =
-                evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
-            let db = 100.0 * delta_b(clean.target_soft_sum, after.target_soft_sum);
-            println!(
-                "{:>12.1} {:>8.3} {:>8.3} {:>8.2}",
-                pct, after.auc, after.f1, db
-            );
-            csv.push(format!(
-                "{},{pct:.1},{:.4},{:.4},{db:.3}",
-                d.name(),
-                after.auc,
-                after.f1
-            ));
-        }
-    }
-    opts.write_csv("table3.csv", "dataset,edges_pct,auc,f1,delta_b_pct", &csv);
-    println!("\n(paper: Bitcoin-Alpha AUC 0.72->0.65, F1 0.85->0.81, dB up to 25.7%;");
-    println!(" Wikivote AUC 0.68->0.60, F1 0.77->0.71, dB up to 28%)");
+    let exp = Table3Experiment::standard(&opts);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
 }

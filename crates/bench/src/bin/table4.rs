@@ -6,75 +6,17 @@
 //! AUC / F1 / δ_B. Paper shape: AUC sags 0.79→0.72 / 0.84→0.66, δ_B
 //! reaches 33% / 56%.
 //!
-//! Run: `cargo run -p ba-bench --release --bin table4 [--paper]`
+//! One orchestrator cell per dataset.
+//!
+//! Run: `cargo run -p ba-bench --release --bin table4 [--paper]
+//! [--threads N]`
 
+use ba_bench::experiments::Table4Experiment;
+use ba_bench::runner::ExperimentRunner;
 use ba_bench::ExpOptions;
-use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
-use ba_datasets::Dataset;
-use ba_gad::{
-    evaluate_system, identify_targets, pipeline::delta_b, pipeline::oddball_labels,
-    train_test_split, GadSystem, RefexConfig, TransferConfig,
-};
 
 fn main() {
     let opts = ExpOptions::from_args();
-    let system = GadSystem::Refex(RefexConfig::default());
-    let tcfg = TransferConfig {
-        seed: opts.seed + 5,
-        ..TransferConfig::default()
-    };
-
-    println!("TABLE IV: ReFeX transfer attack (AUC / F1 / delta_B)");
-    let mut csv = Vec::new();
-    for (d, max_budget, step) in [
-        (Dataset::BitcoinAlpha, 50usize, 5usize),
-        (Dataset::Wikivote, 100, 10),
-    ] {
-        let g = d.build(opts.seed);
-        let labels = oddball_labels(&g, tcfg.label_fraction);
-        let (train, test) = train_test_split(g.num_nodes(), tcfg.train_fraction, tcfg.seed);
-        let (targets, clean) = identify_targets(&system, &g, &labels, &train, &test, &tcfg);
-        println!(
-            "\n--- {} (n={}, m={}, {} identified targets) ---",
-            d.name(),
-            g.num_nodes(),
-            g.num_edges(),
-            targets.len()
-        );
-        println!("{:>8} {:>8} {:>8} {:>8}", "B", "AUC", "F1", "dB(%)");
-        println!("{:>8} {:>8.3} {:>8.3} {:>8.2}", 0, clean.auc, clean.f1, 0.0);
-        csv.push(format!(
-            "{},0,{:.4},{:.4},0.0",
-            d.name(),
-            clean.auc,
-            clean.f1
-        ));
-        if targets.is_empty() {
-            eprintln!("warning: no targets identified; skipping dataset");
-            continue;
-        }
-
-        let attack = BinarizedAttack::new(AttackConfig::default())
-            .with_iterations(if opts.paper { 120 } else { 60 })
-            .with_lambdas(vec![0.01, 0.05]);
-        let outcome = attack.attack(&g, &targets, max_budget).expect("attack");
-        let mut b = step;
-        while b <= max_budget {
-            let poisoned = outcome.poisoned_graph(&g, b);
-            let after =
-                evaluate_system(&system, &poisoned, &labels, &train, &test, &targets, &tcfg);
-            let db = 100.0 * delta_b(clean.target_soft_sum, after.target_soft_sum);
-            println!("{:>8} {:>8.3} {:>8.3} {:>8.2}", b, after.auc, after.f1, db);
-            csv.push(format!(
-                "{},{b},{:.4},{:.4},{db:.3}",
-                d.name(),
-                after.auc,
-                after.f1
-            ));
-            b += step;
-        }
-    }
-    opts.write_csv("table4.csv", "dataset,budget,auc,f1,delta_b_pct", &csv);
-    println!("\n(paper: Bitcoin-Alpha AUC 0.79->0.72, dB up to 33.3%;");
-    println!(" Wikivote AUC 0.84->0.66, dB up to 56.4%)");
+    let exp = Table4Experiment::standard(&opts);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
 }

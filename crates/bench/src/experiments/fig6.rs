@@ -1,0 +1,237 @@
+//! Fig. 6 as a runner experiment — attack preference by target group on
+//! the Blogcatalog-like graph. A single cell: the three group curves and
+//! the regression panels all derive from one 30-target attack run, so
+//! splitting them would re-run the attack per group. Parallelism comes
+//! from pooling this cell with other experiments' cells in `run_all`.
+
+use crate::artifact::{dec_curve, dec_f64, enc_curve, enc_f64};
+use crate::runner::{CellCtx, DatasetSpec, Experiment};
+use crate::{f4, ExpOptions};
+use ba_core::{AttackConfig, AttackOutcome, BinarizedAttack, StructuralAttack};
+use ba_datasets::Dataset;
+use ba_graph::{DeltaOverlay, EditableGraph, NodeId};
+use ba_oddball::OddBall;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The Fig. 6 group-preference experiment.
+#[derive(Debug, Clone)]
+pub struct Fig6Experiment {
+    /// BinarizedAttack PGD iterations.
+    pub iterations: usize,
+    /// Edge budget (paper: 60).
+    pub budget: usize,
+}
+
+impl Fig6Experiment {
+    /// Paper configuration at the profile `opts` selects.
+    pub fn standard(opts: &ExpOptions) -> Self {
+        Self {
+            iterations: if opts.paper { 400 } else { 300 },
+            budget: 60,
+        }
+    }
+}
+
+impl Experiment for Fig6Experiment {
+    fn name(&self) -> String {
+        "fig6".to_string()
+    }
+
+    fn config_fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
+    fn artifacts(&self) -> Vec<String> {
+        vec![
+            "fig6_groups.csv".to_string(),
+            "fig6_regression.csv".to_string(),
+        ]
+    }
+
+    fn datasets(&self) -> Vec<DatasetSpec> {
+        vec![DatasetSpec::full(Dataset::Blogcatalog)]
+    }
+
+    fn num_cells(&self) -> usize {
+        1
+    }
+
+    fn cell_dataset(&self, _cell: usize) -> usize {
+        0
+    }
+
+    fn cell_label(&self, _cell: usize) -> String {
+        "groups+regression".to_string()
+    }
+
+    fn run_cell(&self, _cell: usize, ctx: &mut CellCtx<'_, '_>) -> Vec<String> {
+        let model = ctx.model(0);
+        let scores = model.scores();
+        let q1 = ba_stats::percentile(scores, 10.0);
+        let q2 = ba_stats::percentile(scores, 90.0);
+
+        // Group membership at the 10th/90th percentiles.
+        let mut low: Vec<NodeId> = Vec::new();
+        let mut med: Vec<NodeId> = Vec::new();
+        let mut high: Vec<NodeId> = Vec::new();
+        for (i, &s) in scores.iter().enumerate() {
+            let id = i as NodeId;
+            if s <= q1 {
+                low.push(id);
+            } else if s >= q2 {
+                high.push(id);
+            } else {
+                med.push(id);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(ctx.seed_for("groups", &[]));
+        for group in [&mut low, &mut med, &mut high] {
+            group.shuffle(&mut rng);
+            group.truncate(10);
+            group.sort_unstable();
+        }
+        let mut all_targets = Vec::new();
+        all_targets.extend_from_slice(&low);
+        all_targets.extend_from_slice(&med);
+        all_targets.extend_from_slice(&high);
+
+        let session = ctx.session(0, &all_targets).expect("valid targets");
+        let outcome = BinarizedAttack::new(AttackConfig::default())
+            .with_iterations(self.iterations)
+            .attack_with_session(session, self.budget)
+            .expect("fig6 attack");
+
+        let detector = OddBall::default();
+        let csr = ctx.csr(0);
+        let group_curve = |targets: &[NodeId]| -> Vec<f64> {
+            let curve = outcome.ascore_curve_with_clean(csr, model, targets, &detector);
+            (0..curve.len())
+                .map(|b| AttackOutcome::tau_as(&curve, b))
+                .collect()
+        };
+
+        let mut rows = vec![format!("q,{},{}", enc_f64(q1), enc_f64(q2))];
+        for (gname, group) in [("low", &low), ("medium", &med), ("high", &high)] {
+            rows.push(format!(
+                "groupcurve,{gname},{}",
+                enc_curve(&group_curve(group))
+            ));
+        }
+
+        // Regression lines clean vs poisoned at the full budget.
+        let mut poisoned = DeltaOverlay::new(csr);
+        poisoned.apply_ops(outcome.ops(self.budget));
+        let model_after = OddBall::default().fit(&poisoned).expect("fit poisoned");
+        rows.push(format!(
+            "beta,clean,{},{}",
+            enc_f64(model.beta0()),
+            enc_f64(model.beta1())
+        ));
+        rows.push(format!(
+            "beta,poisoned,{},{}",
+            enc_f64(model_after.beta0()),
+            enc_f64(model_after.beta1())
+        ));
+        for (tag, m) in [("clean", model), ("poisoned", &model_after)] {
+            for (gname, group) in [("low", &low), ("medium", &med), ("high", &high)] {
+                for &t in group.iter() {
+                    let f = m.features();
+                    rows.push(format!(
+                        "scatter,{tag},{gname},{},{}",
+                        enc_f64(f.n[t as usize].max(1.0).ln()),
+                        enc_f64(f.e[t as usize].max(1.0).ln())
+                    ));
+                }
+            }
+        }
+        rows
+    }
+
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) {
+        let rows = &cells[0];
+        let qs: Vec<f64> = rows[0]
+            .split(',')
+            .skip(1)
+            .map(|s| dec_f64(s).expect("q payload"))
+            .collect();
+        println!(
+            "FIG 6: Blogcatalog-like, percentile thresholds q1={:.4} (10%), q2={:.4} (90%)",
+            qs[0], qs[1]
+        );
+
+        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+        let mut betas: Vec<(String, f64, f64)> = Vec::new();
+        let mut scatter: Vec<String> = Vec::new();
+        for row in rows.iter().skip(1) {
+            let parts: Vec<&str> = row.split(',').collect();
+            match parts[0] {
+                "groupcurve" => curves.push((
+                    parts[1].to_string(),
+                    dec_curve(parts[2]).expect("curve payload"),
+                )),
+                "beta" => betas.push((
+                    parts[1].to_string(),
+                    dec_f64(parts[2]).expect("beta0"),
+                    dec_f64(parts[3]).expect("beta1"),
+                )),
+                "scatter" => scatter.push(format!(
+                    "scatter_{}_{},{:.6},{:.6}",
+                    parts[1],
+                    parts[2],
+                    dec_f64(parts[3]).expect("x"),
+                    dec_f64(parts[4]).expect("y")
+                )),
+                other => panic!("unknown fig6 record {other:?}"),
+            }
+        }
+
+        println!(
+            "{:>8}  {:>10}  {:>10}  {:>10}",
+            "budget", "low", "medium", "high"
+        );
+        let mut csv = Vec::new();
+        for b in (0..=self.budget).step_by(10) {
+            let at = |c: &Vec<f64>| c[b.min(c.len() - 1)];
+            println!(
+                "{:>8}  {:>10}  {:>10}  {:>10}",
+                b,
+                f4(at(&curves[0].1)),
+                f4(at(&curves[1].1)),
+                f4(at(&curves[2].1))
+            );
+            csv.push(format!(
+                "{b},{},{},{}",
+                at(&curves[0].1),
+                at(&curves[1].1),
+                at(&curves[2].1)
+            ));
+        }
+        opts.write_csv(
+            "fig6_groups.csv",
+            "budget,tau_low,tau_medium,tau_high",
+            &csv,
+        );
+
+        let mut reg_csv = Vec::new();
+        for (tag, b0, b1) in &betas {
+            if tag == "clean" {
+                println!("\nregression clean:    beta0 = {b0:.4}, beta1 = {b1:.4}");
+                reg_csv.push(format!("clean,{b0:.6},{b1:.6}"));
+            } else {
+                println!(
+                    "regression B={}:  beta0 = {b0:.4}, beta1 = {b1:.4}",
+                    self.budget
+                );
+                reg_csv.push(format!("poisoned_b{},{b0:.6},{b1:.6}", self.budget));
+            }
+        }
+        reg_csv.extend(scatter);
+        opts.write_csv(
+            "fig6_regression.csv",
+            "series,x_or_beta0,y_or_beta1",
+            &reg_csv,
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Runner-ported paper experiments.
+//!
+//! Each submodule implements [`crate::runner::Experiment`] for one
+//! figure/table: the grid decomposition into cells, the per-cell record
+//! encoding (exact-bits floats, see [`crate::artifact`]), and the
+//! index-ordered merge into the printed report + CSV artifacts. The
+//! thin binaries (`fig4`, `fig5`, `fig6`, `table3`, `table4`) construct
+//! these and hand them to an [`crate::runner::ExperimentRunner`];
+//! `run_all` pools all five into one suite so their cells share the
+//! worker pool and dataset substrates.
+
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table3;
+pub mod table4;
+
+pub use fig4::{Fig4Experiment, Fig4Method, Fig4Panel};
+pub use fig5::Fig5Experiment;
+pub use fig6::Fig6Experiment;
+pub use table3::Table3Experiment;
+pub use table4::Table4Experiment;

@@ -1,0 +1,702 @@
+//! The deterministic parallel experiment orchestrator.
+//!
+//! Every paper figure/table is a grid of independent *cells* — dataset ×
+//! method × target-sample — that the seed binaries used to walk
+//! serially. [`ExperimentRunner`] fans the cells of one or more
+//! [`Experiment`]s out across a `std::thread::scope` worker pool while
+//! guaranteeing the merged output is **byte-identical at any
+//! `--threads` value**:
+//!
+//! * **Cell-indexed RNG streams.** Every random choice inside a cell is
+//!   seeded by [`derive_seed`] from `(experiment name, cell index, base
+//!   seed)` — never from worker identity, wall-clock, or completion
+//!   order.
+//! * **Shared frozen substrates.** Each dataset is built once and frozen
+//!   into a [`CsrGraph`] (plus a fitted OddBall model for target
+//!   sampling); cells borrow it read-only. Workers keep one
+//!   [`AttackSession`] per substrate alive across cells via
+//!   [`AttackSession::retarget`], so no per-cell `O(n + m)` rebuilds.
+//! * **Ordered merge.** Workers claim cells from a shared queue
+//!   (dynamic load balancing), but results are slotted by cell index and
+//!   handed to [`Experiment::finalize`] in index order.
+//! * **Durable artifacts.** Each finished cell is committed atomically
+//!   under `<out>/.cells/<experiment>/` with a JSON manifest
+//!   ([`crate::artifact`]); `--resume` replays only missing cells and
+//!   merges the same bytes a fresh run would (cells always round-trip
+//!   through their on-disk encoding).
+//!
+//! The determinism contract is enforced by `tests/determinism.rs` at the
+//! workspace root.
+
+use crate::artifact::{CellStore, Manifest};
+use crate::ExpOptions;
+use ba_core::{AttackError, AttackSession};
+use ba_datasets::Dataset;
+use ba_graph::{CsrGraph, Graph, NodeId};
+use ba_oddball::{OddBall, OddBallModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One SplitMix64 scramble step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Derives an independent RNG seed from a textual tag and integer parts
+/// (FNV-1a over the tag, SplitMix64-mixed with each part). The one seed
+/// derivation the orchestrator permits: streams depend only on *what* a
+/// cell is, never on *where* or *when* it runs.
+pub fn derive_seed(tag: &str, parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in tag.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    for &p in parts {
+        h = splitmix64(h ^ p);
+    }
+    splitmix64(h)
+}
+
+/// A concrete dataset build an experiment's cells run against: the
+/// Table-I dataset plus the node/edge scale. Specs are deduplicated
+/// across a suite, so `fig4` and `fig5` share one frozen Wikivote
+/// substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatasetSpec {
+    /// Which Table-I dataset.
+    pub dataset: Dataset,
+    /// Nodes to build.
+    pub nodes: usize,
+    /// Target edge count.
+    pub edges: usize,
+}
+
+impl DatasetSpec {
+    /// Full paper (Table-I) scale.
+    pub fn full(dataset: Dataset) -> Self {
+        let (nodes, edges) = dataset.paper_statistics();
+        Self {
+            dataset,
+            nodes,
+            edges,
+        }
+    }
+
+    /// Half scale — the quick-profile size `fig4` uses.
+    pub fn half(dataset: Dataset) -> Self {
+        let (n, m) = dataset.paper_statistics();
+        Self {
+            dataset,
+            nodes: n / 2,
+            edges: m / 2,
+        }
+    }
+
+    /// An explicit scale (tests use tiny graphs).
+    pub fn scaled(dataset: Dataset, nodes: usize, edges: usize) -> Self {
+        Self {
+            dataset,
+            nodes,
+            edges,
+        }
+    }
+
+    /// Builds the graph for this spec at the given base seed.
+    pub fn build(&self, seed: u64) -> Graph {
+        self.dataset.build_scaled(self.nodes, self.edges, seed)
+    }
+}
+
+/// A dataset substrate shared (read-only) by every cell and worker: the
+/// built graph, its frozen CSR form, and a fitted OddBall model so
+/// target sampling's score pass runs once per dataset instead of once
+/// per cell.
+#[derive(Debug)]
+pub struct PreparedDataset {
+    /// The spec this substrate was built from.
+    pub spec: DatasetSpec,
+    /// The mutable-representation graph (GAL/ReFeX pipelines take it).
+    pub graph: Graph,
+    /// The frozen substrate sessions and overlays run on.
+    pub csr: CsrGraph,
+    /// OddBall fitted on the clean substrate.
+    pub model: OddBallModel,
+}
+
+impl PreparedDataset {
+    fn build(spec: DatasetSpec, seed: u64) -> Self {
+        let graph = spec.build(seed);
+        let csr = CsrGraph::from(&graph);
+        let model = OddBall::default()
+            .fit(&csr)
+            .unwrap_or_else(|e| panic!("OddBall fit on {:?}: {e}", spec.dataset.name()));
+        Self {
+            spec,
+            graph,
+            csr,
+            model,
+        }
+    }
+}
+
+/// A deterministically cell-decomposable experiment.
+///
+/// Implementations must keep `run_cell` a pure function of `(cell,
+/// substrates, derived seeds)`: no global state, no iteration-order
+/// dependence on other cells. Everything a cell learns must be encoded
+/// into its returned record rows (newline-free strings), because on
+/// `--resume` those rows are reloaded from disk in place of re-running
+/// the cell, and [`Experiment::finalize`] must merge both byte-
+/// identically.
+pub trait Experiment: Sync {
+    /// Stable name: artifact directory, manifest, and seed-derivation
+    /// domain.
+    fn name(&self) -> String;
+
+    /// A string covering **every** configuration knob that changes cell
+    /// payloads (iteration counts, λ grids, budgets, panel specs, …).
+    /// It is folded into the manifest fingerprint, so `--resume` never
+    /// adopts cells computed under a different configuration.
+    /// `format!("{self:?}")` is the usual implementation.
+    fn config_fingerprint(&self) -> String;
+
+    /// The dataset substrates cells reference (by index into this vec).
+    fn datasets(&self) -> Vec<DatasetSpec>;
+
+    /// Total number of cells.
+    fn num_cells(&self) -> usize;
+
+    /// The experiment-local dataset index `cell` runs against. The
+    /// runner builds only the substrates pending cells declare here, so
+    /// a cell must not touch any other dataset through its `CellCtx`.
+    fn cell_dataset(&self, cell: usize) -> usize;
+
+    /// Short human label for progress lines.
+    fn cell_label(&self, cell: usize) -> String;
+
+    /// Executes one cell, returning its record rows. Rows must be
+    /// non-empty and newline-free (the artifact store's record format).
+    fn run_cell(&self, cell: usize, ctx: &mut CellCtx<'_, '_>) -> Vec<String>;
+
+    /// The artifact filenames [`Experiment::finalize`] writes into the
+    /// output directory. When the experiment fails mid-grid, the runner
+    /// deletes these so a stale file from an earlier run can never ship
+    /// as this run's result.
+    fn artifacts(&self) -> Vec<String>;
+
+    /// Merges all cells' rows — presented in cell-index order, whether
+    /// computed or reloaded — into the final report and CSV artifacts.
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]);
+}
+
+/// Per-worker reusable attack sessions, keyed by global substrate index.
+#[derive(Default)]
+struct SessionCache<'p> {
+    map: HashMap<usize, AttackSession<'p>>,
+}
+
+/// What a cell sees while it runs: the shared substrates, its derived
+/// seed streams, and the worker's session cache.
+pub struct CellCtx<'p, 'w> {
+    exp_name: &'w str,
+    cell: usize,
+    base_seed: u64,
+    inner_threads: usize,
+    prep: &'p [Option<PreparedDataset>],
+    ds_map: &'w [usize],
+    sessions: &'w mut SessionCache<'p>,
+}
+
+impl<'p> CellCtx<'p, '_> {
+    /// The cell's own RNG seed, derived from
+    /// `(experiment, cell index, base seed)`.
+    pub fn cell_seed(&self) -> u64 {
+        derive_seed(self.exp_name, &[self.cell as u64, self.base_seed])
+    }
+
+    /// The cell's own RNG stream.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.cell_seed())
+    }
+
+    /// A seed stream shared *across* cells of this experiment (e.g. the
+    /// target sample that several method-cells of one panel must agree
+    /// on). Depends only on the experiment name, the tag/parts, and the
+    /// base seed.
+    pub fn seed_for(&self, tag: &str, parts: &[u64]) -> u64 {
+        let mut all = vec![self.base_seed];
+        all.extend_from_slice(parts);
+        derive_seed(&format!("{}/{}", self.exp_name, tag), &all)
+    }
+
+    /// The prepared substrate for an experiment-local dataset index.
+    /// Only substrates declared via [`Experiment::cell_dataset`] by a
+    /// pending cell are built.
+    pub fn dataset(&self, ds: usize) -> &'p PreparedDataset {
+        self.prep[self.ds_map[ds]]
+            .as_ref()
+            .expect("substrate not built: cell accessed a dataset it did not declare")
+    }
+
+    /// The built graph.
+    pub fn graph(&self, ds: usize) -> &'p Graph {
+        &self.dataset(ds).graph
+    }
+
+    /// The frozen CSR substrate.
+    pub fn csr(&self, ds: usize) -> &'p CsrGraph {
+        &self.dataset(ds).csr
+    }
+
+    /// OddBall fitted once on the clean substrate.
+    pub fn model(&self, ds: usize) -> &'p OddBallModel {
+        &self.dataset(ds).model
+    }
+
+    /// Worker threads attack internals may use (1 when the pool itself
+    /// is parallel, so cells don't oversubscribe the machine; 0 =
+    /// autodetect when the pool is serial).
+    pub fn inner_threads(&self) -> usize {
+        self.inner_threads
+    }
+
+    /// This worker's reusable session on dataset `ds`, re-pointed at
+    /// `targets`. The first use on a worker builds the session (one
+    /// `O(n + m)` feature pass); every later cell pays only
+    /// `retarget`'s `O(dirty rows)`.
+    pub fn session(
+        &mut self,
+        ds: usize,
+        targets: &[NodeId],
+    ) -> Result<&mut AttackSession<'p>, AttackError> {
+        let global = self.ds_map[ds];
+        let csr = &self.prep[global]
+            .as_ref()
+            .expect("substrate not built: cell accessed a dataset it did not declare")
+            .csr;
+        match self.sessions.map.entry(global) {
+            std::collections::hash_map::Entry::Occupied(o) => {
+                let session = o.into_mut();
+                session.retarget(targets)?;
+                Ok(session)
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                Ok(v.insert(AttackSession::new(csr, targets)?.with_threads(self.inner_threads)))
+            }
+        }
+    }
+}
+
+/// Per-experiment orchestration state inside a suite run.
+struct ExpState {
+    store: CellStore,
+    manifest: Mutex<Manifest>,
+    /// Offset of this experiment's cell 0 in the flat result vector.
+    offset: usize,
+    num_cells: usize,
+    /// Set when one of the experiment's cells panicked; the experiment
+    /// is then skipped at finalize so the rest of the suite survives
+    /// (the legacy `run_all` likewise warned and continued past a
+    /// failed child binary).
+    failed: std::sync::atomic::AtomicBool,
+}
+
+/// The work-distributing, artifact-writing runner. See the module docs
+/// for the determinism contract.
+pub struct ExperimentRunner {
+    /// Resolved worker count (≥ 1).
+    pub threads: usize,
+    /// Whether to reuse committed cells from a previous interrupted run.
+    pub resume: bool,
+    /// Base seed (threaded into every derived stream).
+    pub base_seed: u64,
+}
+
+impl ExperimentRunner {
+    /// Builds a runner from parsed experiment options.
+    pub fn new(opts: &ExpOptions) -> Self {
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            opts.threads
+        };
+        Self {
+            threads,
+            resume: opts.resume,
+            base_seed: opts.seed,
+        }
+    }
+
+    /// Runs a single experiment end to end.
+    pub fn run(&self, exp: &dyn Experiment, opts: &ExpOptions) {
+        self.run_suite(&[exp], opts);
+    }
+
+    /// Runs several experiments as one pooled cell grid: substrates are
+    /// deduplicated across experiments and all cells share the worker
+    /// pool, then each experiment finalizes in order.
+    pub fn run_suite(&self, exps: &[&dyn Experiment], opts: &ExpOptions) {
+        let t0 = Instant::now();
+        std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
+
+        // Union of dataset specs; per-experiment local→global index maps.
+        let mut specs: Vec<DatasetSpec> = Vec::new();
+        let mut maps: Vec<Vec<usize>> = Vec::with_capacity(exps.len());
+        for exp in exps {
+            let map = exp
+                .datasets()
+                .into_iter()
+                .map(|spec| {
+                    specs.iter().position(|s| *s == spec).unwrap_or_else(|| {
+                        specs.push(spec);
+                        specs.len() - 1
+                    })
+                })
+                .collect();
+            maps.push(map);
+        }
+
+        // Artifact stores, manifests, and resumable results.
+        let total: usize = exps.iter().map(|e| e.num_cells()).sum();
+        let results: Vec<OnceLock<Vec<String>>> = (0..total).map(|_| OnceLock::new()).collect();
+        let mut states: Vec<ExpState> = Vec::with_capacity(exps.len());
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut offset = 0;
+        for (ei, exp) in exps.iter().enumerate() {
+            let name = exp.name();
+            let num_cells = exp.num_cells();
+            // The fingerprint covers the common options AND every
+            // experiment knob (via config_fingerprint), hashed compact:
+            // resume must never adopt cells from a different config.
+            let fingerprint = format!(
+                "seed={},samples={},paper={},cells={num_cells},cfg={:016x}",
+                opts.seed,
+                opts.samples,
+                opts.paper,
+                derive_seed(&exp.config_fingerprint(), &[])
+            );
+            let store = CellStore::open(&opts.out_dir, &name).expect("open cell store");
+            let mut manifest = Manifest::new(&name, &fingerprint, num_cells);
+            if self.resume {
+                if let Some(prev) = Manifest::load(&store.manifest_path()) {
+                    if prev.fingerprint == fingerprint && prev.num_cells == num_cells {
+                        // Adopt every committed cell whose rows reload.
+                        for &cell in prev.completed.iter().filter(|&&c| c < num_cells) {
+                            if let Some(rows) = store.read_cell(cell) {
+                                results[offset + cell].set(rows).expect("fresh slot");
+                                manifest.completed.insert(cell);
+                            }
+                        }
+                        eprintln!(
+                            "[runner] {name}: resuming {} of {num_cells} cells from manifest",
+                            manifest.completed.len()
+                        );
+                    } else {
+                        eprintln!("[runner] {name}: manifest fingerprint mismatch; starting fresh");
+                    }
+                }
+            }
+            if manifest.completed.is_empty() {
+                store.clear().expect("clear stale cell store");
+            }
+            manifest
+                .save(&store.manifest_path())
+                .expect("save manifest");
+            for cell in 0..num_cells {
+                if !manifest.completed.contains(&cell) {
+                    pending.push((ei, cell));
+                }
+            }
+            states.push(ExpState {
+                store,
+                manifest: Mutex::new(manifest),
+                offset,
+                num_cells,
+                failed: std::sync::atomic::AtomicBool::new(false),
+            });
+            offset += num_cells;
+        }
+
+        // The pool: workers claim cells off a shared queue. Inner
+        // (gradient/matmul) parallelism is folded to 1 thread whenever
+        // the pool itself is parallel.
+        let workers = self.threads.min(pending.len()).max(1);
+        let inner_threads = if workers > 1 { 1 } else { 0 };
+        let cached = total - pending.len();
+        eprintln!(
+            "[runner] {} cell(s) across {} experiment(s): {} to run, {} cached, {} worker(s)",
+            total,
+            exps.len(),
+            pending.len(),
+            cached,
+            workers
+        );
+        // Substrates are only needed by live cells: build exactly the
+        // ones pending cells declare via cell_dataset. A fully-cached
+        // resume therefore skips dataset building entirely.
+        let mut needed = vec![false; specs.len()];
+        for &(ei, cell) in &pending {
+            needed[maps[ei][exps[ei].cell_dataset(cell)]] = true;
+        }
+        if needed.iter().any(|&n| n) {
+            eprintln!(
+                "[runner] preparing {} of {} dataset substrate(s) (seed {})",
+                needed.iter().filter(|&&n| n).count(),
+                specs.len(),
+                self.base_seed
+            );
+        }
+        // Builds are independent and seeded, so a parallel pool overlaps
+        // them instead of idling the workers through a serial prefix;
+        // results are slotted by spec index, keeping order deterministic.
+        let prep: Vec<Option<PreparedDataset>> = if workers > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = specs
+                    .iter()
+                    .zip(&needed)
+                    .map(|(&s, &n)| {
+                        n.then(|| scope.spawn(move || PreparedDataset::build(s, self.base_seed)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("substrate build")))
+                    .collect()
+            })
+        } else {
+            specs
+                .iter()
+                .zip(&needed)
+                .map(|(&s, &n)| n.then(|| PreparedDataset::build(s, self.base_seed)))
+                .collect()
+        };
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut sessions = SessionCache::default();
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(ei, cell)) = pending.get(k) else {
+                            break;
+                        };
+                        let exp = exps[ei];
+                        let name = exp.name();
+                        let state = &states[ei];
+                        let cell_t0 = Instant::now();
+                        let mut ctx = CellCtx {
+                            exp_name: &name,
+                            cell,
+                            base_seed: self.base_seed,
+                            inner_threads,
+                            prep: &prep,
+                            ds_map: &maps[ei],
+                            sessions: &mut sessions,
+                        };
+                        // A panicking cell fails its *experiment*, not
+                        // the suite: the slot is filled so the merge
+                        // can proceed for the other experiments, and
+                        // this experiment is skipped at finalize. Its
+                        // committed cells stay on disk for --resume.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                exp.run_cell(cell, &mut ctx)
+                            }));
+                        let rows = match outcome {
+                            Ok(rows) => rows,
+                            Err(_) => {
+                                state.failed.store(true, Ordering::Relaxed);
+                                // Only the panicked cell's session can be
+                                // mid-edit; evict it and keep the rest.
+                                sessions.map.remove(&maps[ei][exp.cell_dataset(cell)]);
+                                eprintln!(
+                                    "warning: [{name}] cell {} panicked; {name} will not finalize",
+                                    exp.cell_label(cell)
+                                );
+                                results[state.offset + cell].set(Vec::new()).ok();
+                                continue;
+                            }
+                        };
+                        state
+                            .store
+                            .write_cell(cell, &rows)
+                            .expect("commit cell rows");
+                        {
+                            let mut m = state.manifest.lock().expect("manifest lock");
+                            m.completed.insert(cell);
+                            m.save(&state.store.manifest_path()).expect("save manifest");
+                        }
+                        results[state.offset + cell]
+                            .set(rows)
+                            .expect("cell slot set twice");
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        eprintln!(
+                            "[{name} {finished}/{}] {} ({:.1}s)",
+                            pending.len(),
+                            exp.cell_label(cell),
+                            cell_t0.elapsed().as_secs_f64()
+                        );
+                    }
+                });
+            }
+        });
+
+        // Ordered merge: every experiment sees its cells 0..n in index
+        // order regardless of completion order or cache hits.
+        for (ei, exp) in exps.iter().enumerate() {
+            let state = &states[ei];
+            if state.failed.load(Ordering::Relaxed) {
+                // Drop any stale artifact a previous run left behind so
+                // a failed experiment never ships old data.
+                for artifact in exp.artifacts() {
+                    let _ = std::fs::remove_file(opts.out_dir.join(artifact));
+                }
+                eprintln!(
+                    "warning: [{}] skipped finalize after a cell failure; \
+                     re-run with --resume to retry only the failed cells",
+                    exp.name()
+                );
+                continue;
+            }
+            let rows: Vec<Vec<String>> = (0..state.num_cells)
+                .map(|c| {
+                    results[state.offset + c]
+                        .get()
+                        .expect("all cells resolved")
+                        .clone()
+                })
+                .collect();
+            exp.finalize(opts, &rows);
+        }
+        eprintln!(
+            "[runner] {} cell(s) ({} cached) in {:.1}s on {} worker thread(s)",
+            total,
+            cached,
+            t0.elapsed().as_secs_f64(),
+            workers
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_stable_and_sensitive() {
+        let a = derive_seed("fig4", &[0, 7]);
+        assert_eq!(a, derive_seed("fig4", &[0, 7]));
+        assert_ne!(a, derive_seed("fig4", &[1, 7]));
+        assert_ne!(a, derive_seed("fig4", &[0, 8]));
+        assert_ne!(a, derive_seed("fig5", &[0, 7]));
+    }
+
+    #[test]
+    fn dataset_specs_dedup_by_value() {
+        let a = DatasetSpec::full(Dataset::Wikivote);
+        let b = DatasetSpec::full(Dataset::Wikivote);
+        let c = DatasetSpec::half(Dataset::Wikivote);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    struct Flagged {
+        name: &'static str,
+        panic_on: Option<usize>,
+        finalized: std::sync::atomic::AtomicBool,
+    }
+
+    impl Experiment for Flagged {
+        fn name(&self) -> String {
+            self.name.to_string()
+        }
+        fn config_fingerprint(&self) -> String {
+            format!("{}-v1", self.name)
+        }
+        fn artifacts(&self) -> Vec<String> {
+            vec![format!("{}.csv", self.name)]
+        }
+        fn datasets(&self) -> Vec<DatasetSpec> {
+            vec![DatasetSpec::scaled(Dataset::Er, 40, 90)]
+        }
+        fn num_cells(&self) -> usize {
+            2
+        }
+        fn cell_dataset(&self, _cell: usize) -> usize {
+            0
+        }
+        fn cell_label(&self, cell: usize) -> String {
+            format!("cell{cell}")
+        }
+        fn run_cell(&self, cell: usize, _ctx: &mut CellCtx<'_, '_>) -> Vec<String> {
+            if self.panic_on == Some(cell) {
+                panic!("deliberate test panic");
+            }
+            vec![format!("{}:{cell}", self.name)]
+        }
+        fn finalize(&self, _opts: &ExpOptions, cells: &[Vec<String>]) {
+            assert_eq!(cells.len(), 2);
+            self.finalized
+                .store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    /// A panicking cell fails only its own experiment; the rest of the
+    /// suite still finalizes and the runner does not propagate.
+    #[test]
+    fn cell_panic_is_isolated_per_experiment() {
+        let dir = std::env::temp_dir().join("ba_runner_panic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ExpOptions {
+            out_dir: dir.clone(),
+            threads: 2,
+            ..ExpOptions::default()
+        };
+        let bad = Flagged {
+            name: "panicky",
+            panic_on: Some(1),
+            finalized: std::sync::atomic::AtomicBool::new(false),
+        };
+        let good = Flagged {
+            name: "healthy",
+            panic_on: None,
+            finalized: std::sync::atomic::AtomicBool::new(false),
+        };
+        // A stale artifact from an earlier run must not survive a
+        // failed re-run.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("panicky.csv"), "stale,data\n").unwrap();
+        ExperimentRunner::new(&opts).run_suite(&[&bad, &good], &opts);
+        assert!(!bad.finalized.load(std::sync::atomic::Ordering::Relaxed));
+        assert!(good.finalized.load(std::sync::atomic::Ordering::Relaxed));
+        assert!(
+            !dir.join("panicky.csv").exists(),
+            "stale artifact of the failed experiment survived"
+        );
+        // The bad experiment's good cell stays committed for --resume.
+        let store = CellStore::open(&dir, "panicky").unwrap();
+        assert_eq!(store.read_cell(0).unwrap(), vec!["panicky:0"]);
+        assert_eq!(store.read_cell(1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prepared_dataset_substrate_is_consistent() {
+        let spec = DatasetSpec::scaled(Dataset::Er, 120, 500);
+        let p = PreparedDataset::build(spec, 11);
+        assert_eq!(p.graph.num_nodes(), 120);
+        assert_eq!(ba_graph::GraphView::num_edges(&p.csr), p.graph.num_edges());
+        // Model was fitted on the same substrate.
+        assert_eq!(p.model.scores().len(), 120);
+    }
+}

@@ -112,13 +112,37 @@ impl AttackOutcome {
     /// evaluation metric τ_as requires. Returns `scores[b] = S_T` after
     /// budget `b`.
     pub fn ascore_curve(&self, g0: &Graph, targets: &[NodeId], detector: &OddBall) -> Vec<f64> {
+        self.ascore_curve_on(&CsrGraph::from(g0), targets, detector)
+    }
+
+    /// [`AttackOutcome::ascore_curve`] over a caller-owned frozen
+    /// substrate — the orchestrator path, where one `CsrGraph` per
+    /// dataset is shared across every cell and never rebuilt.
+    pub fn ascore_curve_on(
+        &self,
+        csr: &CsrGraph,
+        targets: &[NodeId],
+        detector: &OddBall,
+    ) -> Vec<f64> {
+        let clean = detector.fit(csr).expect("detector fit on clean graph");
+        self.ascore_curve_with_clean(csr, &clean, targets, detector)
+    }
+
+    /// [`AttackOutcome::ascore_curve_on`] with a caller-prefitted clean
+    /// model, so grids that already hold one (the runner fits OddBall
+    /// once per dataset substrate) skip the redundant clean-graph fit.
+    pub fn ascore_curve_with_clean(
+        &self,
+        csr: &CsrGraph,
+        clean: &ba_oddball::OddBallModel,
+        targets: &[NodeId],
+        detector: &OddBall,
+    ) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.max_budget() + 1);
-        // One frozen CSR substrate; each budget's poisoned graph is a
-        // throwaway overlay over it — no adjacency rebuild per refit.
-        let csr = CsrGraph::from(g0);
-        let clean = detector.fit(&csr).expect("detector fit on clean graph");
+        // Each budget's poisoned graph is a throwaway overlay over the
+        // frozen substrate — no adjacency rebuild per refit.
         out.push(clean.target_score_sum(targets));
-        let mut overlay = DeltaOverlay::new(&csr);
+        let mut overlay = DeltaOverlay::new(csr);
         for b in 1..=self.max_budget() {
             overlay.reset();
             overlay.apply_ops(self.ops(b));
@@ -162,14 +186,34 @@ pub trait StructuralAttack {
     /// Human-readable method name (as used in the paper's figures).
     fn name(&self) -> &'static str;
 
+    /// Runs the attack inside a caller-owned
+    /// [`AttackSession`](crate::session::AttackSession), using
+    /// the session's target set. The session is reset first, so any
+    /// prior edits are discarded; the frozen substrate and cached base
+    /// features are reused. This is the orchestrator entry point: one
+    /// substrate per dataset, one session per worker, re-pointed between
+    /// cells via
+    /// [`AttackSession::retarget`](crate::session::AttackSession::retarget).
+    fn attack_with_session(
+        &self,
+        session: &mut crate::session::AttackSession<'_>,
+        budget: usize,
+    ) -> Result<AttackOutcome, AttackError>;
+
     /// Runs the attack on clean graph `g0` for the given targets and
-    /// maximum budget, producing per-budget op sets.
+    /// maximum budget, producing per-budget op sets. Convenience wrapper
+    /// that freezes `g0` into a throwaway substrate and delegates to
+    /// [`StructuralAttack::attack_with_session`].
     fn attack(
         &self,
         g0: &Graph,
         targets: &[NodeId],
         budget: usize,
-    ) -> Result<AttackOutcome, AttackError>;
+    ) -> Result<AttackOutcome, AttackError> {
+        let csr = CsrGraph::from(g0);
+        let mut session = crate::session::AttackSession::new(&csr, targets)?;
+        self.attack_with_session(&mut session, budget)
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::pair::Candidates;
 use crate::session::AttackSession;
-use ba_graph::{CsrGraph, Graph, GraphView, NodeId};
+use ba_graph::{GraphView, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,15 +34,14 @@ impl StructuralAttack for RandomAttack {
         "random"
     }
 
-    fn attack(
+    fn attack_with_session(
         &self,
-        g0: &Graph,
-        targets: &[NodeId],
+        session: &mut AttackSession<'_>,
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        let csr = CsrGraph::from(g0);
-        let mut session = AttackSession::new(&csr, targets)?;
-        let candidates = Candidates::build(self.config.scope, g0, targets);
+        session.reset();
+        let targets = session.targets().to_vec();
+        let candidates = Candidates::build(self.config.scope, session.base(), &targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
@@ -109,14 +108,13 @@ impl StructuralAttack for CliqueBreaker {
         "cliquebreaker"
     }
 
-    fn attack(
+    fn attack_with_session(
         &self,
-        g0: &Graph,
-        targets: &[NodeId],
+        session: &mut AttackSession<'_>,
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        let csr = CsrGraph::from(g0);
-        let mut session = AttackSession::new(&csr, targets)?;
+        session.reset();
+        let targets = session.targets().to_vec();
         let mut ops = Vec::new();
         let mut ops_per_budget = Vec::new();
         let mut loss_per_budget = Vec::new();
@@ -172,7 +170,7 @@ impl StructuralAttack for CliqueBreaker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_graph::generators;
+    use ba_graph::{generators, Graph};
     use ba_oddball::OddBall;
 
     fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {

@@ -26,7 +26,7 @@
 use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::pair::{static_mask, Candidates};
 use crate::session::AttackSession;
-use ba_graph::{CsrGraph, EdgeOp, Graph, GraphView, NodeId};
+use ba_graph::{EdgeOp, GraphView};
 
 /// The BinarizedAttack optimiser.
 #[derive(Debug, Clone)]
@@ -208,21 +208,20 @@ impl StructuralAttack for BinarizedAttack {
         "binarizedattack"
     }
 
-    fn attack(
+    fn attack_with_session(
         &self,
-        g0: &Graph,
-        targets: &[NodeId],
+        session: &mut AttackSession<'_>,
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        let csr = CsrGraph::from(g0);
-        let mut session = AttackSession::new(&csr, targets)?;
-        let candidates = Candidates::build(self.config.scope, g0, targets);
+        let base = session.base();
+        let targets = session.targets().to_vec();
+        let candidates = Candidates::build(self.config.scope, base, &targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
         let mask = static_mask(
             &candidates,
-            g0,
+            base,
             self.config.op_kind,
             self.config.forbid_singletons,
         );
@@ -234,7 +233,7 @@ impl StructuralAttack for BinarizedAttack {
         let mut trajectory = Vec::new();
         for &lambda in &self.lambdas {
             let (snapshots, traj) =
-                self.optimise_one_lambda(&mut session, &candidates, &mask, lambda)?;
+                self.optimise_one_lambda(session, &candidates, &mask, lambda)?;
             if traj.len() > trajectory.len() {
                 trajectory = traj; // keep the longest trace for ablations
             }
@@ -252,7 +251,7 @@ impl StructuralAttack for BinarizedAttack {
             let mut best: Option<(Vec<EdgeOp>, f64)> = None;
             for zdot in &sweep {
                 let (ops, loss) = extract_budget(
-                    &mut session,
+                    session,
                     &candidates,
                     &mask,
                     zdot,
@@ -286,7 +285,7 @@ impl StructuralAttack for BinarizedAttack {
 mod tests {
     use super::*;
     use crate::pair::{CandidateScope, EdgeOpKind};
-    use ba_graph::generators;
+    use ba_graph::{generators, Graph, NodeId};
     use ba_oddball::OddBall;
 
     fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {

@@ -18,7 +18,7 @@ use crate::dense::{dense_features, dense_pair_gradient};
 use crate::grad::{node_grads, resolve_threads};
 use crate::pair::{static_mask, Candidates};
 use crate::session::AttackSession;
-use ba_graph::{CsrGraph, Graph, NodeId};
+use ba_graph::GraphView;
 use ba_linalg::Matrix;
 
 /// The continuous-relaxation attack.
@@ -83,34 +83,34 @@ impl StructuralAttack for ContinuousA {
         "continuousA"
     }
 
-    fn attack(
+    fn attack_with_session(
         &self,
-        g0: &Graph,
-        targets: &[NodeId],
+        session: &mut AttackSession<'_>,
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        let csr = CsrGraph::from(g0);
-        let mut session = AttackSession::new(&csr, targets)?;
-        let n = g0.num_nodes();
-        let candidates = Candidates::build(self.config.scope, g0, targets);
+        session.reset();
+        let base = session.base();
+        let targets = session.targets().to_vec();
+        let n = base.num_nodes();
+        let candidates = Candidates::build(self.config.scope, base, &targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
         let mask = static_mask(
             &candidates,
-            g0,
+            base,
             self.config.op_kind,
             self.config.forbid_singletons,
         );
         let threads = self.thread_count();
 
         // Relaxed adjacency, initialised at the clean graph.
-        let mut a = Matrix::from_vec(n, n, ba_graph::adjacency::to_row_major(g0));
+        let mut a = Matrix::from_vec(n, n, ba_graph::adjacency::to_row_major(base));
         let mut trajectory = Vec::with_capacity(self.iterations);
 
         for _t in 0..self.iterations {
             let (nfeat, efeat) = dense_features(&a, threads);
-            let ng = node_grads(&nfeat, &efeat, targets)?;
+            let ng = node_grads(&nfeat, &efeat, &targets)?;
             trajectory.push(ng.loss);
             let grad = dense_pair_gradient(&a, &ng, threads);
 
@@ -139,7 +139,7 @@ impl StructuralAttack for ContinuousA {
         // Soft scores: |Ã − A₀| per candidate (the rounding rule).
         let mut scores = vec![0.0f64; candidates.len()];
         candidates.for_each(|idx, i, j| {
-            let orig = if g0.has_edge(i, j) { 1.0 } else { 0.0 };
+            let orig = if base.has_edge(i, j) { 1.0 } else { 0.0 };
             scores[idx] = (a[(i as usize, j as usize)] - orig).abs();
         });
 
@@ -147,7 +147,7 @@ impl StructuralAttack for ContinuousA {
         let mut loss_per_budget = Vec::with_capacity(budget);
         for b in 1..=budget {
             let (ops, loss) = extract_budget(
-                &mut session,
+                session,
                 &candidates,
                 &mask,
                 &scores,
@@ -169,7 +169,7 @@ impl StructuralAttack for ContinuousA {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ba_graph::generators;
+    use ba_graph::{generators, Graph, NodeId};
     use ba_oddball::OddBall;
 
     fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {

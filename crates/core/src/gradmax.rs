@@ -12,7 +12,7 @@
 use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
 use crate::pair::{CandidateScope, Candidates};
 use crate::session::AttackSession;
-use ba_graph::{CsrGraph, Graph, GraphView, NodeId};
+use ba_graph::{GraphView, NodeId};
 use std::collections::HashSet;
 
 /// The greedy per-edge gradient attack.
@@ -50,15 +50,14 @@ impl StructuralAttack for GradMaxSearch {
         "gradmaxsearch"
     }
 
-    fn attack(
+    fn attack_with_session(
         &self,
-        g0: &Graph,
-        targets: &[NodeId],
+        session: &mut AttackSession<'_>,
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
-        let csr = CsrGraph::from(g0);
-        let mut session = AttackSession::new(&csr, targets)?;
-        let candidates = Candidates::build(self.config.scope, g0, targets);
+        session.reset();
+        let targets = session.targets().to_vec();
+        let candidates = Candidates::build(self.config.scope, session.base(), &targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
@@ -149,7 +148,7 @@ pub type Scope = CandidateScope;
 mod tests {
     use super::*;
     use crate::pair::EdgeOpKind;
-    use ba_graph::generators;
+    use ba_graph::{generators, Graph};
     use ba_oddball::OddBall;
 
     fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {

@@ -1,7 +1,7 @@
 //! Candidate-pair machinery: upper-triangle indexing, attack scopes, and
 //! edge-operation masks.
 
-use ba_graph::{Graph, NodeId};
+use ba_graph::{GraphView, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -114,8 +114,15 @@ pub enum Candidates {
 }
 
 impl Candidates {
-    /// Builds the candidate set for a scope.
-    pub fn build(scope: CandidateScope, g: &Graph, targets: &[NodeId]) -> Candidates {
+    /// Builds the candidate set for a scope. Generic over graph views so
+    /// the same candidates come out of a `Graph` or the frozen
+    /// `CsrGraph` substrate a reused session runs on (both uphold the
+    /// sorted-neighbour-slice contract).
+    pub fn build<V: GraphView + ?Sized>(
+        scope: CandidateScope,
+        g: &V,
+        targets: &[NodeId],
+    ) -> Candidates {
         match scope {
             CandidateScope::Full => Candidates::Full(PairSpace::new(g.num_nodes())),
             CandidateScope::TargetNeighborhood => {
@@ -127,7 +134,7 @@ impl Candidates {
                             set.insert(if t < x { (t, x) } else { (x, t) });
                         }
                     }
-                    let nbrs: Vec<NodeId> = g.neighbors(t).to_vec();
+                    let nbrs: Vec<NodeId> = g.neighbors_sorted(t).to_vec();
                     for (ai, &a) in nbrs.iter().enumerate() {
                         for &b in &nbrs[ai + 1..] {
                             set.insert(if a < b { (a, b) } else { (b, a) });
@@ -214,9 +221,9 @@ impl Candidates {
 /// kind, or whose deletion would create a singleton in the *clean* graph.
 /// (Dynamic singleton checks against the evolving poisoned graph are
 /// performed again at application time.)
-pub fn static_mask(
+pub fn static_mask<V: GraphView + ?Sized>(
     candidates: &Candidates,
-    g0: &Graph,
+    g0: &V,
     kind: EdgeOpKind,
     forbid_singletons: bool,
 ) -> Vec<bool> {
@@ -235,6 +242,7 @@ pub fn static_mask(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ba_graph::Graph;
 
     #[test]
     fn pair_space_roundtrip() {

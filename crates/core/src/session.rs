@@ -83,6 +83,21 @@ impl<'g> AttackSession<'g> {
         self.inc = IncrementalEgonet::from_features(self.base_feats.clone());
     }
 
+    /// Re-points the session at a new target set and drops all edits.
+    ///
+    /// This is the cheap path for running many attacks over one frozen
+    /// substrate: the cached base features survive, so swapping targets
+    /// costs `O(dirty rows)` instead of the `O(n + m)` feature pass a
+    /// fresh [`AttackSession::new`] performs. Equivalence with a fresh
+    /// session is pinned by a proptest in `tests/session_equivalence.rs`.
+    pub fn retarget(&mut self, targets: &[NodeId]) -> Result<(), AttackError> {
+        validate_targets(self.overlay.base(), targets)?;
+        self.targets.clear();
+        self.targets.extend_from_slice(targets);
+        self.reset();
+        Ok(())
+    }
+
     /// Toggles the pair `{i, j}` on the working graph, patching features
     /// incrementally. Returns the op performed (`None` for self-loops).
     pub fn toggle(&mut self, i: NodeId, j: NodeId) -> Option<EdgeOp> {

@@ -1,0 +1,83 @@
+//! Property test for the session-reuse contract the experiment
+//! orchestrator relies on: a long-lived [`AttackSession`] that is
+//! toggled arbitrarily and then re-pointed at a new target set via
+//! [`AttackSession::retarget`] must be indistinguishable from a session
+//! freshly constructed on the same substrate — same incremental egonet
+//! features, same forward/backward pass.
+
+use ba_core::AttackSession;
+use ba_graph::{generators, CsrGraph, GraphView};
+use proptest::prelude::*;
+
+const N: u32 = 60;
+
+fn planted(seed: u64) -> ba_graph::Graph {
+    let mut g = generators::erdos_renyi(N as usize, 0.08, seed);
+    generators::attach_isolated(&mut g, seed + 1);
+    generators::plant_near_clique(&mut g, &(0..7).collect::<Vec<_>>(), 1.0, seed + 2);
+    g
+}
+
+proptest! {
+    /// Random interleavings of edit bursts and retargets: after every
+    /// retarget the reused session matches a fresh one bit-for-bit.
+    #[test]
+    fn retarget_and_reset_equal_fresh_session(
+        seed in 0u64..20,
+        script in proptest::collection::vec(
+            (
+                proptest::collection::vec((0u32..N, 0u32..N), 0..12),
+                proptest::collection::vec(0u32..N, 1..5),
+            ),
+            1..5,
+        ),
+    ) {
+        let g = planted(seed);
+        let csr = CsrGraph::from(&g);
+        let mut reused = AttackSession::new(&csr, &[0]).unwrap();
+
+        for (toggles, targets) in script {
+            // Dirty the working graph under the old target set.
+            for (u, v) in toggles {
+                if u != v {
+                    reused.toggle(u, v);
+                }
+            }
+            reused.retarget(&targets).unwrap();
+            let fresh = AttackSession::new(&csr, &targets).unwrap();
+
+            prop_assert_eq!(reused.targets(), fresh.targets());
+            prop_assert_eq!(reused.graph().dirty_rows(), 0);
+            prop_assert_eq!(reused.features(), fresh.features());
+
+            let ng_r = reused.node_grads();
+            let ng_f = fresh.node_grads();
+            prop_assert_eq!(ng_r.is_err(), ng_f.is_err());
+            if let (Ok(r), Ok(f)) = (ng_r, ng_f) {
+                prop_assert_eq!(r.loss, f.loss);
+                prop_assert_eq!(r.beta0, f.beta0);
+                prop_assert_eq!(r.beta1, f.beta1);
+                prop_assert_eq!(r.g_n, f.g_n);
+                prop_assert_eq!(r.g_e, f.g_e);
+                prop_assert_eq!(r.h, f.h);
+            }
+        }
+    }
+
+    /// `retarget` rejects the same bad target sets `new` rejects, and a
+    /// failed retarget leaves the session usable.
+    #[test]
+    fn retarget_validates_targets(t in 0u32..(2 * N)) {
+        let g = planted(3);
+        let csr = CsrGraph::from(&g);
+        let mut s = AttackSession::new(&csr, &[0, 1]).unwrap();
+        s.toggle(2, 3);
+        let r = s.retarget(&[t]);
+        prop_assert_eq!(r.is_ok(), (t as usize) < csr.num_nodes());
+        if r.is_err() {
+            // The session still answers queries on its old target set.
+            prop_assert_eq!(s.targets(), &[0, 1][..]);
+            prop_assert!(s.loss().unwrap().is_finite());
+        }
+    }
+}

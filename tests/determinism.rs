@@ -1,0 +1,166 @@
+//! The orchestrator's determinism contract (tier-1):
+//!
+//! 1. A fig4-style grid experiment produces **byte-identical** CSV
+//!    artifacts and per-cell record files at `--threads 1`, `4`, and
+//!    `8` — results are merged in cell-index order and every RNG stream
+//!    derives from `(experiment, cell index, base seed)`, never from
+//!    scheduling.
+//! 2. Resuming from a half-completed manifest yields the same artifact
+//!    bytes as a fresh run.
+
+use ba_bench::artifact::Manifest;
+use ba_bench::experiments::{Fig4Experiment, Fig4Method, Fig4Panel};
+use ba_bench::runner::{DatasetSpec, ExperimentRunner};
+use ba_bench::ExpOptions;
+use binarized_attack::datasets::Dataset;
+use std::path::{Path, PathBuf};
+
+/// A seconds-scale fig4 instance: two half-panels, all three methods,
+/// two target samples — 12 cells.
+fn tiny_fig4(name: &str) -> Fig4Experiment {
+    Fig4Experiment {
+        name: name.to_string(),
+        csv_name: format!("{name}.csv"),
+        panels: vec![
+            Fig4Panel {
+                label: "ER".to_string(),
+                spec: DatasetSpec::scaled(Dataset::Er, 150, 550),
+                num_targets: 4,
+                budget_frac: 0.012,
+            },
+            Fig4Panel {
+                label: "BA".to_string(),
+                spec: DatasetSpec::scaled(Dataset::Ba, 150, 450),
+                num_targets: 4,
+                budget_frac: 0.015,
+            },
+        ],
+        methods: vec![
+            Fig4Method::Binarized,
+            Fig4Method::GradMax,
+            Fig4Method::Continuous,
+        ],
+        samples: 2,
+        pool: 20,
+        bin_iters: 40,
+        bin_lambdas: vec![0.02],
+        cont_iters: 8,
+    }
+}
+
+fn opts_for(dir: &Path, threads: usize, resume: bool) -> ExpOptions {
+    ExpOptions {
+        paper: false,
+        seed: 42,
+        samples: 2,
+        out_dir: dir.to_path_buf(),
+        threads,
+        resume,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ba_determinism").join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(exp_name: &str, dir: &Path, threads: usize, resume: bool) -> Vec<u8> {
+    let exp = tiny_fig4(exp_name);
+    let opts = opts_for(dir, threads, resume);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
+    std::fs::read(dir.join(format!("{exp_name}.csv"))).unwrap()
+}
+
+/// All committed cell record files of an experiment, in index order.
+fn cell_files(dir: &Path, exp_name: &str) -> Vec<Vec<u8>> {
+    let exp = tiny_fig4(exp_name);
+    let cells = exp.panels.len() * exp.methods.len() * exp.samples;
+    (0..cells)
+        .map(|c| {
+            std::fs::read(
+                dir.join(".cells")
+                    .join(exp_name)
+                    .join(format!("cell_{c:04}.rows")),
+            )
+            .unwrap_or_else(|e| panic!("cell {c} missing: {e}"))
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    let name = "det_fig4";
+    let mut runs = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let dir = fresh_dir(&format!("threads{threads}"));
+        let csv = run(name, &dir, threads, false);
+        let cells = cell_files(&dir, name);
+        runs.push((threads, csv, cells));
+    }
+    let (_, ref_csv, ref_cells) = &runs[0];
+    assert!(!ref_csv.is_empty());
+    // The mean τ curves reach the CSV: sanity that we are not comparing
+    // empty artifacts.
+    let text = String::from_utf8(ref_csv.clone()).unwrap();
+    assert!(text.starts_with("panel,budget,edges_pct,tau_binarized,tau_gradmax,tau_continuousA"));
+    assert!(text.lines().count() > 10);
+    for (threads, csv, cells) in &runs[1..] {
+        assert_eq!(
+            csv, ref_csv,
+            "CSV bytes differ between --threads 1 and --threads {threads}"
+        );
+        assert_eq!(
+            cells, ref_cells,
+            "cell record files (tau curves) differ between --threads 1 and --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn resume_from_half_completed_manifest_matches_fresh_run() {
+    let name = "det_resume";
+    // Reference: one fresh run.
+    let ref_dir = fresh_dir("resume_reference");
+    let ref_csv = run(name, &ref_dir, 2, false);
+
+    // Interrupted run: complete everything, then roll the store back to
+    // a half-finished state (as if the process died mid-grid).
+    let dir = fresh_dir("resume_interrupted");
+    run(name, &dir, 2, false);
+    let store_dir = dir.join(".cells").join(name);
+    let manifest_path = store_dir.join("manifest.json");
+    let mut manifest = Manifest::load(&manifest_path).expect("manifest exists");
+    let total = manifest.num_cells;
+    assert_eq!(manifest.completed.len(), total);
+    let keep: Vec<usize> = manifest.completed.iter().copied().take(total / 2).collect();
+    manifest.completed = keep.iter().copied().collect();
+    manifest.save(&manifest_path).unwrap();
+    for c in total / 2..total {
+        std::fs::remove_file(store_dir.join(format!("cell_{c:04}.rows"))).unwrap();
+    }
+    std::fs::remove_file(dir.join(format!("{name}.csv"))).unwrap();
+
+    // Resume with a different thread count; artifact must match the
+    // fresh run byte for byte.
+    let resumed_csv = run(name, &dir, 4, true);
+    assert_eq!(
+        resumed_csv, ref_csv,
+        "resumed artifact differs from fresh run"
+    );
+    let manifest = Manifest::load(&manifest_path).unwrap();
+    assert_eq!(manifest.completed.len(), total, "manifest not completed");
+
+    // A fingerprint mismatch (different seed) must invalidate the store
+    // instead of resuming stale cells.
+    let mut opts = opts_for(&dir, 2, true);
+    opts.seed = 43;
+    let exp = tiny_fig4(name);
+    ExperimentRunner::new(&opts).run(&exp, &opts);
+    let other_csv = std::fs::read(dir.join(format!("{name}.csv"))).unwrap();
+    assert_ne!(
+        other_csv, ref_csv,
+        "different seed reused stale cells from the old manifest"
+    );
+}

@@ -131,6 +131,69 @@ fn robust_defense_bounded_mitigation() {
     }
 }
 
+/// The orchestrator path end to end: dataset generation → parallel
+/// attack grid over a shared frozen substrate → CSV artifact + cell
+/// manifest on disk, with a fixed-seed golden row count.
+#[test]
+fn orchestrator_grid_end_to_end() {
+    use ba_bench::artifact::Manifest;
+    use ba_bench::experiments::{Fig4Experiment, Fig4Method, Fig4Panel};
+    use ba_bench::runner::{DatasetSpec, ExperimentRunner};
+    use ba_bench::ExpOptions;
+
+    let dir = std::env::temp_dir().join("ba_e2e_orchestrator");
+    let _ = std::fs::remove_dir_all(&dir);
+    let exp = Fig4Experiment {
+        name: "e2e_grid".to_string(),
+        csv_name: "e2e_grid.csv".to_string(),
+        panels: vec![Fig4Panel {
+            label: "ER".to_string(),
+            spec: DatasetSpec::scaled(Dataset::Er, 200, 700),
+            num_targets: 3,
+            budget_frac: 0.01,
+        }],
+        methods: vec![Fig4Method::Binarized, Fig4Method::GradMax],
+        samples: 2,
+        pool: 20,
+        bin_iters: 40,
+        bin_lambdas: vec![0.02],
+        cont_iters: 8,
+    };
+    let opts = ExpOptions {
+        paper: false,
+        seed: 5,
+        samples: 2,
+        out_dir: dir.clone(),
+        threads: 2,
+        resume: false,
+    };
+    ExperimentRunner::new(&opts).run(&exp, &opts);
+
+    // CSV artifact with the fixed-seed golden shape: header + one row
+    // per budget step (budget 7 at seed 5 → steps 0..=7).
+    let csv = std::fs::read_to_string(dir.join("e2e_grid.csv")).unwrap();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], "panel,budget,edges_pct,tau_binarized,tau_gradmax");
+    assert_eq!(lines.len(), 9, "golden row count changed:\n{csv}");
+    // Both methods made progress on the anomaly score by the last row.
+    let last: Vec<&str> = lines[8].split(',').collect();
+    for tau in &last[3..] {
+        let tau: f64 = tau.parse().unwrap();
+        assert!(tau > 0.0, "no attack progress in final row: {csv}");
+    }
+
+    // Durable cell store: manifest reports all four cells committed.
+    let manifest = Manifest::load(&dir.join(".cells/e2e_grid/manifest.json")).unwrap();
+    assert_eq!(manifest.num_cells, 4);
+    assert_eq!(manifest.completed.len(), 4);
+    for c in 0..4 {
+        assert!(dir
+            .join(format!(".cells/e2e_grid/cell_{c:04}.rows"))
+            .exists());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Stats + gad integration: permutation test sees no significant shift
 /// in N after a small targeted attack (the unnoticeability claim).
 #[test]
