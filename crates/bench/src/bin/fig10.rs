@@ -58,11 +58,24 @@ fn main() {
             let Ok(outcome) = attack.attack(&g, &targets, budget) else {
                 continue;
             };
+            // All three detector curves must evaluate for the sample to
+            // count; a degenerate robust refit skips the sample with a
+            // warning instead of aborting the sweep.
+            let curves: Result<Vec<Vec<f64>>, _> = detectors
+                .iter()
+                .map(|(_, det)| outcome.ascore_curve(&g, &targets, det))
+                .collect();
+            let curves = match curves {
+                Ok(curves) => curves,
+                Err(e) => {
+                    eprintln!("warning: curve evaluation failed on sample {s}: {e}");
+                    continue;
+                }
+            };
             runs += 1;
-            for (k, (_, det)) in detectors.iter().enumerate() {
-                let curve = outcome.ascore_curve(&g, &targets, det);
+            for (k, curve) in curves.iter().enumerate() {
                 for (b, slot) in sums[k].iter_mut().enumerate() {
-                    *slot += ba_core::AttackOutcome::tau_as(&curve, b);
+                    *slot += ba_core::AttackOutcome::tau_as(curve, b);
                 }
             }
         }

@@ -214,26 +214,29 @@ impl Experiment for Fig4Experiment {
                         .with_threads(inner_threads)
                         .attack_with_session(session, budget),
                 });
-        match outcome {
-            Ok(outcome) => {
-                let scores = outcome.ascore_curve_with_clean(
-                    ctx.csr(ds),
-                    ctx.model(ds),
-                    &targets,
-                    &OddBall::default(),
-                );
+        // Attack errors and degenerate-refit curve errors both fail the
+        // cell gracefully: the reason rides in the record row (newlines
+        // are impossible in these Display impls), the mean curve simply
+        // skips the sample, and no worker panics.
+        let curve = outcome.map_err(|e| e.to_string()).and_then(|outcome| {
+            outcome
+                .ascore_curve_with_clean(ctx.csr(ds), ctx.model(ds), &targets, &OddBall::default())
+                .map_err(|e| e.to_string())
+        });
+        match curve {
+            Ok(scores) => {
                 let curve: Vec<f64> = (0..scores.len())
                     .map(|b| AttackOutcome::tau_as(&scores, b))
                     .collect();
                 rows.push(enc_curve(&curve));
             }
-            Err(e) => {
+            Err(reason) => {
                 eprintln!(
-                    "warning: {} failed on {}/s{s}: {e}",
+                    "warning: {} failed on {}/s{s}: {reason}",
                     self.methods[mi].column(),
                     panel.label
                 );
-                rows.push("failed".to_string());
+                rows.push(format!("failed,{reason}"));
             }
         }
         rows
@@ -254,7 +257,7 @@ impl Experiment for Fig4Experiment {
                     let curves: Vec<Vec<f64>> = (0..self.samples)
                         .filter_map(|s| {
                             let payload = &cells[self.cell_index(p, mi, s)][1];
-                            (payload != "failed")
+                            (!payload.starts_with("failed"))
                                 .then(|| dec_curve(payload).expect("valid curve payload"))
                         })
                         .collect();

@@ -105,8 +105,13 @@ impl Experiment for Fig6Experiment {
 
         let detector = OddBall::default();
         let csr = ctx.csr(0);
+        // A degenerate refit on this full-scale substrate means the cell
+        // cannot produce its figure; the expect message (with the failing
+        // budget from CurveError) reaches the runner's panic isolation.
         let group_curve = |targets: &[NodeId]| -> Vec<f64> {
-            let curve = outcome.ascore_curve_with_clean(csr, model, targets, &detector);
+            let curve = outcome
+                .ascore_curve_with_clean(csr, model, targets, &detector)
+                .expect("fig6 AScore curve");
             (0..curve.len())
                 .map(|b| AttackOutcome::tau_as(&curve, b))
                 .collect()

@@ -159,12 +159,17 @@ pub fn sample_targets<V: GraphView + ?Sized>(
 }
 
 /// One attack's τ_as curve: `curve[b] = τ_as` after budget `b`
-/// (`curve[0] = 0`).
-pub fn tau_curve(outcome: &AttackOutcome, g0: &Graph, targets: &[NodeId]) -> Vec<f64> {
-    let scores = outcome.ascore_curve(g0, targets, &OddBall::default());
-    (0..scores.len())
+/// (`curve[0] = 0`). Fails when a budget's poisoned graph degenerates
+/// the detector refit ([`ba_core::CurveError`] names the budget).
+pub fn tau_curve(
+    outcome: &AttackOutcome,
+    g0: &Graph,
+    targets: &[NodeId],
+) -> Result<Vec<f64>, ba_core::CurveError> {
+    let scores = outcome.ascore_curve(g0, targets, &OddBall::default())?;
+    Ok((0..scores.len())
         .map(|b| AttackOutcome::tau_as(&scores, b))
-        .collect()
+        .collect())
 }
 
 /// Runs one attack over several target samples and averages the τ_as
@@ -179,7 +184,13 @@ pub fn mean_tau_curve(
     let mut curves: Vec<Vec<f64>> = Vec::new();
     for targets in target_sets {
         match attack.attack(g0, targets, budget) {
-            Ok(outcome) => curves.push(tau_curve(&outcome, g0, targets)),
+            Ok(outcome) => match tau_curve(&outcome, g0, targets) {
+                Ok(curve) => curves.push(curve),
+                Err(e) => eprintln!(
+                    "warning: {} curve evaluation failed on one sample: {e}",
+                    attack.name()
+                ),
+            },
             Err(e) => eprintln!("warning: {} failed on one sample: {e}", attack.name()),
         }
     }

@@ -1,10 +1,13 @@
-//! The common attack interface, configuration, and result types.
+//! The common attack interface, configuration, and result types, plus
+//! the incremental AScore-curve evaluation engine (the τ_as hot path).
 
 use crate::loss::LossError;
 use crate::pair::{CandidateScope, EdgeOpKind};
+use ba_graph::egonet::IncrementalEgonet;
 use ba_graph::{CsrGraph, DeltaOverlay, EdgeOp, EditableGraph, Graph, GraphView, NodeId};
-use ba_oddball::OddBall;
+use ba_oddball::{FitError, IncrementalFit, OddBall, OddBallModel};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Configuration shared by all structural attacks.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -65,6 +68,39 @@ impl From<LossError> for AttackError {
     }
 }
 
+/// A detector refit failed while evaluating an AScore curve.
+///
+/// Carries the budget whose poisoned graph could not be fitted (`0` =
+/// the clean graph), so grid runners can report exactly which point of a
+/// cell degenerated instead of panicking the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurveError {
+    /// Budget whose refit failed (`0` = the clean graph).
+    pub budget: usize,
+    /// The underlying detector failure.
+    pub source: FitError,
+}
+
+impl std::fmt::Display for CurveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.budget == 0 {
+            write!(f, "detector fit on the clean graph failed: {}", self.source)
+        } else {
+            write!(
+                f,
+                "detector refit at budget {} failed: {}",
+                self.budget, self.source
+            )
+        }
+    }
+}
+
+impl std::error::Error for CurveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// The result of an attack run with maximum budget `B`: for every budget
 /// `b ∈ 1..=B`, the set of edge flips the attack commits to and the
 /// surrogate loss it achieves.
@@ -110,8 +146,14 @@ impl AttackOutcome {
     /// Evaluates the *true* OddBall anomaly-score sum of `targets` at
     /// every recorded budget (plus budget 0 first), as the paper's
     /// evaluation metric τ_as requires. Returns `scores[b] = S_T` after
-    /// budget `b`.
-    pub fn ascore_curve(&self, g0: &Graph, targets: &[NodeId], detector: &OddBall) -> Vec<f64> {
+    /// budget `b`, or the budget at which a degenerate poisoned graph
+    /// made the detector refit fail.
+    pub fn ascore_curve(
+        &self,
+        g0: &Graph,
+        targets: &[NodeId],
+        detector: &OddBall,
+    ) -> Result<Vec<f64>, CurveError> {
         self.ascore_curve_on(&CsrGraph::from(g0), targets, detector)
     }
 
@@ -123,24 +165,148 @@ impl AttackOutcome {
         csr: &CsrGraph,
         targets: &[NodeId],
         detector: &OddBall,
-    ) -> Vec<f64> {
-        let clean = detector.fit(csr).expect("detector fit on clean graph");
+    ) -> Result<Vec<f64>, CurveError> {
+        let clean = detector
+            .fit(csr)
+            .map_err(|source| CurveError { budget: 0, source })?;
         self.ascore_curve_with_clean(csr, &clean, targets, detector)
     }
 
     /// [`AttackOutcome::ascore_curve_on`] with a caller-prefitted clean
     /// model, so grids that already hold one (the runner fits OddBall
     /// once per dataset substrate) skip the redundant clean-graph fit.
+    ///
+    /// This is the incremental replay engine: one [`DeltaOverlay`] and
+    /// one [`IncrementalEgonet`] walk the op sequence budget by budget,
+    /// toggling only the pairs that differ between consecutive budgets'
+    /// poisoned graphs, and an [`IncrementalFit`] patches exactly the
+    /// log-feature rows those toggles moved. Per budget that costs
+    /// `O(Σ_{toggled} deg(u) + deg(v))` plus an O(1) OLS solve (robust
+    /// regressors rerun over the cached rows), instead of the
+    /// `O(n + m + Σdeg²)` full re-extraction and refit — the curve is
+    /// bit-identical to [`AttackOutcome::ascore_curve_full_refit`]
+    /// (pinned by the `eval_equivalence` proptest and the `eval_bench`
+    /// cross-check).
     pub fn ascore_curve_with_clean(
         &self,
         csr: &CsrGraph,
-        clean: &ba_oddball::OddBallModel,
+        clean: &OddBallModel,
         targets: &[NodeId],
         detector: &OddBall,
-    ) -> Vec<f64> {
+    ) -> Result<Vec<f64>, CurveError> {
         let mut out = Vec::with_capacity(self.max_budget() + 1);
-        // Each budget's poisoned graph is a throwaway overlay over the
-        // frozen substrate — no adjacency rebuild per refit.
+        out.push(clean.target_score_sum(targets));
+        if self.max_budget() == 0 {
+            return Ok(out);
+        }
+        let mut overlay = DeltaOverlay::new(csr);
+        let mut inc = IncrementalEgonet::from_features(clean.features().clone());
+        let mut fit = IncrementalFit::new(detector.regressor(), clean.features());
+        // Pairs currently toggled away from the clean graph (sorted) —
+        // the state a non-nested budget diffs against.
+        let mut applied: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut dirty: Vec<NodeId> = Vec::new();
+        for b in 1..=self.max_budget() {
+            let prev = self.ops(b - 1);
+            let cur = self.ops(b);
+            dirty.clear();
+            if cur.len() >= prev.len() && cur[..prev.len()] == *prev {
+                // Nested fast path (every greedy attack): the overlay
+                // already holds budget b−1, so replay just the new
+                // suffix ops — O(Δ_b) toggles, no per-budget op-set
+                // rebuild.
+                for op in &cur[prev.len()..] {
+                    if op.u == op.v {
+                        continue;
+                    }
+                    // `EdgeOp::new` normalises, but the fields are pub:
+                    // keep the `applied` key normalised like
+                    // `poisoned_delta`'s, or a later non-nested budget
+                    // would see the same pair under two keys.
+                    let (u, v) = if op.u <= op.v {
+                        (op.u, op.v)
+                    } else {
+                        (op.v, op.u)
+                    };
+                    if overlay.has_edge(u, v) != op.added {
+                        inc.toggle_with(&mut overlay, u, v, |m| dirty.push(m));
+                    }
+                    let differs = csr.has_edge(u, v) != op.added;
+                    match applied.binary_search(&(u, v)) {
+                        Ok(pos) if !differs => {
+                            applied.remove(pos);
+                        }
+                        Err(pos) if differs => applied.insert(pos, (u, v)),
+                        _ => {}
+                    }
+                }
+            } else {
+                // Arbitrary per-budget sets (PGD extractions): derive
+                // the pairs whose state must differ from clean and
+                // toggle the symmetric difference `applied Δ desired` —
+                // pairs only in `applied` revert to clean, pairs only
+                // in `desired` flip away from it.
+                let desired = poisoned_delta(csr, cur);
+                let (mut i, mut j) = (0, 0);
+                while i < applied.len() || j < desired.len() {
+                    let ord = match (applied.get(i), desired.get(j)) {
+                        (Some(a), Some(d)) => a.cmp(d),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        _ => std::cmp::Ordering::Greater,
+                    };
+                    let (u, v) = match ord {
+                        std::cmp::Ordering::Equal => {
+                            i += 1;
+                            j += 1;
+                            continue;
+                        }
+                        std::cmp::Ordering::Less => {
+                            i += 1;
+                            applied[i - 1]
+                        }
+                        std::cmp::Ordering::Greater => {
+                            j += 1;
+                            desired[j - 1]
+                        }
+                    };
+                    inc.toggle_with(&mut overlay, u, v, |m| dirty.push(m));
+                }
+                applied = desired;
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            let feats = inc.features();
+            for &m in &dirty {
+                fit.update_row(m as usize, feats.n[m as usize], feats.e[m as usize]);
+            }
+            let params = fit
+                .refit()
+                .map_err(|source| CurveError { budget: b, source })?;
+            out.push(
+                targets
+                    .iter()
+                    .map(|&t| params.score(feats.n[t as usize], feats.e[t as usize]))
+                    .sum(),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Reference implementation of
+    /// [`AttackOutcome::ascore_curve_with_clean`]: re-extracts features
+    /// and refits the detector from scratch at every budget,
+    /// `O(budget × (n + m + Σdeg²))` total. Kept as the equivalence
+    /// oracle for the incremental engine (`eval_equivalence` proptest,
+    /// `eval_bench` speedup gate); production paths should use the
+    /// incremental method.
+    pub fn ascore_curve_full_refit(
+        &self,
+        csr: &CsrGraph,
+        clean: &OddBallModel,
+        targets: &[NodeId],
+        detector: &OddBall,
+    ) -> Result<Vec<f64>, CurveError> {
+        let mut out = Vec::with_capacity(self.max_budget() + 1);
         out.push(clean.target_score_sum(targets));
         let mut overlay = DeltaOverlay::new(csr);
         for b in 1..=self.max_budget() {
@@ -148,21 +314,58 @@ impl AttackOutcome {
             overlay.apply_ops(self.ops(b));
             let model = detector
                 .fit(&overlay)
-                .expect("detector fit on poisoned graph");
+                .map_err(|source| CurveError { budget: b, source })?;
             out.push(model.target_score_sum(targets));
         }
-        out
+        Ok(out)
     }
 
     /// τ_as at budget `b`: `(S⁰_T − S^b_T) / S⁰_T` for a precomputed
-    /// AScore curve.
+    /// AScore curve. Strict variant: `None` when the curve is empty,
+    /// when `b` is past the recorded curve (a saturated attack would
+    /// otherwise masquerade as converged), or when `S⁰_T = 0` (the
+    /// reduction ratio is undefined on a zero-score target set).
+    pub fn tau_as_at(curve: &[f64], b: usize) -> Option<f64> {
+        let &s0 = curve.first()?;
+        if b >= curve.len() || s0 == 0.0 {
+            return None;
+        }
+        Some((s0 - curve[b]) / s0)
+    }
+
+    /// τ_as at budget `b` with **documented saturation**: a budget past
+    /// the recorded curve evaluates at the final recorded point (the
+    /// attack saturated — no further flips were useful — so its score
+    /// stays at the last value), and a zero clean score yields `0.0` (a
+    /// vacuous target set cannot be attacked). Callers that must
+    /// distinguish those cases use [`AttackOutcome::tau_as_at`].
     pub fn tau_as(curve: &[f64], b: usize) -> f64 {
-        let s0 = curve[0];
-        if s0 == 0.0 {
+        debug_assert!(!curve.is_empty(), "tau_as on an empty curve");
+        if curve.is_empty() {
             return 0.0;
         }
-        (s0 - curve[b.min(curve.len() - 1)]) / s0
+        Self::tau_as_at(curve, b.min(curve.len() - 1)).unwrap_or(0.0)
     }
+}
+
+/// The normalised pairs whose membership after applying `ops` to the
+/// clean graph differs from the clean graph, ascending. Sequential
+/// add/remove semantics — the last op on a pair decides its final state,
+/// exactly as `DeltaOverlay::apply_ops` would leave it.
+fn poisoned_delta(csr: &CsrGraph, ops: &[EdgeOp]) -> Vec<(NodeId, NodeId)> {
+    let mut last: BTreeMap<(NodeId, NodeId), bool> = BTreeMap::new();
+    for op in ops {
+        let key = if op.u <= op.v {
+            (op.u, op.v)
+        } else {
+            (op.v, op.u)
+        };
+        last.insert(key, op.added);
+    }
+    last.into_iter()
+        .filter(|&((u, v), present)| u != v && csr.has_edge(u, v) != present)
+        .map(|(pair, _)| pair)
+        .collect()
 }
 
 /// Validates a target set against any graph view.
@@ -256,8 +459,137 @@ mod tests {
         let curve = [10.0, 8.0, 5.0];
         assert!((AttackOutcome::tau_as(&curve, 1) - 0.2).abs() < 1e-12);
         assert!((AttackOutcome::tau_as(&curve, 2) - 0.5).abs() < 1e-12);
+        // Past-the-curve budgets saturate to the last recorded point...
         assert!((AttackOutcome::tau_as(&curve, 9) - 0.5).abs() < 1e-12);
+        // ...and a zero clean score is defined as a vacuous 0.0.
         assert_eq!(AttackOutcome::tau_as(&[0.0, 0.0], 1), 0.0);
+    }
+
+    #[test]
+    fn tau_as_at_is_strict() {
+        let curve = [10.0, 8.0, 5.0];
+        assert_eq!(AttackOutcome::tau_as_at(&curve, 0), Some(0.0));
+        assert!((AttackOutcome::tau_as_at(&curve, 2).unwrap() - 0.5).abs() < 1e-12);
+        // Out-of-range budgets and zero clean scores are None, not a
+        // silently clamped/zeroed value.
+        assert_eq!(AttackOutcome::tau_as_at(&curve, 3), None);
+        assert_eq!(AttackOutcome::tau_as_at(&[0.0, 0.0], 1), None);
+        assert_eq!(AttackOutcome::tau_as_at(&[], 0), None);
+    }
+
+    #[test]
+    fn curve_error_reports_budget() {
+        let e = CurveError {
+            budget: 3,
+            source: FitError::EmptyGraph,
+        };
+        assert!(e.to_string().contains("budget 3"), "{e}");
+        let clean = CurveError {
+            budget: 0,
+            source: FitError::EmptyGraph,
+        };
+        assert!(clean.to_string().contains("clean graph"), "{clean}");
+    }
+
+    #[test]
+    fn poisoned_delta_nets_out_noops() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2)]);
+        let csr = CsrGraph::from(&g);
+        let ops = [
+            EdgeOp::new(0, 1, false), // real deletion
+            EdgeOp::new(0, 2, true),  // real addition
+            EdgeOp::new(1, 2, true),  // no-op: already present
+            EdgeOp::new(0, 3, true),  // toggled on...
+            EdgeOp::new(0, 3, false), // ...then back off: nets out
+        ];
+        assert_eq!(poisoned_delta(&csr, &ops), vec![(0, 1), (0, 2)]);
+        assert!(poisoned_delta(&csr, &[]).is_empty());
+    }
+
+    #[test]
+    fn incremental_curve_matches_full_refit_on_non_nested_ops() {
+        // Per-budget op sets that are NOT prefixes of each other (the
+        // BinarizedAttack shape): the replay must re-derive the right
+        // deltas between budgets.
+        let g = ba_graph::generators::erdos_renyi(60, 0.1, 5);
+        let csr = CsrGraph::from(&g);
+        let detector = OddBall::default();
+        let clean = detector.fit(&csr).unwrap();
+        let outcome = AttackOutcome {
+            name: "synthetic".into(),
+            ops_per_budget: vec![
+                vec![EdgeOp::new(0, 1, !g.has_edge(0, 1))],
+                vec![
+                    EdgeOp::new(2, 3, !g.has_edge(2, 3)),
+                    EdgeOp::new(4, 5, !g.has_edge(4, 5)),
+                ],
+                vec![
+                    EdgeOp::new(0, 1, !g.has_edge(0, 1)),
+                    EdgeOp::new(7, 9, !g.has_edge(7, 9)),
+                    EdgeOp::new(4, 5, !g.has_edge(4, 5)),
+                ],
+            ],
+            surrogate_loss_per_budget: vec![0.0; 3],
+            loss_trajectory: vec![],
+        };
+        let targets = [0u32, 7, 11];
+        let fast = outcome
+            .ascore_curve_with_clean(&csr, &clean, &targets, &detector)
+            .unwrap();
+        let slow = outcome
+            .ascore_curve_full_refit(&csr, &clean, &targets, &detector)
+            .unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (b, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(f.to_bits(), s.to_bits(), "budget {b}: {f} != {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_refit_fails_with_budget_context() {
+        // A 6-cycle: deleting {0,1} and adding {0,3} keeps every degree
+        // at 2 → the budget-2 regression is singular while budget 1 is
+        // fine.
+        let n = 6u32;
+        let edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = Graph::from_edges(n as usize, edges);
+        let csr = CsrGraph::from(&g);
+        let detector = OddBall::default();
+        // The clean cycle itself is degenerate: ascore_curve_on reports
+        // budget 0.
+        let outcome = AttackOutcome {
+            name: "degenerate".into(),
+            ops_per_budget: vec![vec![EdgeOp::new(0, 2, true)]],
+            surrogate_loss_per_budget: vec![0.0],
+            loss_trajectory: vec![],
+        };
+        let err = outcome.ascore_curve_on(&csr, &[0], &detector).unwrap_err();
+        assert_eq!(err.budget, 0);
+
+        // Break the clean degeneracy with one chord, then drive the
+        // poisoned graph back into a regular one at budget 2.
+        let mut g2 = g.clone();
+        g2.add_edge(0, 2);
+        let csr2 = CsrGraph::from(&g2);
+        let clean = detector.fit(&csr2).unwrap();
+        let outcome = AttackOutcome {
+            name: "degenerate-later".into(),
+            ops_per_budget: vec![
+                vec![EdgeOp::new(3, 5, true)],
+                vec![EdgeOp::new(0, 2, false)],
+            ],
+            surrogate_loss_per_budget: vec![0.0; 2],
+            loss_trajectory: vec![],
+        };
+        let err = outcome
+            .ascore_curve_with_clean(&csr2, &clean, &[0], &detector)
+            .unwrap_err();
+        assert_eq!(err.budget, 2, "err = {err}");
+        // The reference path reports the same failure point.
+        let err_full = outcome
+            .ascore_curve_full_refit(&csr2, &clean, &[0], &detector)
+            .unwrap_err();
+        assert_eq!(err_full, err);
     }
 
     #[test]

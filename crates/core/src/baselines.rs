@@ -125,12 +125,8 @@ impl StructuralAttack for CliqueBreaker {
             let feats = session.features();
             let (b0, b1) = (ng.beta0, ng.beta1);
             let mut ranked: Vec<NodeId> = targets.to_vec();
-            ranked.sort_by(|&x, &y| {
-                let rx =
-                    ba_oddball::surrogate_score(feats.e[x as usize], feats.n[x as usize], b0, b1);
-                let ry =
-                    ba_oddball::surrogate_score(feats.e[y as usize], feats.n[y as usize], b0, b1);
-                ry.partial_cmp(&rx).expect("NaN score").then(x.cmp(&y))
+            sort_desc_by_score(&mut ranked, |t| {
+                ba_oddball::surrogate_score(feats.e[t as usize], feats.n[t as usize], b0, b1)
             });
             // For the worst target, delete the incident edge with the most
             // common neighbours.
@@ -165,6 +161,15 @@ impl StructuralAttack for CliqueBreaker {
             loss_trajectory: vec![],
         })
     }
+}
+
+/// Sorts node ids by descending score with deterministic id tie-breaks.
+///
+/// Uses the IEEE total order: a NaN score (an overflowed surrogate on an
+/// adversarial intermediate graph) ranks deterministically instead of
+/// panicking the attack mid-run.
+fn sort_desc_by_score(nodes: &mut [NodeId], score: impl Fn(NodeId) -> f64) {
+    nodes.sort_by(|&x, &y| score(y).total_cmp(&score(x)).then(x.cmp(&y)));
 }
 
 #[cfg(test)]
@@ -211,10 +216,24 @@ mod tests {
     }
 
     #[test]
+    fn ranking_survives_nan_scores() {
+        // Regression: the old partial_cmp comparator panicked on the
+        // first NaN surrogate score.
+        let mut nodes: Vec<NodeId> = vec![0, 1, 2, 3];
+        let scores = [2.0, f64::NAN, 5.0, 2.0];
+        sort_desc_by_score(&mut nodes, |t| scores[t as usize]);
+        // NaN orders above every finite score in the IEEE total order;
+        // the finite tail is descending with id tie-breaks.
+        assert_eq!(nodes, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
     fn clique_breaker_reduces_score_on_planted_clique() {
         let (g, targets) = anomalous_graph(65);
         let outcome = CliqueBreaker::default().attack(&g, &targets, 12).unwrap();
-        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let curve = outcome
+            .ascore_curve(&g, &targets, &OddBall::default())
+            .unwrap();
         let tau = AttackOutcome::tau_as(&curve, outcome.max_budget());
         assert!(
             tau > 0.05,

@@ -308,7 +308,9 @@ mod tests {
     fn reduces_true_anomaly_score() {
         let (g, targets) = anomalous_graph(31);
         let outcome = fast_attack().attack(&g, &targets, 15).unwrap();
-        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let curve = outcome
+            .ascore_curve(&g, &targets, &OddBall::default())
+            .unwrap();
         let tau = AttackOutcome::tau_as(&curve, 15);
         assert!(tau > 0.25, "τ_as = {tau}; curve = {curve:?}");
     }
@@ -389,7 +391,9 @@ mod tests {
             assert!(!op.added);
         }
         // Delete-only on a planted clique should still help.
-        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let curve = outcome
+            .ascore_curve(&g, &targets, &OddBall::default())
+            .unwrap();
         assert!(AttackOutcome::tau_as(&curve, 8) > 0.1, "curve = {curve:?}");
     }
 
@@ -405,7 +409,9 @@ mod tests {
             .with_lambdas(vec![0.02])
             .attack(&g, &targets, 10)
             .unwrap();
-        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let curve = outcome
+            .ascore_curve(&g, &targets, &OddBall::default())
+            .unwrap();
         assert!(AttackOutcome::tau_as(&curve, 10) > 0.1, "curve = {curve:?}");
     }
 

@@ -218,7 +218,9 @@ mod tests {
         let (g, targets) = anomalous_graph(55);
         let attack = ContinuousA::default().with_iterations(30).with_threads(2);
         let outcome = attack.attack(&g, &targets, 10).unwrap();
-        let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+        let curve = outcome
+            .ascore_curve(&g, &targets, &OddBall::default())
+            .unwrap();
         let tau = AttackOutcome::tau_as(&curve, 10);
         assert!(tau > -0.05, "attack made things notably worse: τ = {tau}");
     }

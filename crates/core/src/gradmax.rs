@@ -176,7 +176,7 @@ mod tests {
         let (g, targets) = anomalous_graph(7);
         let detector = OddBall::default();
         let outcome = GradMaxSearch::default().attack(&g, &targets, 15).unwrap();
-        let curve = outcome.ascore_curve(&g, &targets, &detector);
+        let curve = outcome.ascore_curve(&g, &targets, &detector).unwrap();
         let tau = AttackOutcome::tau_as(&curve, outcome.max_budget());
         assert!(tau > 0.2, "τ_as = {tau} too small; curve = {curve:?}");
     }

@@ -58,7 +58,7 @@ pub mod loss;
 pub mod pair;
 pub mod session;
 
-pub use attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
+pub use attack::{AttackConfig, AttackError, AttackOutcome, CurveError, StructuralAttack};
 pub use baselines::{CliqueBreaker, RandomAttack};
 pub use binarized::BinarizedAttack;
 pub use continuous::ContinuousA;

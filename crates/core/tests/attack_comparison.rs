@@ -20,7 +20,9 @@ fn anomalous_graph(seed: u64, n: usize) -> (Graph, Vec<NodeId>) {
 
 fn tau_for(attack: &dyn StructuralAttack, g: &Graph, targets: &[NodeId], b: usize) -> f64 {
     let outcome = attack.attack(g, targets, b).unwrap();
-    let curve = outcome.ascore_curve(g, targets, &OddBall::default());
+    let curve = outcome
+        .ascore_curve(g, targets, &OddBall::default())
+        .unwrap();
     AttackOutcome::tau_as(&curve, outcome.max_budget().min(b))
 }
 
@@ -108,7 +110,9 @@ fn continuous_a_is_erratic_but_runs_end_to_end() {
     let attack = ContinuousA::default().with_iterations(25).with_threads(2);
     let outcome = attack.attack(&g, &targets, 10).unwrap();
     assert_eq!(outcome.max_budget(), 10);
-    let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+    let curve = outcome
+        .ascore_curve(&g, &targets, &OddBall::default())
+        .unwrap();
     assert_eq!(curve.len(), 11);
     for s in curve {
         assert!(s.is_finite());
@@ -122,7 +126,9 @@ fn tau_increases_with_budget_for_binarized() {
         .with_iterations(60)
         .with_lambdas(vec![0.01, 0.05]);
     let outcome = attack.attack(&g, &targets, 16).unwrap();
-    let curve = outcome.ascore_curve(&g, &targets, &OddBall::default());
+    let curve = outcome
+        .ascore_curve(&g, &targets, &OddBall::default())
+        .unwrap();
     let tau4 = AttackOutcome::tau_as(&curve, 4);
     let tau16 = AttackOutcome::tau_as(&curve, 16);
     assert!(

@@ -1,0 +1,222 @@
+//! Property tests for the incremental AScore-curve engine: replaying an
+//! op sequence through one `DeltaOverlay` + `IncrementalEgonet` +
+//! `IncrementalFit` must reproduce the from-scratch per-budget refit
+//! **bit-identically** — for OLS (compensated sufficient statistics) and
+//! for the robust regressors (which rerun over the cached log rows, so
+//! equality is exact by construction).
+
+use ba_core::{AttackOutcome, CurveError};
+use ba_graph::{generators, CsrGraph, EdgeOp, Graph, NodeId};
+use ba_oddball::{OddBall, Regressor};
+use proptest::prelude::*;
+
+const N: u32 = 70;
+
+fn er(seed: u64) -> Graph {
+    let mut g = generators::erdos_renyi(N as usize, 0.07, seed);
+    generators::attach_isolated(&mut g, seed + 1);
+    g
+}
+
+fn ba(seed: u64) -> Graph {
+    generators::barabasi_albert(N as usize, 3, seed)
+}
+
+/// Builds per-budget op sets from a toggle script. `nested` mimics the
+/// greedy attacks (budget `b` = first `b` toggles); non-nested mimics
+/// the PGD extractions (each budget re-derives its own set, here by
+/// dropping one early toggle and keeping the tail).
+fn outcome_from_script(g: &Graph, script: &[(NodeId, NodeId)], nested: bool) -> AttackOutcome {
+    let mut state = g.clone();
+    let mut ops: Vec<EdgeOp> = Vec::new();
+    for &(u, v) in script {
+        if u == v {
+            continue;
+        }
+        let added = !state.has_edge(u, v);
+        if added {
+            state.add_edge(u, v);
+        } else {
+            state.remove_edge(u, v);
+        }
+        ops.push(EdgeOp::new(u, v, added));
+    }
+    let ops_per_budget: Vec<Vec<EdgeOp>> = (1..=ops.len())
+        .map(|b| {
+            if nested {
+                ops[..b].to_vec()
+            } else {
+                // Drop op `b/2` from the prefix: consecutive budgets now
+                // differ by more than a pure extension. Only a pair that
+                // the prefix touches exactly once can be dropped — other
+                // ops' add/remove directions never depend on it, so the
+                // remaining sequence still applies cleanly (`apply_ops`
+                // debug-asserts direction consistency).
+                let mut set = ops[..b].to_vec();
+                if b > 2 {
+                    let c = b / 2;
+                    let pair = (ops[c].u, ops[c].v);
+                    if ops[..b].iter().filter(|o| (o.u, o.v) == pair).count() == 1 {
+                        set.remove(c);
+                    }
+                }
+                set
+            }
+        })
+        .collect();
+    AttackOutcome {
+        name: "scripted".into(),
+        surrogate_loss_per_budget: vec![0.0; ops_per_budget.len()],
+        ops_per_budget,
+        loss_trajectory: vec![],
+    }
+}
+
+fn assert_curves_bit_identical(
+    g: &Graph,
+    outcome: &AttackOutcome,
+    targets: &[NodeId],
+    regressor: Regressor,
+) -> Result<(), TestCaseError> {
+    let csr = CsrGraph::from(g);
+    let detector = OddBall::new(regressor);
+    let clean = match detector.fit(&csr) {
+        Ok(m) => m,
+        // A degenerate random instance is vacuous for this property.
+        Err(_) => return Ok(()),
+    };
+    let fast = outcome.ascore_curve_with_clean(&csr, &clean, targets, &detector);
+    let slow = outcome.ascore_curve_full_refit(&csr, &clean, targets, &detector);
+    match (fast, slow) {
+        (Ok(fast), Ok(slow)) => {
+            prop_assert_eq!(fast.len(), slow.len());
+            for (b, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                prop_assert_eq!(
+                    f.to_bits(),
+                    s.to_bits(),
+                    "{:?}: budget {}: incremental {} != full {}",
+                    regressor,
+                    b,
+                    f,
+                    s
+                );
+            }
+        }
+        // Both paths must agree on *where* a degenerate budget fails.
+        (Err(ef), Err(es)) => prop_assert_eq!(ef, es),
+        (fast, slow) => {
+            return Err(TestCaseError::fail(format!(
+                "{regressor:?}: one path failed, the other did not: \
+                 incremental {fast:?} vs full {slow:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn regressors() -> [Regressor; 3] {
+    [
+        Regressor::Ols,
+        Regressor::default_huber(),
+        Regressor::default_ransac(17),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Nested (greedy-shaped) op sequences on ER graphs, all regressors.
+    #[test]
+    fn incremental_equals_full_refit_nested_er(
+        seed in 0u64..12,
+        script in proptest::collection::vec((0u32..N, 0u32..N), 1..24),
+        targets in proptest::collection::vec(0u32..N, 1..6),
+    ) {
+        let g = er(seed);
+        let outcome = outcome_from_script(&g, &script, true);
+        for regressor in regressors() {
+            assert_curves_bit_identical(&g, &outcome, &targets, regressor)?;
+        }
+    }
+
+    /// Non-nested (PGD-shaped) op sets on BA graphs, all regressors.
+    #[test]
+    fn incremental_equals_full_refit_non_nested_ba(
+        seed in 0u64..12,
+        script in proptest::collection::vec((0u32..N, 0u32..N), 1..24),
+        targets in proptest::collection::vec(0u32..N, 1..6),
+    ) {
+        let g = ba(seed + 100);
+        let outcome = outcome_from_script(&g, &script, false);
+        for regressor in regressors() {
+            assert_curves_bit_identical(&g, &outcome, &targets, regressor)?;
+        }
+    }
+}
+
+/// The engine end-to-end on a real attack outcome (nested greedy ops)
+/// with a degenerate-failure check folded in: budgets after the failure
+/// point are unreachable through both paths.
+#[test]
+fn real_attack_outcome_evaluates_identically() {
+    use ba_core::{AttackConfig, GradMaxSearch, StructuralAttack};
+    let mut g = generators::erdos_renyi(150, 0.04, 2022);
+    generators::attach_isolated(&mut g, 2023);
+    generators::plant_near_clique(&mut g, &(0..10).collect::<Vec<_>>(), 1.0, 2024);
+    let model = OddBall::default().fit(&g).unwrap();
+    let targets: Vec<NodeId> = model.top_k(3).into_iter().map(|(i, _)| i).collect();
+    let outcome = GradMaxSearch::new(AttackConfig::default())
+        .attack(&g, &targets, 10)
+        .unwrap();
+    let csr = CsrGraph::from(&g);
+    for regressor in regressors() {
+        let detector = OddBall::new(regressor);
+        let clean = detector.fit(&csr).unwrap();
+        let fast = outcome
+            .ascore_curve_with_clean(&csr, &clean, &targets, &detector)
+            .unwrap();
+        let slow = outcome
+            .ascore_curve_full_refit(&csr, &clean, &targets, &detector)
+            .unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for (b, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(f.to_bits(), s.to_bits(), "{regressor:?} budget {b}");
+        }
+        // The curve must actually move under the attack.
+        assert!(fast[fast.len() - 1] < fast[0], "{regressor:?}: {fast:?}");
+    }
+}
+
+/// `CurveError` equality used by the proptest is meaningful: construct
+/// the degenerate case deterministically.
+#[test]
+fn degenerate_budget_reported_identically() {
+    // 8-cycle plus one chord; deleting the chord at budget 1 makes the
+    // graph regular → singular OLS.
+    let n = 8u32;
+    let mut g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n)));
+    g.add_edge(0, 4);
+    let csr = CsrGraph::from(&g);
+    let detector = OddBall::default();
+    let clean = detector.fit(&csr).unwrap();
+    let outcome = AttackOutcome {
+        name: "chord-delete".into(),
+        ops_per_budget: vec![vec![EdgeOp::new(0, 4, false)]],
+        surrogate_loss_per_budget: vec![0.0],
+        loss_trajectory: vec![],
+    };
+    let fast = outcome
+        .ascore_curve_with_clean(&csr, &clean, &[0], &detector)
+        .unwrap_err();
+    let slow = outcome
+        .ascore_curve_full_refit(&csr, &clean, &[0], &detector)
+        .unwrap_err();
+    assert_eq!(fast, slow);
+    assert_eq!(
+        fast,
+        CurveError {
+            budget: 1,
+            source: fast.source
+        }
+    );
+}

@@ -105,9 +105,28 @@ impl IncrementalEgonet {
         u: NodeId,
         v: NodeId,
     ) -> Option<EdgeOp> {
+        self.toggle_with(g, u, v, |_| {})
+    }
+
+    /// [`IncrementalEgonet::toggle`] that additionally reports every
+    /// node whose `(N, E)` row changed — the two endpoints and their
+    /// common neighbours — to `on_dirty`. Consumers that mirror the
+    /// features into derived state (the incremental detector refit in
+    /// `ba-oddball`) patch exactly these rows instead of rescanning all
+    /// `n`. A node may be reported more than once across consecutive
+    /// toggles; callers that need a set should dedup.
+    pub fn toggle_with<G: EditableGraph + ?Sized>(
+        &mut self,
+        g: &mut G,
+        u: NodeId,
+        v: NodeId,
+        mut on_dirty: impl FnMut(NodeId),
+    ) -> Option<EdgeOp> {
         if u == v {
             return None;
         }
+        on_dirty(u);
+        on_dirty(v);
         let adding = !g.has_edge(u, v);
         if adding {
             // Common neighbours *before* adding determine the new
@@ -125,6 +144,7 @@ impl IncrementalEgonet {
             for &m in &commons {
                 // Edge {u,v} is inside m's egonet; and m's edges to u/v are
                 // now inside u's/v's egonets.
+                on_dirty(m);
                 self.feats.e[m as usize] += 1.0;
                 self.feats.e[u as usize] += 1.0;
                 self.feats.e[v as usize] += 1.0;
@@ -142,6 +162,7 @@ impl IncrementalEgonet {
             self.feats.e[u as usize] -= 1.0;
             self.feats.e[v as usize] -= 1.0;
             for &m in &commons {
+                on_dirty(m);
                 self.feats.e[m as usize] -= 1.0;
                 self.feats.e[u as usize] -= 1.0;
                 self.feats.e[v as usize] -= 1.0;
@@ -258,6 +279,47 @@ mod tests {
                 "after toggling ({u},{v})"
             );
         }
+    }
+
+    #[test]
+    fn toggle_reports_exactly_the_moved_rows() {
+        let mut g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let mut inc = IncrementalEgonet::new(&g);
+        let edits: &[(NodeId, NodeId)] = &[(0, 2), (0, 3), (1, 2), (0, 2), (2, 4), (5, 0)];
+        for &(u, v) in edits {
+            let before = inc.features().clone();
+            let mut dirty: Vec<NodeId> = Vec::new();
+            inc.toggle_with(&mut g, u, v, |m| dirty.push(m)).unwrap();
+            dirty.sort_unstable();
+            dirty.dedup();
+            // Every row that moved is reported, and every unreported row
+            // is untouched.
+            let after = inc.features();
+            for i in 0..g.num_nodes() {
+                let moved = before.n[i] != after.n[i] || before.e[i] != after.e[i];
+                if moved {
+                    assert!(
+                        dirty.contains(&(i as NodeId)),
+                        "row {i} moved but was not reported after ({u},{v})"
+                    );
+                }
+                if !dirty.contains(&(i as NodeId)) {
+                    assert_eq!(before.n[i], after.n[i]);
+                    assert_eq!(before.e[i], after.e[i]);
+                }
+            }
+            // Endpoints are always reported.
+            assert!(dirty.contains(&u) && dirty.contains(&v));
+        }
+    }
+
+    #[test]
+    fn toggle_with_self_loop_reports_nothing() {
+        let mut g = Graph::from_edges(3, [(0, 1)]);
+        let mut inc = IncrementalEgonet::new(&g);
+        let mut dirty: Vec<NodeId> = Vec::new();
+        assert!(inc.toggle_with(&mut g, 1, 1, |m| dirty.push(m)).is_none());
+        assert!(dirty.is_empty());
     }
 
     #[test]

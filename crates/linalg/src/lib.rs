@@ -27,6 +27,7 @@ mod matrix;
 mod parallel;
 mod regression;
 mod solve;
+mod stats;
 mod vector;
 
 pub use decomp::{pca, power_iteration, symmetric_topk, PcaModel};
@@ -34,6 +35,7 @@ pub use matrix::Matrix;
 pub use parallel::par_matmul;
 pub use regression::{simple_ols, weighted_ols, LinearFit, Ols2Error};
 pub use solve::{inverse, solve, solve2, LinalgError};
+pub use stats::{CompensatedSum, OlsStats};
 pub use vector::Vector;
 
 /// Numerical tolerance used by the crate's own tests and by callers that

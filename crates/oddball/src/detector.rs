@@ -1,11 +1,11 @@
 //! The OddBall detector: fit a regressor over log-log egonet features,
 //! score every node, rank anomalies.
 
-use crate::robust::{huber_fit, ransac_fit, HuberConfig, RansacConfig};
-use crate::score::{anomaly_score, log_features, surrogate_score};
+use crate::incremental::IncrementalFit;
+use crate::score::surrogate_score;
 use ba_graph::egonet::{egonet_features, EgonetFeatures};
 use ba_graph::{GraphView, NodeId};
-use ba_linalg::{simple_ols, Ols2Error};
+use ba_linalg::Ols2Error;
 use serde::{Deserialize, Serialize};
 
 /// Which estimator fits the Egonet Density Power Law.
@@ -103,45 +103,26 @@ impl OddBall {
 
     /// Fits the detector on pre-computed features (the attack loop keeps
     /// features incrementally, so this avoids re-extraction).
+    ///
+    /// The regression goes through [`IncrementalFit`] — the same kernels
+    /// (compensated OLS sufficient statistics, Huber/RANSAC over the
+    /// derived log rows) the incremental curve-evaluation engine
+    /// maintains — so a from-scratch fit and a replayed incremental
+    /// refit of the same graph are bit-identical.
     pub fn fit_features(&self, feats: EgonetFeatures) -> Result<OddBallModel, FitError> {
         if feats.is_empty() {
             return Err(FitError::EmptyGraph);
         }
-        let (u, v) = log_features(&feats.n, &feats.e);
-        let fit = match self.regressor {
-            Regressor::Ols => simple_ols(&u, &v),
-            Regressor::Huber { k } => huber_fit(
-                &u,
-                &v,
-                HuberConfig {
-                    k,
-                    ..HuberConfig::default()
-                },
-            ),
-            Regressor::Ransac {
-                trials,
-                inlier_k,
-                seed,
-            } => ransac_fit(
-                &u,
-                &v,
-                RansacConfig {
-                    trials,
-                    inlier_k,
-                    seed,
-                },
-            ),
-        }
-        .map_err(FitError::Regression)?;
+        let params = IncrementalFit::new(self.regressor, &feats).refit()?;
         let scores: Vec<f64> = feats
             .n
             .iter()
             .zip(&feats.e)
-            .map(|(&n_i, &e_i)| anomaly_score(e_i, n_i, fit.intercept, fit.slope))
+            .map(|(&n_i, &e_i)| params.score(n_i, e_i))
             .collect();
         Ok(OddBallModel {
-            beta0: fit.intercept,
-            beta1: fit.slope,
+            beta0: params.beta0,
+            beta1: params.beta1,
             feats,
             scores,
         })
@@ -202,13 +183,15 @@ impl OddBallModel {
     }
 
     /// The `k` highest-scoring nodes as `(node, score)`, descending.
-    /// Ties break toward smaller node ids (deterministic).
+    /// Ties break toward smaller node ids (deterministic). Uses the IEEE
+    /// total order, so a pathological NaN score sorts deterministically
+    /// instead of panicking (scores from a successful fit are finite, so
+    /// the ordering is the usual numeric one in practice).
     pub fn top_k(&self, k: usize) -> Vec<(NodeId, f64)> {
         let mut idx: Vec<NodeId> = (0..self.scores.len() as NodeId).collect();
         idx.sort_by(|&a, &b| {
             self.scores[b as usize]
-                .partial_cmp(&self.scores[a as usize])
-                .expect("NaN score")
+                .total_cmp(&self.scores[a as usize])
                 .then(a.cmp(&b))
         });
         idx.into_iter()

@@ -32,9 +32,14 @@ impl Default for HuberConfig {
 /// Robust scale estimate: normalised median absolute deviation of the
 /// residuals (`MAD / 0.6745`), with a small floor to avoid zero scale on
 /// exact fits.
+///
+/// Residuals are ordered with the IEEE total order, which places NaNs
+/// after every finite magnitude: a minority of NaN residuals (e.g. from
+/// an overflowed prediction) therefore cannot poison the median, and the
+/// sort can never panic mid-IRLS the way a `partial_cmp` comparator did.
 fn mad_scale(residuals: &[f64]) -> f64 {
     let mut abs: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
-    abs.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
+    abs.sort_by(f64::total_cmp);
     let med = if abs.is_empty() {
         0.0
     } else if abs.len() % 2 == 1 {
@@ -45,13 +50,27 @@ fn mad_scale(residuals: &[f64]) -> f64 {
     (med / 0.6745).max(1e-8)
 }
 
+/// Rejects a fit whose parameters came out non-finite (a NaN/∞
+/// observation slipped through the normal equations — `solve2`'s
+/// singularity check cannot see it because every NaN comparison is
+/// false). Surfacing `Degenerate` beats silently returning NaN
+/// parameters that would propagate into NaN scores.
+fn finite_or_degenerate(fit: LinearFit) -> Result<LinearFit, Ols2Error> {
+    if fit.intercept.is_finite() && fit.slope.is_finite() {
+        Ok(fit)
+    } else {
+        Err(Ols2Error::Degenerate)
+    }
+}
+
 /// Huber-loss regression via iteratively re-weighted least squares.
 ///
 /// Weights follow the Huber ψ-function: `w = 1` for `|r| ≤ k·s`,
 /// `w = k·s/|r|` otherwise — the standard IRLS solution of minimising
-/// paper Eq. (10).
+/// paper Eq. (10). Non-finite observations yield
+/// [`Ols2Error::Degenerate`] instead of a silent NaN fit.
 pub fn huber_fit(x: &[f64], y: &[f64], cfg: HuberConfig) -> Result<LinearFit, Ols2Error> {
-    let mut fit = simple_ols(x, y)?;
+    let mut fit = finite_or_degenerate(simple_ols(x, y)?)?;
     for _ in 0..cfg.max_iters {
         let residuals: Vec<f64> = x
             .iter()
@@ -70,7 +89,7 @@ pub fn huber_fit(x: &[f64], y: &[f64], cfg: HuberConfig) -> Result<LinearFit, Ol
                 }
             })
             .collect();
-        let next = weighted_ols(x, y, Some(&w))?;
+        let next = finite_or_degenerate(weighted_ols(x, y, Some(&w))?)?;
         let moved = (next.intercept - fit.intercept).abs() + (next.slope - fit.slope).abs();
         fit = next;
         if moved < cfg.tol {
@@ -132,15 +151,22 @@ pub fn ransac_fit(x: &[f64], y: &[f64], cfg: RansacConfig) -> Result<LinearFit, 
             abs_res[t] = (y[t] - (intercept + slope * x[t])).abs();
         }
         let mut sorted = abs_res.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN residual"));
+        // Total order: NaN residuals sort last and cannot abort the
+        // hypothesis scan.
+        sorted.sort_by(f64::total_cmp);
         let med = sorted[n / 2];
+        // A NaN median (hypothesis through a NaN observation) would stick
+        // as `best` forever — every `<` against NaN is false. Skip it.
+        if med.is_nan() {
+            continue;
+        }
         if best.is_none_or(|(bm, _, _)| med < bm) {
             best = Some((med, intercept, slope));
         }
     }
     let Some((med, intercept, slope)) = best else {
         // Degenerate data (e.g. all x equal): fall back to OLS.
-        return simple_ols(x, y);
+        return simple_ols(x, y).and_then(finite_or_degenerate);
     };
     // Inlier set: within inlier_k robust-scale units of the best line.
     let tol = (cfg.inlier_k * med / 0.6745).max(1e-8);
@@ -155,10 +181,10 @@ pub fn ransac_fit(x: &[f64], y: &[f64], cfg: RansacConfig) -> Result<LinearFit, 
             }
         })
         .collect();
-    match weighted_ols(x, y, Some(&weights)) {
+    match weighted_ols(x, y, Some(&weights)).and_then(finite_or_degenerate) {
         Ok(fit) => Ok(fit),
         // Inlier set collapsed (all inliers share one x): keep the
-        // hypothesis line itself.
+        // hypothesis line itself (finite by the NaN-median guard above).
         Err(_) => Ok(LinearFit {
             intercept,
             slope,
@@ -263,5 +289,59 @@ mod tests {
         assert!((mad_scale(&r) - 1.0 / 0.6745).abs() < 1e-12);
         // Exact fit floor:
         assert!(mad_scale(&[0.0, 0.0]) >= 1e-8);
+    }
+
+    #[test]
+    fn mad_scale_survives_nan_residuals() {
+        // Regression: the old partial_cmp comparator panicked on the
+        // first NaN. Under the total order NaNs sort last, so a NaN
+        // minority leaves the median (and the IRLS loop) finite.
+        let r = [1.0, -2.0, f64::NAN, 0.5, 1.5];
+        let s = mad_scale(&r);
+        assert!(s.is_finite(), "scale = {s}");
+        // |r| sorted: 0.5, 1, 1.5, 2, NaN → median 1.5.
+        assert!((s - 1.5 / 0.6745).abs() < 1e-12, "scale = {s}");
+        // All-NaN input degrades to the floor (f64::max ignores the NaN
+        // median) without panicking.
+        assert_eq!(mad_scale(&[f64::NAN, f64::NAN]), 1e-8);
+    }
+
+    #[test]
+    fn huber_rejects_nan_observations() {
+        // Regression: a NaN observation used to flow through the normal
+        // equations into an Ok fit with NaN parameters (solve2 cannot
+        // detect a NaN design). It must surface as Degenerate instead.
+        let (mut x, mut y) = line_with_outliers(30, 3);
+        y[5] = f64::NAN;
+        assert_eq!(
+            huber_fit(&x, &y, HuberConfig::default()),
+            Err(Ols2Error::Degenerate)
+        );
+        x[2] = f64::NAN;
+        y[5] = 2.0;
+        assert_eq!(
+            huber_fit(&x, &y, HuberConfig::default()),
+            Err(Ols2Error::Degenerate)
+        );
+    }
+
+    #[test]
+    fn ransac_survives_nan_coordinates() {
+        // A NaN observation must not abort the hypothesis scan.
+        let (mut x, mut y) = line_with_outliers(30, 3);
+        x.push(2.0);
+        y.push(f64::NAN);
+        let fit = ransac_fit(
+            &x,
+            &y,
+            RansacConfig {
+                trials: 200,
+                inlier_k: 3.0,
+                seed: 11,
+            },
+        )
+        .unwrap();
+        assert!(fit.slope.is_finite());
+        assert!((fit.slope - 2.0).abs() < 0.3, "slope {}", fit.slope);
     }
 }

@@ -1,13 +1,22 @@
 //! Anomaly scoring (paper Eq. (3)) and the optimisation surrogate.
 
+/// One clamped log feature: `ln(max(x, 1))`. The single code path both
+/// the batch [`log_features`] and the per-row patches of
+/// [`IncrementalFit`](crate::IncrementalFit) go through, so cached and
+/// freshly-derived rows are bit-identical.
+#[inline]
+pub(crate) fn log_feat(x: f64) -> f64 {
+    x.max(1.0).ln()
+}
+
 /// Safe log features: `u = ln(max(N, 1))`, `v = ln(max(E, 1))`.
 ///
 /// The paper's attacks never create singleton nodes, so `N ≥ 1` in all
 /// clean and poisoned graphs; the clamp guards fractional intermediate
 /// states in ContinuousA where a relaxed degree can dip below 1.
 pub fn log_features(n: &[f64], e: &[f64]) -> (Vec<f64>, Vec<f64>) {
-    let u = n.iter().map(|&x| x.max(1.0).ln()).collect();
-    let v = e.iter().map(|&x| x.max(1.0).ln()).collect();
+    let u = n.iter().map(|&x| log_feat(x)).collect();
+    let v = e.iter().map(|&x| log_feat(x)).collect();
     (u, v)
 }
 

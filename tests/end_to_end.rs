@@ -47,7 +47,7 @@ fn method_ordering_holds() {
 
     let run = |a: &dyn StructuralAttack| -> f64 {
         let o = a.attack(&g, &targets, budget).unwrap();
-        let curve = o.ascore_curve(&g, &targets, &OddBall::default());
+        let curve = o.ascore_curve(&g, &targets, &OddBall::default()).unwrap();
         ba_core::AttackOutcome::tau_as(&curve, o.max_budget().min(budget))
     };
     let bin = run(&BinarizedAttack::default()
