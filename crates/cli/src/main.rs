@@ -6,9 +6,16 @@
 //! * `score` — run OddBall on an edge list and print the top anomalies
 //! * `attack` — poison an edge list so given targets evade OddBall
 //! * `transfer` — run the GAL/ReFeX transfer-attack pipeline end to end
+//! * `gen-stream` — derive a synthetic edge-event stream from a graph
+//! * `stream` — feed an event stream through the online scoring engine
 //!
 //! Run `binattack help` for usage. Argument parsing is hand-rolled (the
 //! approved dependency set has no CLI parser; the grammar is small).
+//!
+//! `stream` output on stdout is **deterministic**: a pure function of
+//! the graph, the event file, and the batch size — never of `--shards`
+//! or of a snapshot/`--resume` cut. The CI determinism job diffs these
+//! bytes across shard counts.
 
 use ba_core::{
     AttackConfig, AttackOutcome, BinarizedAttack, ContinuousA, EdgeOpKind, GradMaxSearch,
@@ -32,6 +39,10 @@ USAGE:
                      [--method <binarized|gradmax|continuous|random>]
                      [--ops <both|add|delete>] [--seed N]
   binattack transfer --graph <file> --budget B --system <gal|refex> [--seed N]
+  binattack gen-stream --graph <file> --out <file> --events N [--seed N]
+  binattack stream   --graph <file> --events <file> [--batch N] [--shards S]
+                     [--top K] [--regressor <ols|huber|ransac>] [--seed N]
+                     [--compact-frac F] [--snapshot <file>] [--resume]
   binattack help
 ";
 
@@ -47,6 +58,8 @@ fn main() -> ExitCode {
         "score" => cmd_score(&flags),
         "attack" => cmd_attack(&flags),
         "transfer" => cmd_transfer(&flags),
+        "gen-stream" => cmd_gen_stream(&flags),
+        "stream" => cmd_stream(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -71,18 +84,29 @@ impl Flags {
         let mut i = 0;
         while i < args.len() {
             if let Some(key) = args[i].strip_prefix("--") {
-                let value = args.get(i + 1).cloned().unwrap_or_default();
+                // A following `--flag` means this one is boolean-valued
+                // (e.g. `--resume --snapshot s.snap` must not swallow
+                // `--snapshot` as the resume value).
+                let value = match args.get(i + 1) {
+                    Some(next) if !next.starts_with("--") => {
+                        i += 1;
+                        next.clone()
+                    }
+                    _ => String::new(),
+                };
                 map.insert(key.to_string(), value);
-                i += 2;
-            } else {
-                i += 1;
             }
+            i += 1;
         }
         Flags(map)
     }
 
     fn get(&self, key: &str) -> Option<&str> {
         self.0.get(key).map(String::as_str)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.contains_key(key)
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
@@ -97,6 +121,12 @@ impl Flags {
     }
 
     fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> f64 {
         self.get(key)
             .and_then(|s| s.parse().ok())
             .unwrap_or(default)
@@ -221,6 +251,120 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
         100.0 * (s0 - sb) / s0.max(1e-12)
     );
     println!("wrote poisoned graph to {out}");
+    Ok(())
+}
+
+fn cmd_gen_stream(flags: &Flags) -> Result<(), String> {
+    use ba_stream::{save_events, synthetic_stream};
+    let g = load_graph(flags)?;
+    let out = flags.require("out")?;
+    let count = flags.usize_or("events", 1000);
+    let seed = flags.u64_or("seed", 7);
+    let events = synthetic_stream(&g, count, seed);
+    save_events(&events, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {count} events to {out} (graph: {} nodes, {} edges, seed {seed})",
+        g.num_nodes(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stream(flags: &Flags) -> Result<(), String> {
+    use ba_stream::snapshot::enc_f64;
+    use ba_stream::{load_events, StreamConfig, StreamEngine};
+
+    let events_path = flags.require("events")?;
+    let events = load_events(events_path).map_err(|e| format!("loading {events_path}: {e}"))?;
+    let batch_size = flags.usize_or("batch", 100).max(1);
+    let top = flags.usize_or("top", 5);
+    let cfg = StreamConfig {
+        shards: flags.usize_or("shards", 0),
+        compact_fraction: flags.f64_or("compact-frac", 0.125),
+        regressor: match flags.get("regressor").unwrap_or("ols") {
+            "ols" => Regressor::Ols,
+            "huber" => Regressor::default_huber(),
+            "ransac" => Regressor::default_ransac(flags.u64_or("seed", 7)),
+            other => return Err(format!("unknown regressor {other:?}")),
+        },
+    };
+    let snapshot = flags.get("snapshot");
+
+    // `--resume` restores the engine from the snapshot and replays only
+    // the remaining batches; the skipped batches' summaries are *not*
+    // re-printed, so output byte-identity holds for the printed suffix.
+    let mut engine = match snapshot {
+        Some(path) if flags.has("resume") && std::path::Path::new(path).exists() => {
+            let engine = StreamEngine::restore_snapshot(path, cfg.shards)
+                .map_err(|e| format!("restoring {path}: {e}"))?;
+            eprintln!(
+                "[stream] resumed from {path}: {} batches / {} events already ingested",
+                engine.batches_ingested(),
+                engine.events_ingested()
+            );
+            engine
+        }
+        _ => StreamEngine::new(&load_graph(flags)?, cfg),
+    };
+    // Skip by *event count*, not batch count: the snapshot does not
+    // record the original `--batch`, so counting batches would silently
+    // drop or re-ingest events if the resumed run passes a different
+    // size. The engine counts every presented event (including ignored
+    // ones), so its counter maps exactly to a file position.
+    let skip_events = (engine.events_ingested() as usize).min(events.len());
+    let already_ingested = engine.events_ingested();
+
+    let t0 = std::time::Instant::now();
+    for batch in events[skip_events..].chunks(batch_size) {
+        let summary = engine.ingest_batch(batch);
+        let fit = match &summary.params {
+            Ok(p) => format!(
+                "beta0={:.6}({}) beta1={:.6}({})",
+                p.beta0,
+                enc_f64(p.beta0),
+                p.beta1,
+                enc_f64(p.beta1)
+            ),
+            Err(reason) => format!("degenerate({reason})"),
+        };
+        println!(
+            "batch {}: events={} applied={} moved={} edges={} compacted={} {fit}",
+            summary.batch,
+            summary.events,
+            summary.applied,
+            summary.dirty_rows,
+            summary.edges,
+            u8::from(summary.compacted),
+        );
+        if summary.params.is_ok() {
+            for (rank, (node, score)) in engine.top_k(top).expect("fit is ok").iter().enumerate() {
+                println!(
+                    "  top{}: node={node} score={score:.6} ({})",
+                    rank + 1,
+                    enc_f64(*score)
+                );
+            }
+        }
+        if let Some(path) = snapshot {
+            engine
+                .save_snapshot(path)
+                .map_err(|e| format!("saving snapshot {path}: {e}"))?;
+        }
+    }
+    let ingested = engine.events_ingested() - already_ingested;
+    eprintln!(
+        "[stream] {ingested} events in {:.3}s ({:.0} events/s sustained)",
+        t0.elapsed().as_secs_f64(),
+        ingested as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    );
+    println!(
+        "stream done: batches={} events={} edges={} compactions={} dirty={}",
+        engine.batches_ingested(),
+        engine.events_ingested(),
+        engine.num_edges(),
+        engine.compactions(),
+        engine.dirty_rows()
+    );
     Ok(())
 }
 

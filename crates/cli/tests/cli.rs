@@ -257,6 +257,127 @@ fn smoke_er_generate_score_attack_roundtrip() {
     );
 }
 
+/// gen-stream → stream round-trip: shard counts never change the
+/// stdout bytes, and a snapshot-resumed run continues the suffix
+/// byte-identically (the contract the CI determinism job re-checks at
+/// larger scale).
+#[test]
+fn stream_shard_invariance_and_snapshot_resume() {
+    let graph = tmp("stream.edges");
+    let events = tmp("stream.events");
+    binattack()
+        .args([
+            "generate",
+            "--dataset",
+            "er",
+            "--out",
+            graph.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
+        .status()
+        .unwrap();
+    let out = binattack()
+        .args([
+            "gen-stream",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--out",
+            events.to_str().unwrap(),
+            "--events",
+            "400",
+            "--seed",
+            "9",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let run = |shards: &str, extra: &[&str]| -> (bool, String) {
+        let mut args = vec![
+            "stream",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--events",
+            events.to_str().unwrap(),
+            "--batch",
+            "100",
+            "--top",
+            "3",
+            "--shards",
+            shards,
+        ];
+        args.extend_from_slice(extra);
+        let out = binattack().args(&args).output().unwrap();
+        (
+            out.status.success(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+        )
+    };
+
+    let (ok, reference) = run("1", &[]);
+    assert!(ok);
+    assert!(reference.contains("batch 4:"), "{reference}");
+    assert!(reference.contains("stream done:"), "{reference}");
+    for shards in ["4", "8"] {
+        let (ok, text) = run(shards, &[]);
+        assert!(ok);
+        assert_eq!(text, reference, "stdout differs at --shards {shards}");
+    }
+
+    // First half with a snapshot, then resume over the full stream: the
+    // resumed stdout must be the byte-identical tail of the reference.
+    let half_events = tmp("stream_half.events");
+    let full = std::fs::read_to_string(&events).unwrap();
+    let half: String = full.lines().take(201).collect::<Vec<_>>().join("\n") + "\n";
+    std::fs::write(&half_events, half).unwrap(); // header + 200 events
+    let snapshot = tmp("stream.snapshot");
+    let _ = std::fs::remove_file(&snapshot);
+    let out = binattack()
+        .args([
+            "stream",
+            "--graph",
+            graph.to_str().unwrap(),
+            "--events",
+            half_events.to_str().unwrap(),
+            "--batch",
+            "100",
+            "--top",
+            "3",
+            "--shards",
+            "2",
+            "--snapshot",
+            snapshot.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(snapshot.exists());
+    let (ok, resumed) = run("2", &["--snapshot", snapshot.to_str().unwrap(), "--resume"]);
+    assert!(ok);
+    let resumed_body = resumed
+        .strip_suffix(&format!(
+            "{}\n",
+            resumed.lines().last().expect("summary line")
+        ))
+        .unwrap()
+        .to_string();
+    assert!(
+        reference.contains(&resumed_body),
+        "resumed stdout is not a byte-identical slice of the reference\n\
+         --- resumed ---\n{resumed}\n--- reference ---\n{reference}"
+    );
+    assert!(resumed.starts_with("batch 3:"), "{resumed}");
+}
+
 #[test]
 fn score_on_missing_file_fails_gracefully() {
     let out = binattack()

@@ -12,7 +12,7 @@
 //! graph is O(dirty rows), not O(n + m).
 
 use crate::view::{EditableGraph, GraphView};
-use crate::{Graph, NodeId};
+use crate::{EdgeOp, Graph, NodeId};
 
 /// Compressed-sparse-row adjacency: `cols[offsets[u]..offsets[u+1]]` is
 /// the strictly increasing neighbour list of `u`. Immutable by design —
@@ -106,6 +106,84 @@ pub struct DeltaOverlay<'a> {
     num_edges: usize,
 }
 
+/// The owned edit state of a [`DeltaOverlay`], detached from its base.
+///
+/// An overlay borrows its frozen base, so a struct cannot own both the
+/// `CsrGraph` and a live overlay over it. Long-lived consumers (the
+/// streaming engine in `ba-stream`) instead keep the base and an
+/// `OverlayEdits`, re-attaching them with [`DeltaOverlay::attach`] for
+/// the duration of each batch. The default value is the empty edit set,
+/// valid against any base.
+#[derive(Debug, Clone, Default)]
+pub struct OverlayEdits {
+    rows: Vec<Option<Vec<NodeId>>>,
+    dirty: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl OverlayEdits {
+    /// Number of rows that have diverged from the base.
+    pub fn dirty_rows(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// `true` when no row diverges from the base.
+    pub fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Edge count of these edits over `base` — `base`'s own count for
+    /// the empty (never-attached) edit set.
+    pub fn num_edges_over(&self, base: &CsrGraph) -> usize {
+        if self.rows.is_empty() && self.dirty.is_empty() {
+            base.num_edges()
+        } else {
+            self.num_edges
+        }
+    }
+
+    /// The materialised (node, sorted neighbour row) pairs in ascending
+    /// node order — the canonical serialisation the stream snapshot
+    /// writes.
+    pub fn dirty_rows_sorted(&self) -> Vec<(NodeId, &[NodeId])> {
+        let mut nodes = self.dirty.clone();
+        nodes.sort_unstable();
+        nodes
+            .into_iter()
+            .map(|u| {
+                (
+                    u,
+                    self.rows[u as usize]
+                        .as_deref()
+                        .expect("dirty row is materialised"),
+                )
+            })
+            .collect()
+    }
+
+    /// Rebuilds an edit set from its canonical serialisation: the total
+    /// node count, the current edge count, and the materialised rows.
+    pub fn from_rows(
+        num_nodes: usize,
+        num_edges: usize,
+        dirty_rows: impl IntoIterator<Item = (NodeId, Vec<NodeId>)>,
+    ) -> Self {
+        let mut rows = vec![None; num_nodes];
+        let mut dirty = Vec::new();
+        for (u, row) in dirty_rows {
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row not sorted");
+            if rows[u as usize].replace(row).is_none() {
+                dirty.push(u);
+            }
+        }
+        Self {
+            rows,
+            dirty,
+            num_edges,
+        }
+    }
+}
+
 impl<'a> DeltaOverlay<'a> {
     /// A fresh overlay with no edits.
     pub fn new(base: &'a CsrGraph) -> Self {
@@ -114,6 +192,38 @@ impl<'a> DeltaOverlay<'a> {
             rows: vec![None; base.num_nodes()],
             dirty: Vec::new(),
             num_edges: base.num_edges(),
+        }
+    }
+
+    /// Re-attaches detached edits to their base. An empty
+    /// (default-constructed) edit set attaches to any base as a fresh
+    /// overlay; a non-empty one must come from [`DeltaOverlay::detach`]
+    /// against the *same* base (enforced by row count only — callers
+    /// own the pairing).
+    pub fn attach(base: &'a CsrGraph, edits: OverlayEdits) -> Self {
+        if edits.rows.is_empty() && edits.dirty.is_empty() {
+            return Self::new(base);
+        }
+        assert_eq!(
+            edits.rows.len(),
+            base.num_nodes(),
+            "edits detached from a different base"
+        );
+        Self {
+            base,
+            rows: edits.rows,
+            dirty: edits.dirty,
+            num_edges: edits.num_edges,
+        }
+    }
+
+    /// Splits the overlay into its owned edit state, releasing the
+    /// borrow of the base. Inverse of [`DeltaOverlay::attach`].
+    pub fn detach(self) -> OverlayEdits {
+        OverlayEdits {
+            rows: self.rows,
+            dirty: self.dirty,
+            num_edges: self.num_edges,
         }
     }
 
@@ -144,6 +254,146 @@ impl<'a> DeltaOverlay<'a> {
             g.add_edge(u, v);
         });
         g
+    }
+
+    /// Materialises the overlay back into a fresh frozen [`CsrGraph`].
+    ///
+    /// This is the *compaction* step of the streaming engine: once the
+    /// dirty-row count crosses a threshold, overlay reads start paying
+    /// for the indirection (and resets stop being cheap), so the edits
+    /// are folded into a new base and the overlay starts clean again.
+    /// Clean row *ranges* between consecutive dirty rows are copied
+    /// from the base column array in single `extend_from_slice` spans,
+    /// so compaction is a near-memcpy `O(n + m)` rather than a per-row
+    /// walk; the result is byte-identical to rebuilding a CSR from the
+    /// current edge set from scratch (`CsrGraph::from_view`).
+    pub fn compact(&self) -> CsrGraph {
+        let n = self.num_nodes();
+        let mut dirty_sorted = self.dirty.clone();
+        dirty_sorted.sort_unstable();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut cols = Vec::with_capacity(2 * self.num_edges);
+        offsets.push(0);
+        // `cursor` walks the node space; dirty rows interrupt the clean
+        // spans served straight from the base.
+        let mut cursor: usize = 0;
+        let base_off = self.base.offsets();
+        let base_cols = self.base.cols();
+        let copy_clean_span = |cols: &mut Vec<NodeId>, offsets: &mut Vec<usize>, lo, hi| {
+            if lo < hi {
+                let shift = offsets.last().copied().expect("offsets non-empty") as isize
+                    - base_off[lo] as isize;
+                cols.extend_from_slice(&base_cols[base_off[lo]..base_off[hi]]);
+                offsets.extend(
+                    base_off[lo + 1..=hi]
+                        .iter()
+                        .map(|&o| (o as isize + shift) as usize),
+                );
+            }
+        };
+        for &d in &dirty_sorted {
+            let d = d as usize;
+            copy_clean_span(&mut cols, &mut offsets, cursor, d);
+            let row = self.rows[d].as_deref().expect("dirty row is materialised");
+            cols.extend_from_slice(row);
+            offsets.push(cols.len());
+            cursor = d + 1;
+        }
+        copy_clean_span(&mut cols, &mut offsets, cursor, n);
+        CsrGraph {
+            offsets,
+            cols,
+            num_edges: self.num_edges,
+        }
+    }
+
+    /// Applies a batch of *consistent* edge ops (each add targets an
+    /// absent edge, each delete a present one — as produced by netting a
+    /// stream batch against the current state) with the row updates
+    /// sharded across `shards` threads. Each shard owns a contiguous
+    /// node range and applies exactly the op endpoints that fall in it,
+    /// so the resulting adjacency — and therefore everything downstream
+    /// — is byte-identical at any shard count, including `1`.
+    ///
+    /// `shards == 0` autodetects from [`std::thread::available_parallelism`].
+    ///
+    /// # Panics
+    /// Panics (debug builds) if an op is inconsistent with the current
+    /// state; ops must be pre-netted by the caller.
+    pub fn apply_ops_sharded(&mut self, ops: &[EdgeOp], shards: usize) {
+        let n = self.num_nodes();
+        let shards = if shards == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            shards
+        };
+        let adds = ops.iter().filter(|op| op.added).count();
+        if shards <= 1 || ops.len() < 2 || n < 2 {
+            for op in ops {
+                if op.added {
+                    let fresh = self.add_edge(op.u, op.v);
+                    debug_assert!(fresh, "op adds an existing edge {op:?}");
+                } else {
+                    let existed = self.remove_edge(op.u, op.v);
+                    debug_assert!(existed, "op deletes a missing edge {op:?}");
+                }
+            }
+            return;
+        }
+        let chunk = n.div_ceil(shards);
+        let base = self.base;
+        let newly_dirty: Vec<Vec<NodeId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .rows
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(k, slice)| {
+                    scope.spawn(move || {
+                        let lo = k * chunk;
+                        let hi = lo + slice.len();
+                        let mut newly: Vec<NodeId> = Vec::new();
+                        for op in ops {
+                            for (a, b) in [(op.u, op.v), (op.v, op.u)] {
+                                let i = a as usize;
+                                if i < lo || i >= hi {
+                                    continue;
+                                }
+                                let slot = &mut slice[i - lo];
+                                if slot.is_none() {
+                                    *slot = Some(base.neighbors_sorted(a).to_vec());
+                                    newly.push(a);
+                                }
+                                let row = slot.as_mut().expect("just materialised");
+                                match (row.binary_search(&b), op.added) {
+                                    (Err(pos), true) => row.insert(pos, b),
+                                    (Ok(pos), false) => {
+                                        row.remove(pos);
+                                    }
+                                    (Ok(_), true) => {
+                                        debug_assert!(false, "op adds an existing edge {op:?}")
+                                    }
+                                    (Err(_), false) => {
+                                        debug_assert!(false, "op deletes a missing edge {op:?}")
+                                    }
+                                }
+                            }
+                        }
+                        newly
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker"))
+                .collect()
+        });
+        for mut newly in newly_dirty {
+            // Rows freshly materialised by a shard were not dirty before
+            // (shards only see rows they own, and each node lives in
+            // exactly one shard), so this stays duplicate-free.
+            self.dirty.append(&mut newly);
+        }
+        self.num_edges = self.num_edges + adds - (ops.len() - adds);
     }
 
     fn row_mut(&mut self, u: NodeId) -> &mut Vec<NodeId> {
@@ -312,6 +562,105 @@ mod tests {
         let mut ov = DeltaOverlay::new(&csr);
         EditableGraph::apply_ops(&mut ov, &ops);
         assert_eq!(ov.to_graph(), g.with_ops(&ops));
+    }
+
+    #[test]
+    fn compact_equals_from_scratch_rebuild() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        // No edits: compaction is an identical clone of the base.
+        assert_eq!(ov.compact(), csr);
+        for (u, v) in [(0u32, 3u32), (0, 1), (2, 5), (4, 5), (1, 5)] {
+            ov.toggle_edge(u, v);
+        }
+        let compacted = ov.compact();
+        let rebuilt = CsrGraph::from_view(&ov);
+        assert_eq!(compacted, rebuilt);
+        assert_eq!(compacted.num_edges(), ov.num_edges());
+        assert_eq!(compacted.to_graph(), ov.to_graph());
+    }
+
+    #[test]
+    fn detach_attach_roundtrip_preserves_state() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        ov.toggle_edge(0, 3);
+        ov.toggle_edge(0, 1);
+        let expected = ov.to_graph();
+        let edits = ov.detach();
+        assert_eq!(edits.dirty_rows(), 3);
+        assert!(!edits.is_clean());
+        let ov = DeltaOverlay::attach(&csr, edits);
+        assert_eq!(ov.to_graph(), expected);
+        assert_eq!(ov.num_edges(), expected.num_edges());
+        // The default edit set attaches to any base as a fresh overlay.
+        let fresh = DeltaOverlay::attach(&csr, OverlayEdits::default());
+        assert_eq!(fresh.to_graph(), g);
+    }
+
+    #[test]
+    fn overlay_edits_canonical_serialisation_roundtrip() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        for (u, v) in [(0u32, 3u32), (2, 5), (0, 1)] {
+            ov.toggle_edge(u, v);
+        }
+        let (n, m) = (ov.num_nodes(), ov.num_edges());
+        let expected = ov.to_graph();
+        let edits = ov.detach();
+        let rows: Vec<(NodeId, Vec<NodeId>)> = edits
+            .dirty_rows_sorted()
+            .into_iter()
+            .map(|(u, r)| (u, r.to_vec()))
+            .collect();
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "rows not sorted");
+        let restored = OverlayEdits::from_rows(n, m, rows);
+        assert_eq!(DeltaOverlay::attach(&csr, restored).to_graph(), expected);
+    }
+
+    #[test]
+    fn sharded_apply_matches_serial_at_any_shard_count() {
+        let g = Graph::from_edges(
+            10,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (8, 9),
+            ],
+        );
+        let csr = CsrGraph::from(&g);
+        let ops = [
+            EdgeOp::new(0, 9, true),
+            EdgeOp::new(1, 2, false),
+            EdgeOp::new(3, 7, true),
+            EdgeOp::new(8, 9, false),
+            EdgeOp::new(2, 4, true),
+        ];
+        let mut serial = DeltaOverlay::new(&csr);
+        EditableGraph::apply_ops(&mut serial, &ops);
+        for shards in [0usize, 1, 2, 3, 8, 16] {
+            let mut ov = DeltaOverlay::new(&csr);
+            ov.apply_ops_sharded(&ops, shards);
+            assert_eq!(ov.num_edges(), serial.num_edges(), "shards={shards}");
+            for u in 0..10u32 {
+                assert_eq!(
+                    ov.neighbors_sorted(u),
+                    serial.neighbors_sorted(u),
+                    "row {u} at shards={shards}"
+                );
+            }
+            assert_eq!(ov.dirty_rows(), serial.dirty_rows(), "shards={shards}");
+            // Compaction of either overlay freezes the same bytes.
+            assert_eq!(ov.compact(), serial.compact(), "shards={shards}");
+        }
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub mod metrics;
 pub mod sample;
 pub mod view;
 
-pub use csr::{CsrGraph, DeltaOverlay};
+pub use csr::{CsrGraph, DeltaOverlay, OverlayEdits};
 pub use graph::{EdgeOp, Graph, NodeId};
 pub use view::{EditableGraph, GraphView};

@@ -1,0 +1,163 @@
+//! Streaming-ingest micro-benchmark: the incremental stream engine vs a
+//! per-batch full refit.
+//!
+//! Replays a synthetic insert/delete event stream over an Erdős–Rényi
+//! base graph in fixed-size batches, two ways:
+//!
+//! * **engine** — [`ba_stream::StreamEngine`]: net the batch, patch the
+//!   touched adjacency rows and feature rows, O(1) OLS refit at the
+//!   batch boundary (plus periodic overlay compaction);
+//! * **full refit** — maintain a mutable [`ba_graph::Graph`] and, at
+//!   every batch boundary, re-extract all egonet features and refit
+//!   OddBall from scratch — what serving the stream without the
+//!   incremental machinery would cost.
+//!
+//! The per-batch model parameters are cross-checked bit-identical
+//! between the two paths before timing is reported. Exits non-zero if
+//! sustained engine ingest is less than 5× the full-refit baseline —
+//! the CI gate for the streaming acceptance criterion. `--quick` runs a
+//! shorter stream (CI), `--csv` emits a machine-readable line, and
+//! `--json PATH` records the result for the perf-trend pipeline
+//! (`BENCH_stream.json`).
+
+use ba_bench::artifact::write_bench_json;
+use ba_graph::egonet::egonet_features;
+use ba_graph::generators;
+use ba_oddball::OddBall;
+use ba_stream::{synthetic_stream, StreamConfig, StreamEngine, StreamEvent};
+use std::time::Instant;
+
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+fn time_best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One engine pass over the stream; returns the per-batch betas.
+fn run_engine(g: &ba_graph::Graph, batches: &[&[StreamEvent]], shards: usize) -> Vec<(u64, u64)> {
+    let mut engine = StreamEngine::new(
+        g,
+        StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        },
+    );
+    batches
+        .iter()
+        .map(|batch| {
+            let p = engine
+                .ingest_batch(batch)
+                .params
+                .expect("engine refit degenerate");
+            (p.beta0.to_bits(), p.beta1.to_bits())
+        })
+        .collect()
+}
+
+/// One full-refit pass: apply the batch to a mutable graph, then
+/// re-extract features and refit from scratch.
+fn run_full_refit(g: &ba_graph::Graph, batches: &[&[StreamEvent]]) -> Vec<(u64, u64)> {
+    let mut state = g.clone();
+    batches
+        .iter()
+        .map(|batch| {
+            for ev in *batch {
+                if ev.insert {
+                    state.add_edge(ev.u, ev.v);
+                } else {
+                    state.remove_edge(ev.u, ev.v);
+                }
+            }
+            let model = OddBall::default()
+                .fit_features(egonet_features(&state))
+                .expect("full refit degenerate");
+            (model.beta0().to_bits(), model.beta1().to_bits())
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let (num_batches, batch_size, engine_reps, full_reps) = if quick {
+        (40, 50, 5, 2)
+    } else {
+        (200, 50, 10, 3)
+    };
+
+    // The acceptance instance: ER 2000 nodes / ~10000 edges, batches of
+    // 50 events — small relative churn on a graph whose full feature
+    // pass is what the baseline pays per batch.
+    let n = 2000usize;
+    let g = generators::erdos_renyi(n, 0.005, 7);
+    let events = synthetic_stream(&g, num_batches * batch_size, 11);
+    let batches: Vec<&[StreamEvent]> = events.chunks(batch_size).collect();
+    let total_events = events.len();
+
+    eprintln!(
+        "graph: n = {n}, m = {}, {} batches x {batch_size} events",
+        g.num_edges(),
+        batches.len()
+    );
+
+    // Cross-check before timing: per-batch betas bit-identical between
+    // the engine (at several shard counts) and the full refit.
+    let reference = run_full_refit(&g, &batches);
+    for shards in [1usize, 4] {
+        let engine_betas = run_engine(&g, &batches, shards);
+        assert_eq!(
+            engine_betas, reference,
+            "engine (shards={shards}) and full-refit betas disagree"
+        );
+    }
+
+    let engine_s = time_best_of(engine_reps, || {
+        run_engine(&g, &batches, 1);
+    });
+    let full_s = time_best_of(full_reps, || {
+        run_full_refit(&g, &batches);
+    });
+
+    let engine_eps = total_events as f64 / engine_s;
+    let full_eps = total_events as f64 / full_s;
+    let speedup = full_s / engine_s;
+    if csv {
+        println!("n,m,batches,batch_size,engine_s,full_s,engine_events_per_sec,speedup");
+        println!(
+            "{n},{},{},{batch_size},{engine_s:.6},{full_s:.6},{engine_eps:.1},{speedup:.2}",
+            g.num_edges(),
+            batches.len()
+        );
+    } else {
+        println!(
+            "engine ingest:     {:>10.3} ms  ({engine_eps:>12.0} events/s)",
+            engine_s * 1e3
+        );
+        println!(
+            "full-refit ingest: {:>10.3} ms  ({full_eps:>12.0} events/s)",
+            full_s * 1e3
+        );
+        println!("speedup:           {speedup:>10.2}x (gate: ≥{REQUIRED_SPEEDUP}x)");
+    }
+    write_bench_json(
+        &args,
+        &format!(
+            "{{\"bench\":\"stream\",\"n\":{n},\"m\":{},\"batches\":{},\"batch_size\":{batch_size},\
+             \"events\":{total_events},\"engine_s\":{engine_s:.6},\"full_s\":{full_s:.6},\
+             \"engine_events_per_sec\":{engine_eps:.1},\"speedup\":{speedup:.3}}}\n",
+            g.num_edges(),
+            batches.len()
+        ),
+    );
+    if speedup < REQUIRED_SPEEDUP {
+        eprintln!("FAIL: engine ingest is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,501 @@
+//! The streaming anomaly-scoring engine.
+//!
+//! [`StreamEngine`] ingests batches of timestamped edge events over a
+//! `CsrGraph + DeltaOverlay` substrate, maintains per-node egonet
+//! features and an incrementally-refit OddBall model, and serves
+//! point-score and top-k queries between batches. The per-batch
+//! pipeline (see DESIGN.md §7 for the complexity model):
+//!
+//! 1. **Net.** Events are netted against the current edge set: within a
+//!    batch only the *final* presence of each touched edge matters
+//!    (queries are only served at batch boundaries), so redundant
+//!    inserts/deletes and insert→delete churn cost nothing downstream.
+//!    Net ops come out keyed in sorted `(u, v)` order — deterministic.
+//! 2. **Apply (sharded).** [`DeltaOverlay::apply_ops_sharded`] patches
+//!    the touched adjacency rows across a `std::thread::scope` pool;
+//!    each shard owns a contiguous node range, so the resulting rows
+//!    are byte-identical at any `--shards` value.
+//! 3. **Dirty set.** The nodes whose `(N, E)` can have moved: the net
+//!    ops' endpoints plus their common neighbours in the pre- and
+//!    post-batch graphs (a superset is harmless — unchanged rows are
+//!    skipped by the refit's no-op check, so the fitted parameters
+//!    depend only on the rows that actually moved). Sorted + deduped.
+//! 4. **Recompute (sharded).** `(N_i, E_i)` is re-derived for dirty
+//!    nodes by read-only sorted-merge triangle counting over the new
+//!    graph — exact integer counts, so recomputation is bit-identical
+//!    to incremental patching.
+//! 5. **Merge (serial, sorted).** Dirty rows are fed to
+//!    [`IncrementalFit::update_row`] in ascending node order — the one
+//!    serialisation point that keeps the OLS sufficient statistics
+//!    bit-identical across shard counts — then the model refits (O(1)
+//!    for OLS) and the batch summary is emitted.
+//!
+//! **Compaction.** Overlay reads pay an indirection per touched row and
+//! resets/compactions pay O(dirty), so once the dirty-row count crosses
+//! `compact_fraction · n` the overlay is folded into a fresh frozen
+//! `CsrGraph` ([`DeltaOverlay::compact`]) and ingest continues over a
+//! clean overlay. Compaction is invisible to scores and adjacency
+//! (pinned by proptest), so steady-state ingest stays O(batch).
+
+use crate::StreamEvent;
+use ba_graph::egonet::{egonet_features, EgonetFeatures};
+use ba_graph::view::merge_common;
+use ba_graph::{CsrGraph, DeltaOverlay, EdgeOp, GraphView, NodeId, OverlayEdits};
+use ba_oddball::{FitParams, IncrementalFit, Regressor};
+use std::collections::BTreeMap;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Ingestion shards (`0` = autodetect). Output is byte-identical at
+    /// any value; shards only distribute independent per-row work.
+    pub shards: usize,
+    /// Compact the overlay into a fresh frozen base once more than
+    /// `compact_fraction · num_nodes` rows have diverged.
+    pub compact_fraction: f64,
+    /// The detector's regression estimator.
+    pub regressor: Regressor,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            compact_fraction: 0.125,
+            regressor: Regressor::Ols,
+        }
+    }
+}
+
+/// What one [`StreamEngine::ingest_batch`] call did. Every field is a
+/// pure function of (initial graph, event stream, batch boundaries) —
+/// never of shard count or timing — so formatted summaries are safe to
+/// byte-compare across `--shards` values and snapshot/restore cuts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// 1-based index of this batch since the engine was created.
+    pub batch: u64,
+    /// Events presented to the batch.
+    pub events: usize,
+    /// Net edge flips actually applied (after in-batch netting).
+    pub applied: usize,
+    /// Feature rows that moved and were re-fed to the regression.
+    pub dirty_rows: usize,
+    /// Edges after the batch.
+    pub edges: usize,
+    /// Whether this batch triggered an overlay compaction.
+    pub compacted: bool,
+    /// The refit model, or the degeneracy reason.
+    pub params: Result<FitParams, String>,
+}
+
+/// The streaming engine. See the module docs for the batch pipeline.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    cfg: StreamConfig,
+    base: CsrGraph,
+    edits: OverlayEdits,
+    feats: EgonetFeatures,
+    fit: IncrementalFit,
+    params: Result<FitParams, String>,
+    batches: u64,
+    events_seen: u64,
+    compactions: u64,
+}
+
+impl StreamEngine {
+    /// Builds the engine over an initial graph: freezes it into the CSR
+    /// base, extracts features, and fits the detector once.
+    pub fn new<V: GraphView + ?Sized>(initial: &V, cfg: StreamConfig) -> Self {
+        Self::from_parts(
+            CsrGraph::from_view(initial),
+            OverlayEdits::default(),
+            cfg,
+            0,
+            0,
+            0,
+        )
+    }
+
+    /// Rebuilds an engine from snapshot parts: the frozen base, the
+    /// overlay edits, and the stream counters. Features and the fit are
+    /// re-derived — bit-identical to the states the live engine held
+    /// (features are exact integer counts; the refit contract is pinned
+    /// by `ba-oddball`'s incremental-fit equivalence suite).
+    pub(crate) fn from_parts(
+        base: CsrGraph,
+        edits: OverlayEdits,
+        cfg: StreamConfig,
+        batches: u64,
+        events_seen: u64,
+        compactions: u64,
+    ) -> Self {
+        let view = DeltaOverlay::attach(&base, edits);
+        let feats = egonet_features(&view);
+        let edits = view.detach();
+        let fit = IncrementalFit::new(cfg.regressor, &feats);
+        let params = fit.refit().map_err(|e| e.to_string());
+        Self {
+            cfg,
+            base,
+            edits,
+            feats,
+            fit,
+            params,
+            batches,
+            events_seen,
+            compactions,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Number of nodes (fixed for the engine's lifetime).
+    pub fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    /// Current number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edits.num_edges_over(&self.base)
+    }
+
+    /// Batches ingested so far.
+    pub fn batches_ingested(&self) -> u64 {
+        self.batches
+    }
+
+    /// Events ingested so far (including redundant ones).
+    pub fn events_ingested(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Overlay compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Rows currently diverging from the frozen base.
+    pub fn dirty_rows(&self) -> usize {
+        self.edits.dirty_rows()
+    }
+
+    /// The frozen base substrate (for snapshotting).
+    pub(crate) fn base(&self) -> &CsrGraph {
+        &self.base
+    }
+
+    /// The overlay edit state (for snapshotting).
+    pub(crate) fn edits(&self) -> &OverlayEdits {
+        &self.edits
+    }
+
+    /// Current per-node egonet features.
+    pub fn features(&self) -> &EgonetFeatures {
+        &self.feats
+    }
+
+    /// The current model, or the degeneracy reason of the last refit.
+    pub fn params(&self) -> Result<FitParams, &str> {
+        self.params.as_ref().copied().map_err(|e| e.as_str())
+    }
+
+    /// Materialises the current edge set as a standalone graph (tests
+    /// and the full-refit baseline; O(n + m)).
+    pub fn to_graph(&self) -> ba_graph::Graph {
+        DeltaOverlay::attach(&self.base, self.edits.clone()).to_graph()
+    }
+
+    /// Anomaly score of one node under the current model.
+    pub fn score(&self, node: NodeId) -> Result<f64, &str> {
+        let params = self.params()?;
+        Ok(params.score(self.feats.n[node as usize], self.feats.e[node as usize]))
+    }
+
+    /// The `k` highest-scoring nodes as `(node, score)`, descending;
+    /// ties break toward smaller ids (same deterministic order as
+    /// `OddBallModel::top_k`).
+    pub fn top_k(&self, k: usize) -> Result<Vec<(NodeId, f64)>, &str> {
+        let params = self.params()?;
+        let scores: Vec<f64> = (0..self.feats.len())
+            .map(|i| params.score(self.feats.n[i], self.feats.e[i]))
+            .collect();
+        let mut idx: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+        idx.sort_by(|&a, &b| {
+            scores[b as usize]
+                .total_cmp(&scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        Ok(idx
+            .into_iter()
+            .take(k)
+            .map(|i| (i, scores[i as usize]))
+            .collect())
+    }
+
+    /// Ingests one batch of events and refits the model at the batch
+    /// boundary. Events referencing out-of-range nodes or self-loops
+    /// are counted but otherwise ignored.
+    pub fn ingest_batch(&mut self, events: &[StreamEvent]) -> BatchSummary {
+        let n = self.base.num_nodes() as NodeId;
+        self.batches += 1;
+        self.events_seen += events.len() as u64;
+
+        let edits = std::mem::take(&mut self.edits);
+        let mut view = DeltaOverlay::attach(&self.base, edits);
+
+        // 1. Net the batch: the last event per edge decides its final
+        // presence; an op is emitted only when that differs from the
+        // current state. BTreeMap keys make the op order canonical.
+        let mut finals: BTreeMap<(NodeId, NodeId), bool> = BTreeMap::new();
+        for ev in events {
+            if ev.u == ev.v || ev.u >= n || ev.v >= n {
+                continue;
+            }
+            let key = (ev.u.min(ev.v), ev.u.max(ev.v));
+            finals.insert(key, ev.insert);
+        }
+        let net_ops: Vec<EdgeOp> = finals
+            .iter()
+            .filter(|&(&(u, v), &present)| view.has_edge(u, v) != present)
+            .map(|(&(u, v), &present)| EdgeOp::new(u, v, present))
+            .collect();
+
+        // 2./3. Common neighbours in the old graph, sharded row apply,
+        // common neighbours in the new graph: together the superset of
+        // nodes whose (N, E) can have moved.
+        let mut dirty: Vec<NodeId> = Vec::with_capacity(4 * net_ops.len());
+        for op in &net_ops {
+            dirty.push(op.u);
+            dirty.push(op.v);
+            merge_common(
+                view.neighbors_sorted(op.u),
+                view.neighbors_sorted(op.v),
+                |m| dirty.push(m),
+            );
+        }
+        view.apply_ops_sharded(&net_ops, self.cfg.shards);
+        for op in &net_ops {
+            merge_common(
+                view.neighbors_sorted(op.u),
+                view.neighbors_sorted(op.v),
+                |m| dirty.push(m),
+            );
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        // 4. Recompute (N, E) for the dirty rows on the new graph —
+        // read-only and independent per row, so sharded chunks of the
+        // sorted dirty list slot results deterministically.
+        let updates = recompute_features(&view, &dirty, self.cfg.shards);
+
+        // 5. Serial merge in ascending node order, then refit.
+        let mut moved = 0usize;
+        for &(i, n_i, e_i) in &updates {
+            let idx = i as usize;
+            if self.feats.n[idx] != n_i || self.feats.e[idx] != e_i {
+                moved += 1;
+            }
+            self.feats.n[idx] = n_i;
+            self.feats.e[idx] = e_i;
+            self.fit.update_row(idx, n_i, e_i);
+        }
+        self.params = self.fit.refit().map_err(|e| e.to_string());
+
+        // Compaction: fold the overlay into a fresh frozen base once
+        // enough rows have diverged. Invisible to scores and adjacency.
+        let edges = view.num_edges();
+        let threshold = (self.cfg.compact_fraction * self.base.num_nodes() as f64).ceil() as usize;
+        let compacted = view.dirty_rows() > threshold.max(1);
+        if compacted {
+            let fresh = view.compact();
+            drop(view);
+            self.base = fresh;
+            self.edits = OverlayEdits::default();
+            self.compactions += 1;
+        } else {
+            self.edits = view.detach();
+        }
+
+        BatchSummary {
+            batch: self.batches,
+            events: events.len(),
+            applied: net_ops.len(),
+            dirty_rows: moved,
+            edges,
+            compacted,
+            params: self.params.clone(),
+        }
+    }
+}
+
+/// `(node, N, E)` for every node in the sorted `dirty` list, recomputed
+/// on `view` by chunk-sharded read-only scans.
+fn recompute_features(
+    view: &DeltaOverlay<'_>,
+    dirty: &[NodeId],
+    shards: usize,
+) -> Vec<(NodeId, f64, f64)> {
+    let shards = if shards == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        shards
+    };
+    let row = |&u: &NodeId| {
+        let deg = view.degree(u) as f64;
+        (u, deg, deg + view.triangles_at(u) as f64)
+    };
+    if shards <= 1 || dirty.len() < 2 {
+        return dirty.iter().map(row).collect();
+    }
+    let chunk = dirty.len().div_ceil(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = dirty
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(row).collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("feature shard"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::synthetic_stream;
+    use ba_graph::generators;
+    use ba_oddball::OddBall;
+
+    fn engine_over_er(shards: usize, compact_fraction: f64) -> (ba_graph::Graph, StreamEngine) {
+        let g = generators::erdos_renyi(150, 0.04, 7);
+        let cfg = StreamConfig {
+            shards,
+            compact_fraction,
+            regressor: Regressor::Ols,
+        };
+        let engine = StreamEngine::new(&g, cfg);
+        (g, engine)
+    }
+
+    /// After every batch the engine state equals a from-scratch fit on
+    /// the materialised graph — features, parameters, and scores.
+    #[test]
+    fn engine_matches_full_refit_every_batch() {
+        let (g, mut engine) = engine_over_er(1, 0.25);
+        let events = synthetic_stream(&g, 300, 5);
+        let mut baseline = g.clone();
+        for batch in events.chunks(30) {
+            let summary = engine.ingest_batch(batch);
+            for ev in batch {
+                if ev.insert {
+                    baseline.add_edge(ev.u, ev.v);
+                } else {
+                    baseline.remove_edge(ev.u, ev.v);
+                }
+            }
+            assert_eq!(engine.to_graph(), baseline);
+            assert_eq!(summary.edges, baseline.num_edges());
+            assert_eq!(engine.features(), &egonet_features(&baseline));
+            let model = OddBall::default().fit(&baseline).expect("baseline fit");
+            let params = summary.params.expect("engine fit");
+            assert_eq!(params.beta0.to_bits(), model.beta0().to_bits());
+            assert_eq!(params.beta1.to_bits(), model.beta1().to_bits());
+            // Point scores and ranking agree bit-for-bit.
+            for i in 0..10u32 {
+                assert_eq!(engine.score(i).unwrap().to_bits(), model.score(i).to_bits());
+            }
+            let top: Vec<(NodeId, u64)> = engine
+                .top_k(10)
+                .unwrap()
+                .into_iter()
+                .map(|(i, s)| (i, s.to_bits()))
+                .collect();
+            let model_top: Vec<(NodeId, u64)> = model
+                .top_k(10)
+                .into_iter()
+                .map(|(i, s)| (i, s.to_bits()))
+                .collect();
+            assert_eq!(top, model_top);
+        }
+    }
+
+    /// Shard count never changes the summaries (the determinism
+    /// contract the CI job diffs end to end through the CLI).
+    #[test]
+    fn summaries_identical_across_shard_counts() {
+        let reference: Vec<BatchSummary> = {
+            let (g, mut engine) = engine_over_er(1, 0.1);
+            let events = synthetic_stream(&g, 240, 9);
+            events.chunks(24).map(|b| engine.ingest_batch(b)).collect()
+        };
+        for shards in [2usize, 4, 8] {
+            let (g, mut engine) = engine_over_er(shards, 0.1);
+            let events = synthetic_stream(&g, 240, 9);
+            let summaries: Vec<BatchSummary> =
+                events.chunks(24).map(|b| engine.ingest_batch(b)).collect();
+            assert_eq!(summaries, reference, "shards = {shards}");
+        }
+    }
+
+    /// In-batch churn nets out: insert→delete of the same edge within a
+    /// batch applies nothing.
+    #[test]
+    fn redundant_events_net_to_nothing() {
+        let (_, mut engine) = engine_over_er(1, 0.25);
+        let edges_before = engine.num_edges();
+        let summary = engine.ingest_batch(&[
+            StreamEvent::new(0, 0, 149, true),
+            StreamEvent::new(1, 0, 149, false),
+            StreamEvent::new(2, 2, 2, true),    // self-loop: ignored
+            StreamEvent::new(3, 0, 5000, true), // out of range: ignored
+        ]);
+        assert_eq!(summary.applied, 0);
+        assert_eq!(summary.dirty_rows, 0);
+        assert_eq!(summary.events, 4);
+        assert_eq!(engine.num_edges(), edges_before);
+    }
+
+    /// An aggressive compaction threshold folds the overlay every few
+    /// batches without perturbing anything observable.
+    #[test]
+    fn compaction_is_invisible_to_scores() {
+        let events = {
+            let g = generators::erdos_renyi(150, 0.04, 7);
+            synthetic_stream(&g, 300, 13)
+        };
+        let (_, mut eager) = engine_over_er(1, 0.0); // compact whenever dirty > 1
+        let (_, mut lazy) = engine_over_er(1, 1.0); // never compact
+        for batch in events.chunks(25) {
+            let a = eager.ingest_batch(batch);
+            let b = lazy.ingest_batch(batch);
+            // Summaries agree except for the compaction flag itself.
+            assert_eq!(a.applied, b.applied);
+            assert_eq!(a.dirty_rows, b.dirty_rows);
+            assert_eq!(a.edges, b.edges);
+            assert_eq!(a.params, b.params);
+            assert_eq!(eager.top_k(15).unwrap(), lazy.top_k(15).unwrap());
+        }
+        assert!(eager.compactions() > 0);
+        assert_eq!(lazy.compactions(), 0);
+        assert_eq!(eager.to_graph(), lazy.to_graph());
+    }
+
+    /// Degenerate graphs surface as an error value, not a panic.
+    #[test]
+    fn degenerate_refit_is_reported_not_panicked() {
+        // A cycle is degree-regular: the log-log regression is singular.
+        let n = 20u32;
+        let edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let g = ba_graph::Graph::from_edges(n as usize, edges);
+        let engine = StreamEngine::new(&g, StreamConfig::default());
+        assert!(engine.params().is_err());
+        assert!(engine.score(0).is_err());
+        assert!(engine.top_k(3).is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! Bit-exact engine snapshots: a killed stream resumes byte-identically.
+//!
+//! The snapshot reuses `ba_bench::artifact`'s durability primitives —
+//! [`write_atomic`] (temp file + rename, so a crash mid-save never
+//! leaves a torn snapshot visible) and the exact IEEE-754 text codec
+//! ([`enc_f64`]/[`dec_f64`]) for every float. The overlay's dirty rows
+//! are stored verbatim (not just the materialised edge set), so a
+//! restored engine carries the *same* dirty-row count and therefore
+//! compacts at the same future batches as the uninterrupted run —
+//! keeping even the `compacted` flags of later summaries identical.
+//!
+//! Features and regression state are re-derived on restore rather than
+//! stored: features are exact integer counts, and the incremental-fit
+//! engine guarantees a fresh accumulation of the same rows refits
+//! bit-identically to the churned statistics (the stored `params` line
+//! is verified against the re-derived fit as an integrity check).
+
+use crate::{StreamConfig, StreamEngine};
+// Re-exported so downstream consumers (the CLI's exact-score output)
+// can use the snapshot's float codec without a ba-bench dependency.
+use ba_bench::artifact::write_atomic;
+pub use ba_bench::artifact::{dec_f64, enc_f64};
+use ba_graph::{Graph, GraphView, NodeId, OverlayEdits};
+use ba_oddball::Regressor;
+use std::path::Path;
+
+const MAGIC: &str = "ba-stream-snapshot v1";
+
+/// Errors raised while restoring a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The file is not a well-formed v1 snapshot.
+    Malformed(String),
+    /// The stored parameters disagree with the re-derived fit — the
+    /// snapshot was not produced by this engine version/state.
+    ParamsMismatch,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::ParamsMismatch => {
+                write!(f, "restored fit disagrees with the stored parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn enc_regressor(r: Regressor) -> String {
+    match r {
+        Regressor::Ols => "ols".to_string(),
+        Regressor::Huber { k } => format!("huber {}", enc_f64(k)),
+        Regressor::Ransac {
+            trials,
+            inlier_k,
+            seed,
+        } => format!("ransac {trials} {} {seed}", enc_f64(inlier_k)),
+    }
+}
+
+fn dec_regressor(s: &str) -> Option<Regressor> {
+    let mut parts = s.split_whitespace();
+    match parts.next()? {
+        "ols" => Some(Regressor::Ols),
+        "huber" => Some(Regressor::Huber {
+            k: dec_f64(parts.next()?)?,
+        }),
+        "ransac" => Some(Regressor::Ransac {
+            trials: parts.next()?.parse().ok()?,
+            inlier_k: dec_f64(parts.next()?)?,
+            seed: parts.next()?.parse().ok()?,
+        }),
+        _ => None,
+    }
+}
+
+impl StreamEngine {
+    /// Saves the engine state atomically (temp file + rename).
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let base = self.base();
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "regressor {}\n",
+            enc_regressor(self.config().regressor)
+        ));
+        out.push_str(&format!(
+            "compact_fraction {}\n",
+            enc_f64(self.config().compact_fraction)
+        ));
+        out.push_str(&format!("nodes {}\n", self.num_nodes()));
+        out.push_str(&format!(
+            "counters {} {} {}\n",
+            self.batches_ingested(),
+            self.events_ingested(),
+            self.compactions()
+        ));
+        out.push_str(&format!("base {}\n", base.num_edges()));
+        base.for_each_edge(|u, v| {
+            out.push_str(&format!("{u} {v}\n"));
+        });
+        let rows = self.edits().dirty_rows_sorted();
+        out.push_str(&format!("edits {} {}\n", rows.len(), self.num_edges()));
+        for (u, row) in rows {
+            out.push_str(&format!("{u} {}", row.len()));
+            for v in row {
+                out.push_str(&format!(" {v}"));
+            }
+            out.push('\n');
+        }
+        match self.params() {
+            Ok(p) => out.push_str(&format!(
+                "params ok {} {}\n",
+                enc_f64(p.beta0),
+                enc_f64(p.beta1)
+            )),
+            Err(reason) => out.push_str(&format!("params err {reason}\n")),
+        }
+        out.push_str("end\n");
+        write_atomic(path.as_ref(), &out)
+    }
+
+    /// Restores an engine from a snapshot. `shards` is a runtime knob,
+    /// not part of the persisted state — outputs are byte-identical at
+    /// any value.
+    pub fn restore_snapshot<P: AsRef<Path>>(path: P, shards: usize) -> Result<Self, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        let malformed = |what: &str| SnapshotError::Malformed(what.to_string());
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC) {
+            return Err(malformed("missing header"));
+        }
+        fn field(lines: &mut std::str::Lines<'_>, key: &str) -> Result<String, SnapshotError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| SnapshotError::Malformed(format!("missing {key}")))?;
+            line.strip_prefix(key)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    SnapshotError::Malformed(format!("expected {key} line, got {line:?}"))
+                })
+        }
+        let regressor = dec_regressor(&field(&mut lines, "regressor")?)
+            .ok_or_else(|| malformed("regressor"))?;
+        let compact_fraction = dec_f64(&field(&mut lines, "compact_fraction")?)
+            .ok_or_else(|| malformed("compact_fraction"))?;
+        let nodes: usize = field(&mut lines, "nodes")?
+            .parse()
+            .map_err(|_| malformed("nodes"))?;
+        let counters: Vec<u64> = field(&mut lines, "counters")?
+            .split_whitespace()
+            .map(|t| t.parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| malformed("counters"))?;
+        let [batches, events_seen, compactions] = counters[..] else {
+            return Err(malformed("counters arity"));
+        };
+
+        let base_edges: usize = field(&mut lines, "base")?
+            .parse()
+            .map_err(|_| malformed("base"))?;
+        let mut g = Graph::new(nodes);
+        for _ in 0..base_edges {
+            let line = lines.next().ok_or_else(|| malformed("base edge"))?;
+            let (u, v): (NodeId, NodeId) = line
+                .split_once(' ')
+                .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+                .ok_or_else(|| malformed("base edge"))?;
+            // Range-check before Graph::add_edge, whose out-of-range
+            // assert would panic instead of returning Malformed.
+            if u as usize >= nodes || v as usize >= nodes {
+                return Err(malformed("base edge node out of range"));
+            }
+            if !g.add_edge(u, v) {
+                return Err(malformed("duplicate base edge"));
+            }
+        }
+        let base = ba_graph::CsrGraph::from(&g);
+
+        let edits_line = field(&mut lines, "edits")?;
+        let (dirty_count, num_edges) = edits_line
+            .split_once(' ')
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .ok_or_else(|| malformed("edits"))?;
+        let mut dirty_rows: Vec<(NodeId, Vec<NodeId>)> = Vec::with_capacity(dirty_count);
+        for _ in 0..dirty_count {
+            let line = lines.next().ok_or_else(|| malformed("edit row"))?;
+            let mut toks = line.split_whitespace();
+            let parsed = (|| {
+                let u: NodeId = toks.next()?.parse().ok()?;
+                let len: usize = toks.next()?.parse().ok()?;
+                let row: Vec<NodeId> = toks.map(|t| t.parse().ok()).collect::<Option<_>>()?;
+                // Out-of-range ids would index out of bounds in
+                // OverlayEdits::from_rows; reject them here instead.
+                let in_range = (u as usize) < nodes && row.iter().all(|&v| (v as usize) < nodes);
+                (in_range && row.len() == len && row.windows(2).all(|w| w[0] < w[1]))
+                    .then_some((u, row))
+            })();
+            dirty_rows.push(parsed.ok_or_else(|| malformed("edit row"))?);
+        }
+        let edits = if dirty_rows.is_empty() {
+            OverlayEdits::default()
+        } else {
+            OverlayEdits::from_rows(nodes, num_edges, dirty_rows)
+        };
+
+        let params_line = lines.next().ok_or_else(|| malformed("params"))?;
+        if lines.next() != Some("end") {
+            return Err(malformed("missing end marker (truncated?)"));
+        }
+
+        let cfg = StreamConfig {
+            shards,
+            compact_fraction,
+            regressor,
+        };
+        let engine = Self::from_parts(base, edits, cfg, batches, events_seen, compactions);
+        // Integrity check: the re-derived fit must reproduce the stored
+        // parameters bit-for-bit (or the same degeneracy).
+        let stored_ok = params_line.strip_prefix("params ok ").map(|rest| {
+            rest.split_once(' ')
+                .and_then(|(a, b)| Some((dec_f64(a)?, dec_f64(b)?)))
+        });
+        match (stored_ok, engine.params()) {
+            (Some(Some((b0, b1))), Ok(p))
+                if b0.to_bits() == p.beta0.to_bits() && b1.to_bits() == p.beta1.to_bits() => {}
+            (Some(_), _) => return Err(SnapshotError::ParamsMismatch),
+            (None, Err(_)) if params_line.starts_with("params err ") => {}
+            (None, Ok(_)) if params_line.starts_with("params err ") => {
+                return Err(SnapshotError::ParamsMismatch)
+            }
+            (None, _) => return Err(malformed("params")),
+        }
+        Ok(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::synthetic_stream;
+    use ba_graph::generators;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ba_stream_snapshot_{tag}"))
+    }
+
+    #[test]
+    fn save_restore_roundtrips_state() {
+        let g = generators::erdos_renyi(120, 0.05, 3);
+        let mut engine = StreamEngine::new(&g, StreamConfig::default());
+        let events = synthetic_stream(&g, 120, 8);
+        for batch in events.chunks(30) {
+            engine.ingest_batch(batch);
+        }
+        let path = temp("roundtrip");
+        engine.save_snapshot(&path).unwrap();
+        let restored = StreamEngine::restore_snapshot(&path, 1).unwrap();
+        assert_eq!(restored.num_nodes(), engine.num_nodes());
+        assert_eq!(restored.num_edges(), engine.num_edges());
+        assert_eq!(restored.batches_ingested(), engine.batches_ingested());
+        assert_eq!(restored.events_ingested(), engine.events_ingested());
+        assert_eq!(restored.compactions(), engine.compactions());
+        assert_eq!(restored.dirty_rows(), engine.dirty_rows());
+        assert_eq!(restored.to_graph(), engine.to_graph());
+        assert_eq!(restored.features(), engine.features());
+        let (a, b) = (restored.params().unwrap(), engine.params().unwrap());
+        assert_eq!(a.beta0.to_bits(), b.beta0.to_bits());
+        assert_eq!(a.beta1.to_bits(), b.beta1.to_bits());
+        // No stray temp file from the atomic write.
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let g = generators::erdos_renyi(40, 0.1, 1);
+        let engine = StreamEngine::new(&g, StreamConfig::default());
+        let path = temp("truncated");
+        engine.save_snapshot(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 10;
+        std::fs::write(&path, &text[..cut]).unwrap();
+        assert!(matches!(
+            StreamEngine::restore_snapshot(&path, 1),
+            Err(SnapshotError::Malformed(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_node_ids_rejected_not_panicked() {
+        let g = generators::erdos_renyi(40, 0.1, 1);
+        let mut engine = StreamEngine::new(&g, StreamConfig::default());
+        // Dirty a row so the snapshot carries an edits section too.
+        engine.ingest_batch(&[crate::StreamEvent::new(0, 0, 39, true)]);
+        let path = temp("out_of_range");
+        engine.save_snapshot(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Corrupt a base-edge endpoint and, separately, an edit-row id.
+        let lines: Vec<&str> = text.lines().collect();
+        let base_at = lines.iter().position(|l| l.starts_with("base ")).unwrap();
+        let edits_at = lines.iter().position(|l| l.starts_with("edits ")).unwrap();
+        for corrupt_at in [base_at + 1, edits_at + 1] {
+            let mut bad: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+            let mut toks: Vec<String> = bad[corrupt_at].split(' ').map(str::to_string).collect();
+            toks[0] = "5000".to_string();
+            bad[corrupt_at] = toks.join(" ");
+            std::fs::write(&path, bad.join("\n") + "\n").unwrap();
+            assert!(
+                matches!(
+                    StreamEngine::restore_snapshot(&path, 1),
+                    Err(SnapshotError::Malformed(_))
+                ),
+                "corrupting line {corrupt_at} did not surface as Malformed"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tampered_params_rejected() {
+        let g = generators::erdos_renyi(40, 0.1, 1);
+        let engine = StreamEngine::new(&g, StreamConfig::default());
+        let path = temp("tampered");
+        engine.save_snapshot(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let p = engine.params().unwrap();
+        let tampered = text.replace(&enc_f64(p.beta0), &enc_f64(p.beta0 + 1.0));
+        std::fs::write(&path, tampered).unwrap();
+        assert!(matches!(
+            StreamEngine::restore_snapshot(&path, 1),
+            Err(SnapshotError::ParamsMismatch)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn regressor_codec_roundtrip() {
+        for r in [
+            Regressor::Ols,
+            Regressor::default_huber(),
+            Regressor::default_ransac(99),
+        ] {
+            assert_eq!(dec_regressor(&enc_regressor(r)), Some(r));
+        }
+        assert_eq!(dec_regressor("bogus"), None);
+    }
+}

@@ -15,6 +15,7 @@ pub use ba_graph as graph;
 pub use ba_linalg as linalg;
 pub use ba_oddball as oddball;
 pub use ba_stats as stats;
+pub use ba_stream as stream;
 
 /// Commonly used items, for `use binarized_attack::prelude::*;`.
 pub mod prelude {
@@ -24,4 +25,5 @@ pub mod prelude {
     };
     pub use ba_graph::{generators, Graph, NodeId};
     pub use ba_oddball::{OddBall, Regressor};
+    pub use ba_stream::{StreamConfig, StreamEngine, StreamEvent};
 }

@@ -7,6 +7,14 @@
 //!    scheduling.
 //! 2. Resuming from a half-completed manifest yields the same artifact
 //!    bytes as a fresh run.
+//!
+//! Plus the streaming engine's mirror of the same contract (tier-1):
+//!
+//! 3. Stream ingest produces byte-identical formatted output at
+//!    `--shards 1`, `4`, and `8` (the CI determinism job additionally
+//!    diffs the `binattack stream` stdout bytes end to end).
+//! 4. Killing the stream at a batch boundary and resuming from the
+//!    snapshot continues with byte-identical output.
 
 use ba_bench::artifact::Manifest;
 use ba_bench::experiments::{Fig4Experiment, Fig4Method, Fig4Panel};
@@ -163,4 +171,90 @@ fn resume_from_half_completed_manifest_matches_fresh_run() {
         other_csv, ref_csv,
         "different seed reused stale cells from the old manifest"
     );
+}
+
+mod stream {
+    use ba_stream::{synthetic_stream, StreamConfig, StreamEngine, StreamEvent};
+    use binarized_attack::graph::generators;
+
+    /// The deterministic record the CLI prints per batch, rebuilt here
+    /// at the engine level so shard invariance is asserted on formatted
+    /// bytes, not just on structured summaries.
+    fn run_formatted(shards: usize, snapshot_cut: Option<(usize, &std::path::Path)>) -> String {
+        let g = generators::erdos_renyi(400, 0.02, 21);
+        let events = synthetic_stream(&g, 500, 33);
+        let cfg = StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        };
+        let mut engine = StreamEngine::new(&g, cfg);
+        format_batches(&mut engine, events.chunks(50), snapshot_cut)
+    }
+
+    fn format_batches<'a>(
+        engine: &mut StreamEngine,
+        batches: impl Iterator<Item = &'a [StreamEvent]>,
+        snapshot_cut: Option<(usize, &std::path::Path)>,
+    ) -> String {
+        let mut out = String::new();
+        for (i, batch) in batches.enumerate() {
+            let s = engine.ingest_batch(batch);
+            let fit = match &s.params {
+                Ok(p) => format!(
+                    "beta0={:016x} beta1={:016x}",
+                    p.beta0.to_bits(),
+                    p.beta1.to_bits()
+                ),
+                Err(e) => format!("degenerate({e})"),
+            };
+            out.push_str(&format!(
+                "batch {}: events={} applied={} moved={} edges={} compacted={} {fit}\n",
+                s.batch, s.events, s.applied, s.dirty_rows, s.edges, s.compacted
+            ));
+            for (node, score) in engine.top_k(5).into_iter().flatten() {
+                out.push_str(&format!("  {node} {:016x}\n", score.to_bits()));
+            }
+            if let Some((cut, path)) = snapshot_cut {
+                if i == cut {
+                    engine.save_snapshot(path).expect("save snapshot");
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn stream_output_byte_identical_across_shards() {
+        let reference = run_formatted(1, None);
+        assert!(reference.lines().count() > 50, "suspiciously short output");
+        for shards in [4usize, 8] {
+            assert_eq!(
+                run_formatted(shards, None),
+                reference,
+                "stream output differs between --shards 1 and --shards {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_resumes_byte_identically_after_snapshot() {
+        let dir = std::env::temp_dir().join("ba_determinism_stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cut.snapshot");
+        let cut = 4usize; // snapshot after the 5th of 10 batches
+        let reference = run_formatted(2, Some((cut, &path)));
+
+        // "Killed" process: a fresh engine restored from the snapshot
+        // replays only the remaining batches.
+        let g = generators::erdos_renyi(400, 0.02, 21);
+        let events = synthetic_stream(&g, 500, 33);
+        let mut resumed = StreamEngine::restore_snapshot(&path, 8).expect("restore snapshot");
+        assert_eq!(resumed.batches_ingested(), cut as u64 + 1);
+        let tail = format_batches(&mut resumed, events.chunks(50).skip(cut + 1), None);
+        assert!(
+            reference.ends_with(&tail),
+            "resumed output is not a byte-identical suffix of the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
