@@ -59,22 +59,6 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// Shared `--json PATH` handling for the perf-gate binaries
-/// (`grad_bench`, `eval_bench`, `stream_bench`): when the flag is
-/// present in `args`, writes the pre-formatted JSON record atomically
-/// and logs the path — the machine-readable half of the CI perf-trend
-/// artifacts.
-pub fn write_bench_json(args: &[String], json: &str) {
-    if let Some(path) = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-    {
-        write_atomic(Path::new(path), json).expect("write bench json");
-        eprintln!("[json] wrote {path}");
-    }
-}
-
 /// The per-experiment cell artifact directory.
 #[derive(Debug, Clone)]
 pub struct CellStore {

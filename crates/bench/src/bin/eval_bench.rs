@@ -108,15 +108,15 @@ fn main() {
         println!("full refit:         {:>10.3} ms", full_s * 1e3);
         println!("speedup:            {speedup:>10.2}x (gate: ≥{REQUIRED_SPEEDUP}x)");
     }
-    ba_bench::artifact::write_bench_json(
-        &args,
-        &format!(
-            "{{\"bench\":\"eval\",\"n\":{n},\"m\":{},\"budget\":{budget},\"targets\":{},\
-             \"incremental_s\":{inc_s:.6},\"full_s\":{full_s:.6},\"speedup\":{speedup:.3}}}\n",
-            g.num_edges(),
-            targets.len()
-        ),
-    );
+    ba_bench::report::BenchReport::new("eval")
+        .metric("n", n as f64, "count")
+        .metric("m", g.num_edges() as f64, "count")
+        .metric("budget", budget as f64, "count")
+        .metric("targets", targets.len() as f64, "count")
+        .metric("incremental_s", inc_s, "s")
+        .metric("full_s", full_s, "s")
+        .metric("speedup", speedup, "x")
+        .write_if_requested(&args);
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: incremental path is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

@@ -94,15 +94,15 @@ fn main() {
         println!("dense  assembly: {:>10.3} ms", dense_s * 1e3);
         println!("speedup:         {speedup:>10.2}x (gate: ≥{REQUIRED_SPEEDUP}x)");
     }
-    ba_bench::artifact::write_bench_json(
-        &args,
-        &format!(
-            "{{\"bench\":\"grad\",\"n\":{n},\"m\":{},\"pairs\":{},\"threads\":{threads},\
-             \"sparse_s\":{sparse_s:.6},\"dense_s\":{dense_s:.6},\"speedup\":{speedup:.3}}}\n",
-            g.num_edges(),
-            candidates.len()
-        ),
-    );
+    ba_bench::report::BenchReport::new("grad")
+        .metric("n", n as f64, "count")
+        .metric("m", g.num_edges() as f64, "count")
+        .metric("pairs", candidates.len() as f64, "count")
+        .metric("threads", threads as f64, "count")
+        .metric("sparse_s", sparse_s, "s")
+        .metric("dense_s", dense_s, "s")
+        .metric("speedup", speedup, "x")
+        .write_if_requested(&args);
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: sparse path is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

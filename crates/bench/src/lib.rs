@@ -10,6 +10,7 @@
 
 pub mod artifact;
 pub mod experiments;
+pub mod report;
 pub mod runner;
 
 use ba_core::{AttackOutcome, StructuralAttack};

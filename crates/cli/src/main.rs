@@ -8,6 +8,9 @@
 //! * `transfer` — run the GAL/ReFeX transfer-attack pipeline end to end
 //! * `gen-stream` — derive a synthetic edge-event stream from a graph
 //! * `stream` — feed an event stream through the online scoring engine
+//! * `serve` — run the epoch-snapshot anomaly-scoring TCP server
+//! * `gen-requests` — derive a deterministic served-traffic request log
+//! * `client` — replay a request log and print the response transcript
 //!
 //! Run `binattack help` for usage. Argument parsing is hand-rolled (the
 //! approved dependency set has no CLI parser; the grammar is small).
@@ -15,7 +18,9 @@
 //! `stream` output on stdout is **deterministic**: a pure function of
 //! the graph, the event file, and the batch size — never of `--shards`
 //! or of a snapshot/`--resume` cut. The CI determinism job diffs these
-//! bytes across shard counts.
+//! bytes across shard counts. `client` transcripts are likewise pure
+//! functions of (server graph, request log) — never of `--clients` —
+//! and the CI serve-replay step diffs them across client counts.
 
 use ba_core::{
     AttackConfig, AttackOutcome, BinarizedAttack, ContinuousA, EdgeOpKind, GradMaxSearch,
@@ -43,6 +48,11 @@ USAGE:
   binattack stream   --graph <file> --events <file> [--batch N] [--shards S]
                      [--top K] [--regressor <ols|huber|ransac>] [--seed N]
                      [--compact-frac F] [--snapshot <file>] [--resume]
+  binattack serve    --graph <file> --addr HOST:PORT [--retain N] [--shards S]
+                     [--regressor <ols|huber|ransac>] [--seed N]
+  binattack gen-requests --graph <file> --out <file> [--batches B]
+                     [--batch-size S] [--queries Q] [--topk K] [--seed N]
+  binattack client   --addr HOST:PORT --requests <file> [--clients N]
   binattack help
 ";
 
@@ -60,6 +70,9 @@ fn main() -> ExitCode {
         "transfer" => cmd_transfer(&flags),
         "gen-stream" => cmd_gen_stream(&flags),
         "stream" => cmd_stream(&flags),
+        "serve" => cmd_serve(&flags),
+        "gen-requests" => cmd_gen_requests(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -130,6 +143,15 @@ impl Flags {
         self.get(key)
             .and_then(|s| s.parse().ok())
             .unwrap_or(default)
+    }
+}
+
+fn parse_regressor(flags: &Flags) -> Result<Regressor, String> {
+    match flags.get("regressor").unwrap_or("ols") {
+        "ols" => Ok(Regressor::Ols),
+        "huber" => Ok(Regressor::default_huber()),
+        "ransac" => Ok(Regressor::default_ransac(flags.u64_or("seed", 7))),
+        other => Err(format!("unknown regressor {other:?}")),
     }
 }
 
@@ -281,12 +303,7 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
     let cfg = StreamConfig {
         shards: flags.usize_or("shards", 0),
         compact_fraction: flags.f64_or("compact-frac", 0.125),
-        regressor: match flags.get("regressor").unwrap_or("ols") {
-            "ols" => Regressor::Ols,
-            "huber" => Regressor::default_huber(),
-            "ransac" => Regressor::default_ransac(flags.u64_or("seed", 7)),
-            other => return Err(format!("unknown regressor {other:?}")),
-        },
+        regressor: parse_regressor(flags)?,
     };
     let snapshot = flags.get("snapshot");
 
@@ -364,6 +381,82 @@ fn cmd_stream(flags: &Flags) -> Result<(), String> {
         engine.num_edges(),
         engine.compactions(),
         engine.dirty_rows()
+    );
+    Ok(())
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use ba_serve::{ServeConfig, Server};
+    use ba_stream::{StreamConfig, StreamEngine};
+
+    let g = load_graph(flags)?;
+    let addr = flags.require("addr")?;
+    let cfg = StreamConfig {
+        shards: flags.usize_or("shards", 0),
+        regressor: parse_regressor(flags)?,
+        ..StreamConfig::default()
+    };
+    let serve_cfg = ServeConfig {
+        retain: flags.usize_or("retain", ServeConfig::default().retain),
+    };
+    let engine = StreamEngine::new(&g, cfg);
+    let server =
+        Server::start(addr, engine, serve_cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+    // Readiness line on stderr: scripts (and the CI replay step) can
+    // wait for it before connecting.
+    eprintln!(
+        "[serve] listening on {} ({} nodes, {} edges, retain {})",
+        server.local_addr(),
+        g.num_nodes(),
+        g.num_edges(),
+        serve_cfg.retain
+    );
+    server.run();
+    Ok(())
+}
+
+fn cmd_gen_requests(flags: &Flags) -> Result<(), String> {
+    use ba_serve::{save_requests, synthetic_requests, WorkloadConfig};
+
+    let g = load_graph(flags)?;
+    let out = flags.require("out")?;
+    let defaults = WorkloadConfig::default();
+    let cfg = WorkloadConfig {
+        batches: flags.usize_or("batches", defaults.batches),
+        batch_size: flags.usize_or("batch-size", defaults.batch_size),
+        queries_per_batch: flags.usize_or("queries", defaults.queries_per_batch),
+        top_k: flags.u64_or("topk", defaults.top_k as u64) as u32,
+        seed: flags.u64_or("seed", defaults.seed),
+    };
+    let requests = synthetic_requests(&g, &cfg);
+    save_requests(&requests, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} requests to {out} ({} ingest batches, seed {})",
+        requests.len(),
+        cfg.batches,
+        cfg.seed
+    );
+    Ok(())
+}
+
+fn cmd_client(flags: &Flags) -> Result<(), String> {
+    use ba_serve::{format_request, load_requests, render_response, replay};
+
+    let addr = flags.require("addr")?;
+    let path = flags.require("requests")?;
+    let clients = flags.usize_or("clients", 1).max(1);
+    let requests = load_requests(path).map_err(|e| format!("loading {path}: {e}"))?;
+    let t0 = std::time::Instant::now();
+    let responses = replay(addr, &requests, clients).map_err(|e| e.to_string())?;
+    // The transcript on stdout is the determinism artifact: a pure
+    // function of (server graph, request log), never of --clients.
+    for (req, resp) in requests.iter().zip(&responses) {
+        println!("{} => {}", format_request(req), render_response(resp));
+    }
+    eprintln!(
+        "[client] {} requests over {clients} connection(s) in {:.3}s",
+        requests.len(),
+        t0.elapsed().as_secs_f64()
     );
     Ok(())
 }

@@ -1,0 +1,158 @@
+//! Synthetic request workloads and request-log file IO.
+//!
+//! [`synthetic_requests`] derives a served-traffic workload from a
+//! graph and a seed: event batches (the same generator the stream
+//! engine's benches use) interleaved with point-score / top-k /
+//! epoch-info queries, each query **pinned to the epoch current at its
+//! position in the log** — after the `i`-th ingest the epoch is `i`,
+//! so pins can be assigned statically and the log replays
+//! byte-identically against any fresh server over the same graph.
+//!
+//! Logs are stored one request per line ([`save_requests`] /
+//! [`load_requests`]) in the text form of
+//! [`parse_request_line`].
+
+use crate::protocol::{format_request, parse_request_line, Request};
+use ba_graph::{Graph, NodeId};
+use ba_stream::synthetic_stream;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Workload shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Ingest batches in the log (epochs published by a full replay).
+    pub batches: usize,
+    /// Events per ingest batch.
+    pub batch_size: usize,
+    /// Queries between consecutive ingests.
+    pub queries_per_batch: usize,
+    /// `k` for the top-k queries.
+    pub top_k: u32,
+    /// RNG seed for events and query mix.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            batches: 8,
+            batch_size: 50,
+            queries_per_batch: 20,
+            top_k: 5,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates the deterministic workload described in the module docs.
+pub fn synthetic_requests(g: &Graph, cfg: &WorkloadConfig) -> Vec<Request> {
+    let n = g.num_nodes() as NodeId;
+    let events = synthetic_stream(g, cfg.batches * cfg.batch_size, cfg.seed);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut out = Vec::new();
+    let mut queries = |out: &mut Vec<Request>, epoch: u64| {
+        for _ in 0..cfg.queries_per_batch {
+            match rng.gen_range(0..10u32) {
+                0 => out.push(Request::EpochInfo),
+                1 | 2 => out.push(Request::TopK {
+                    epoch,
+                    k: cfg.top_k,
+                }),
+                _ => out.push(Request::PointScore {
+                    epoch,
+                    node: rng.gen_range(0..n),
+                }),
+            }
+        }
+    };
+    queries(&mut out, 0);
+    for (i, batch) in events.chunks(cfg.batch_size).enumerate() {
+        out.push(Request::IngestBatch {
+            events: batch.to_vec(),
+        });
+        queries(&mut out, i as u64 + 1);
+    }
+    out
+}
+
+/// Writes a request log, one request per line.
+pub fn save_requests<P: AsRef<Path>>(requests: &[Request], path: P) -> std::io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# ba-serve request log v1")?;
+    for req in requests {
+        writeln!(w, "{}", format_request(req))?;
+    }
+    w.flush()
+}
+
+/// Reads a request log written by [`save_requests`].
+pub fn load_requests<P: AsRef<Path>>(path: P) -> Result<Vec<Request>, String> {
+    let file = std::fs::File::open(&path).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        if let Some(req) =
+            parse_request_line(&line).map_err(|e| format!("line {}: {e}", idx + 1))?
+        {
+            out.push(req);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ba_graph::generators;
+
+    #[test]
+    fn workload_is_deterministic_and_epoch_pinned() {
+        let g = generators::erdos_renyi(80, 0.06, 3);
+        let cfg = WorkloadConfig::default();
+        let a = synthetic_requests(&g, &cfg);
+        let b = synthetic_requests(&g, &cfg);
+        assert_eq!(a, b);
+        // Epoch pins never exceed the number of ingests seen so far.
+        let mut ingests = 0u64;
+        for req in &a {
+            match req {
+                Request::IngestBatch { .. } => ingests += 1,
+                Request::PointScore { epoch, .. } | Request::TopK { epoch, .. } => {
+                    assert_eq!(*epoch, ingests)
+                }
+                Request::EpochInfo => {}
+            }
+        }
+        assert_eq!(ingests, cfg.batches as u64);
+    }
+
+    #[test]
+    fn request_log_file_roundtrip() {
+        let g = generators::erdos_renyi(50, 0.08, 5);
+        let requests = synthetic_requests(
+            &g,
+            &WorkloadConfig {
+                batches: 3,
+                batch_size: 10,
+                queries_per_batch: 5,
+                ..WorkloadConfig::default()
+            },
+        );
+        let path = std::env::temp_dir().join("ba_serve_requests_roundtrip.req");
+        save_requests(&requests, &path).unwrap();
+        assert_eq!(load_requests(&path).unwrap(), requests);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_log_line_reports_position() {
+        let path = std::env::temp_dir().join("ba_serve_requests_bad.req");
+        std::fs::write(&path, "# ok\nscore 1 @0\nnonsense here\n").unwrap();
+        let err = load_requests(&path).unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,191 @@
+//! Protocol edge cases through a real TCP server: severed connections,
+//! rejected frames, unknown tags, and epoch consistency under
+//! concurrent publishes.
+
+use ba_graph::generators;
+use ba_serve::{
+    encode_response, read_frame, write_frame, Connection, Request, Response, ServeConfig, Server,
+    LATEST,
+};
+use ba_stream::{synthetic_stream, StreamConfig, StreamEngine};
+use std::io::Write;
+use std::net::TcpStream;
+
+fn test_server(retain: usize) -> (ba_graph::Graph, Server) {
+    let g = generators::erdos_renyi(120, 0.05, 7);
+    let engine = StreamEngine::new(&g, StreamConfig::default());
+    let server = Server::start("127.0.0.1:0", engine, ServeConfig { retain }).expect("bind");
+    (g, server)
+}
+
+/// A client that dies mid-frame must not disturb the server: later
+/// connections get correct answers.
+#[test]
+fn severed_connection_mid_frame_is_isolated() {
+    let (_, server) = test_server(8);
+    let addr = server.local_addr().to_string();
+
+    // Sever inside the header.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(&[1, 2, 3]).unwrap();
+    drop(raw);
+
+    // Sever inside the payload: declare 100 bytes, send 4, die.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(&100u64.to_le_bytes()).unwrap();
+    raw.write_all(&[9, 9, 9, 9]).unwrap();
+    drop(raw);
+
+    // The server still answers a well-formed client.
+    let mut conn = Connection::connect(&addr).unwrap();
+    let resp = conn
+        .call(&Request::PointScore {
+            epoch: LATEST,
+            node: 0,
+        })
+        .unwrap();
+    assert!(matches!(
+        resp,
+        Response::Score {
+            epoch: 0,
+            node: 0,
+            ..
+        }
+    ));
+    server.shutdown();
+}
+
+/// An oversized frame header draws one error response, then the
+/// connection closes (no resync after a rejected header).
+#[test]
+fn oversized_frame_is_rejected_then_closed() {
+    let (_, server) = test_server(8);
+    let addr = server.local_addr().to_string();
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(&u64::MAX.to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("error response");
+    let resp = ba_serve::decode_response(&payload).unwrap();
+    match resp {
+        Response::Error { code, message } => {
+            assert_eq!(code, ba_serve::protocol::ERR_MALFORMED);
+            assert!(message.contains("oversized"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Connection is closed afterwards: clean EOF.
+    assert!(read_frame(&mut raw).unwrap().is_none());
+    server.shutdown();
+}
+
+/// A zero-length frame is rejected the same way.
+#[test]
+fn zero_length_frame_is_rejected_then_closed() {
+    let (_, server) = test_server(8);
+    let addr = server.local_addr().to_string();
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.write_all(&0u64.to_le_bytes()).unwrap();
+    raw.flush().unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("error response");
+    match ba_serve::decode_response(&payload).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ba_serve::protocol::ERR_MALFORMED);
+            assert!(message.contains("zero-length"), "{message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    assert!(read_frame(&mut raw).unwrap().is_none());
+    server.shutdown();
+}
+
+/// An unknown request tag draws a deterministic error response and the
+/// connection stays usable (the frame was fully consumed).
+#[test]
+fn unknown_tag_gets_error_response_and_connection_survives() {
+    let (_, server) = test_server(8);
+    let addr = server.local_addr().to_string();
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    write_frame(&mut raw, &[250u8, 1, 2, 3]).unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("error response");
+    match ba_serve::decode_response(&payload).unwrap() {
+        Response::Error { code, message } => {
+            assert_eq!(code, ba_serve::protocol::ERR_UNKNOWN_TAG);
+            assert_eq!(message, "unknown request tag 250");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    // Same socket, a real request now works.
+    write_frame(&mut raw, &ba_serve::encode_request(&Request::EpochInfo)).unwrap();
+    let payload = read_frame(&mut raw).unwrap().expect("epoch-info response");
+    assert!(matches!(
+        ba_serve::decode_response(&payload).unwrap(),
+        Response::EpochInfo { epoch: 0, .. }
+    ));
+    server.shutdown();
+}
+
+/// Readers hammering `latest` while ingest publishes epochs only ever
+/// see whole epochs: re-querying any observed epoch *pinned* later
+/// returns byte-identical entries — a torn read (mixing epoch N's model
+/// with epoch N+1's features) could not satisfy that.
+#[test]
+fn concurrent_readers_see_consistent_epochs_during_publish() {
+    let (g, server) = test_server(64);
+    let addr = server.local_addr().to_string();
+    let events = synthetic_stream(&g, 400, 13);
+
+    let observed: Vec<(u64, Vec<u8>)> = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut conn = Connection::connect(&addr).unwrap();
+                    let mut seen = Vec::new();
+                    for _ in 0..60 {
+                        let resp = conn
+                            .call(&Request::TopK {
+                                epoch: LATEST,
+                                k: 8,
+                            })
+                            .unwrap();
+                        let Response::TopK { epoch, .. } = &resp else {
+                            panic!("expected topk, got {resp:?}");
+                        };
+                        seen.push((*epoch, encode_response(&resp)));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Ingest concurrently on a separate connection.
+        let mut ingest = Connection::connect(&addr).unwrap();
+        for batch in events.chunks(40) {
+            let resp = ingest
+                .call(&Request::IngestBatch {
+                    events: batch.to_vec(),
+                })
+                .unwrap();
+            assert!(matches!(resp, Response::Ingested { .. }));
+        }
+        readers
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread"))
+            .collect()
+    });
+
+    // Every observed (epoch, bytes) must match a pinned re-query.
+    let mut conn = Connection::connect(&addr).unwrap();
+    let mut distinct: Vec<(u64, Vec<u8>)> = observed;
+    distinct.sort();
+    distinct.dedup();
+    assert!(!distinct.is_empty());
+    for (epoch, bytes) in distinct {
+        let pinned = conn.call(&Request::TopK { epoch, k: 8 }).unwrap();
+        assert_eq!(
+            encode_response(&pinned),
+            bytes,
+            "epoch {epoch} served inconsistent top-k under concurrent publish"
+        );
+    }
+    server.shutdown();
+}

@@ -20,7 +20,7 @@
 //! `--json PATH` records the result for the perf-trend pipeline
 //! (`BENCH_stream.json`).
 
-use ba_bench::artifact::write_bench_json;
+use ba_bench::report::BenchReport;
 use ba_graph::egonet::egonet_features;
 use ba_graph::generators;
 use ba_oddball::OddBall;
@@ -146,16 +146,17 @@ fn main() {
         );
         println!("speedup:           {speedup:>10.2}x (gate: ≥{REQUIRED_SPEEDUP}x)");
     }
-    write_bench_json(
-        &args,
-        &format!(
-            "{{\"bench\":\"stream\",\"n\":{n},\"m\":{},\"batches\":{},\"batch_size\":{batch_size},\
-             \"events\":{total_events},\"engine_s\":{engine_s:.6},\"full_s\":{full_s:.6},\
-             \"engine_events_per_sec\":{engine_eps:.1},\"speedup\":{speedup:.3}}}\n",
-            g.num_edges(),
-            batches.len()
-        ),
-    );
+    BenchReport::new("stream")
+        .metric("n", n as f64, "count")
+        .metric("m", g.num_edges() as f64, "count")
+        .metric("batches", batches.len() as f64, "count")
+        .metric("batch_size", batch_size as f64, "count")
+        .metric("events", total_events as f64, "count")
+        .metric("engine_s", engine_s, "s")
+        .metric("full_s", full_s, "s")
+        .metric("engine_events_per_sec", engine_eps, "events/s")
+        .metric("speedup", speedup, "x")
+        .write_if_requested(&args);
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: engine ingest is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

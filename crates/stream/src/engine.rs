@@ -89,6 +89,55 @@ pub struct BatchSummary {
     pub params: Result<FitParams, String>,
 }
 
+/// A frozen, immutable view of the engine at one batch boundary: the
+/// *epoch handle* the serving layer (`ba-serve`) publishes behind an
+/// atomically swapped `Arc` so readers never block ingest.
+///
+/// The graph is fully compacted ([`DeltaOverlay::compact`]) — no
+/// overlay indirection survives into the snapshot, so concurrent
+/// readers pay frozen-CSR read costs and hold no reference into the
+/// live engine. Every field is a pure function of (initial graph,
+/// ingested event prefix), never of shard count or timing, which is
+/// what makes epoch-pinned responses replayable byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Epoch number: the count of batches ingested when frozen (the
+    /// initial fit, before any ingest, is epoch 0).
+    pub epoch: u64,
+    /// The compacted edge set at this epoch.
+    pub graph: CsrGraph,
+    /// Per-node `(N, E)` egonet features at this epoch.
+    pub feats: EgonetFeatures,
+    /// The fitted model, or the degeneracy reason.
+    pub params: Result<FitParams, String>,
+}
+
+impl EpochSnapshot {
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Number of edges at this epoch.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Anomaly score of one node under this epoch's model.
+    pub fn score(&self, node: NodeId) -> Result<f64, &str> {
+        let params = self.params.as_ref().map_err(|e| e.as_str())?;
+        Ok(params.score(self.feats.n[node as usize], self.feats.e[node as usize]))
+    }
+
+    /// The `k` highest-scoring nodes as `(node, score)`, descending;
+    /// ties break toward smaller ids — the same deterministic order as
+    /// [`StreamEngine::top_k`].
+    pub fn top_k(&self, k: usize) -> Result<Vec<(NodeId, f64)>, &str> {
+        let params = self.params.as_ref().map_err(|e| e.as_str())?;
+        Ok(top_k_from(params, &self.feats, k))
+    }
+}
+
 /// The streaming engine. See the module docs for the batch pipeline.
 #[derive(Debug, Clone)]
 pub struct StreamEngine {
@@ -220,20 +269,25 @@ impl StreamEngine {
     /// `OddBallModel::top_k`).
     pub fn top_k(&self, k: usize) -> Result<Vec<(NodeId, f64)>, &str> {
         let params = self.params()?;
-        let scores: Vec<f64> = (0..self.feats.len())
-            .map(|i| params.score(self.feats.n[i], self.feats.e[i]))
-            .collect();
-        let mut idx: Vec<NodeId> = (0..scores.len() as NodeId).collect();
-        idx.sort_by(|&a, &b| {
-            scores[b as usize]
-                .total_cmp(&scores[a as usize])
-                .then(a.cmp(&b))
-        });
-        Ok(idx
-            .into_iter()
-            .take(k)
-            .map(|i| (i, scores[i as usize]))
-            .collect())
+        Ok(top_k_from(&params, &self.feats, k))
+    }
+
+    /// Freezes the current state into an [`EpochSnapshot`]: the overlay
+    /// is compacted into a standalone `CsrGraph` and the features and
+    /// model are cloned, so the snapshot shares nothing with the live
+    /// engine and stays valid across any number of future batches.
+    pub fn epoch_snapshot(&self) -> EpochSnapshot {
+        let graph = if self.edits.is_clean() {
+            self.base.clone()
+        } else {
+            DeltaOverlay::attach(&self.base, self.edits.clone()).compact()
+        };
+        EpochSnapshot {
+            epoch: self.batches,
+            graph,
+            feats: self.feats.clone(),
+            params: self.params.clone(),
+        }
     }
 
     /// Ingests one batch of events and refits the model at the batch
@@ -331,6 +385,25 @@ impl StreamEngine {
             params: self.params.clone(),
         }
     }
+}
+
+/// The `k` highest scores under `params` over `feats`, descending, ties
+/// toward smaller ids — the one ranking order every serving surface
+/// (engine, epoch snapshot, detector) agrees on.
+fn top_k_from(params: &FitParams, feats: &EgonetFeatures, k: usize) -> Vec<(NodeId, f64)> {
+    let scores: Vec<f64> = (0..feats.len())
+        .map(|i| params.score(feats.n[i], feats.e[i]))
+        .collect();
+    let mut idx: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx.into_iter()
+        .take(k)
+        .map(|i| (i, scores[i as usize]))
+        .collect()
 }
 
 /// `(node, N, E)` for every node in the sorted `dirty` list, recomputed
@@ -484,6 +557,51 @@ mod tests {
         assert!(eager.compactions() > 0);
         assert_eq!(lazy.compactions(), 0);
         assert_eq!(eager.to_graph(), lazy.to_graph());
+    }
+
+    /// An epoch snapshot is a frozen copy: it matches the engine at the
+    /// moment of freezing bit-for-bit and is immune to later batches.
+    #[test]
+    fn epoch_snapshot_is_frozen_and_bit_identical() {
+        let (g, mut engine) = engine_over_er(1, 0.1);
+        let events = synthetic_stream(&g, 200, 21);
+        let mut batches = events.chunks(40);
+        engine.ingest_batch(batches.next().unwrap());
+        let snap = engine.epoch_snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.num_nodes(), engine.num_nodes());
+        assert_eq!(snap.num_edges(), engine.num_edges());
+        // Compaction in the snapshot equals a from-scratch rebuild.
+        assert_eq!(snap.graph, CsrGraph::from_view(&engine.to_graph()));
+        let frozen_top: Vec<(NodeId, u64)> = snap
+            .top_k(10)
+            .unwrap()
+            .iter()
+            .map(|&(i, s)| (i, s.to_bits()))
+            .collect();
+        let live_top: Vec<(NodeId, u64)> = engine
+            .top_k(10)
+            .unwrap()
+            .iter()
+            .map(|&(i, s)| (i, s.to_bits()))
+            .collect();
+        assert_eq!(frozen_top, live_top);
+        assert_eq!(
+            snap.score(3).unwrap().to_bits(),
+            engine.score(3).unwrap().to_bits()
+        );
+        // Later ingest moves the engine but not the snapshot.
+        for batch in batches {
+            engine.ingest_batch(batch);
+        }
+        let after: Vec<(NodeId, u64)> = snap
+            .top_k(10)
+            .unwrap()
+            .iter()
+            .map(|&(i, s)| (i, s.to_bits()))
+            .collect();
+        assert_eq!(after, frozen_top);
+        assert_eq!(engine.epoch_snapshot().epoch, engine.batches_ingested());
     }
 
     /// Degenerate graphs surface as an error value, not a panic.

@@ -48,6 +48,6 @@ pub mod engine;
 pub mod event;
 pub mod snapshot;
 
-pub use engine::{BatchSummary, StreamConfig, StreamEngine};
+pub use engine::{BatchSummary, EpochSnapshot, StreamConfig, StreamEngine};
 pub use event::{load_events, save_events, synthetic_stream, EventIoError, StreamEvent};
 pub use snapshot::SnapshotError;

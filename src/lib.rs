@@ -14,6 +14,7 @@ pub use ba_gad as gad;
 pub use ba_graph as graph;
 pub use ba_linalg as linalg;
 pub use ba_oddball as oddball;
+pub use ba_serve as serve;
 pub use ba_stats as stats;
 pub use ba_stream as stream;
 
@@ -25,5 +26,6 @@ pub mod prelude {
     };
     pub use ba_graph::{generators, Graph, NodeId};
     pub use ba_oddball::{OddBall, Regressor};
+    pub use ba_serve::{Connection, Request, Response, ServeConfig, Server};
     pub use ba_stream::{StreamConfig, StreamEngine, StreamEvent};
 }
