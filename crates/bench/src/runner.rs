@@ -287,9 +287,16 @@ impl<'p> CellCtx<'p, '_> {
                 session.retarget(targets)?;
                 Ok(session)
             }
-            std::collections::hash_map::Entry::Vacant(v) => {
-                Ok(v.insert(AttackSession::new(csr, targets)?.with_threads(self.inner_threads)))
-            }
+            std::collections::hash_map::Entry::Vacant(v) => Ok(v.insert(
+                // One transposition table per worker session: it is
+                // keyed by (edge set ⊕ target set), so it survives the
+                // retargets between cells and stays useful across the
+                // whole sweep. Memoization is result-transparent —
+                // cell fingerprints are unchanged.
+                AttackSession::new(csr, targets)?
+                    .with_threads(self.inner_threads)
+                    .with_memo(),
+            )),
         }
     }
 }

@@ -42,7 +42,7 @@ USAGE:
   binattack attack   --graph <file> --out <file> --budget B
                      [--targets a,b,c | --auto-targets K]
                      [--method <binarized|gradmax|continuous|random>]
-                     [--ops <both|add|delete>] [--seed N]
+                     [--ops <both|add|delete>] [--seed N] [--no-memo]
   binattack transfer --graph <file> --budget B --system <gal|refex> [--seed N]
   binattack gen-stream --graph <file> --out <file> --events N [--seed N]
   binattack stream   --graph <file> --events <file> [--batch N] [--shards S]
@@ -237,12 +237,21 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
         seed,
         ..AttackConfig::default()
     };
+    // One frozen CSR substrate serves the attack session and the
+    // before/after scoring below. Search memoization is on by default
+    // (it is result-transparent); `--no-memo` disables it to trade
+    // wall-clock for memory.
+    let csr = CsrGraph::from(&g);
+    let mut session = ba_core::AttackSession::new(&csr, &targets).map_err(|e| e.to_string())?;
+    if !flags.has("no-memo") {
+        session = session.with_memo();
+    }
     let method = flags.get("method").unwrap_or("binarized");
     let outcome: AttackOutcome = match method {
-        "binarized" => BinarizedAttack::new(cfg).attack(&g, &targets, budget),
-        "gradmax" => GradMaxSearch::new(cfg).attack(&g, &targets, budget),
-        "continuous" => ContinuousA::new(cfg).attack(&g, &targets, budget),
-        "random" => RandomAttack::new(cfg).attack(&g, &targets, budget),
+        "binarized" => BinarizedAttack::new(cfg).attack_with_session(&mut session, budget),
+        "gradmax" => GradMaxSearch::new(cfg).attack_with_session(&mut session, budget),
+        "continuous" => ContinuousA::new(cfg).attack_with_session(&mut session, budget),
+        "random" => RandomAttack::new(cfg).attack_with_session(&mut session, budget),
         other => return Err(format!("unknown method {other:?}")),
     }
     .map_err(|e| e.to_string())?;
@@ -251,7 +260,6 @@ fn cmd_attack(flags: &Flags) -> Result<(), String> {
     // Score the before/after pair through one frozen CSR substrate: the
     // poisoned graph is just a delta overlay, so the detector refits
     // without a second adjacency build.
-    let csr = CsrGraph::from(&g);
     let mut poisoned_view = DeltaOverlay::new(&csr);
     poisoned_view.apply_ops(outcome.ops(b));
     // Persist the attack result before scoring: a degenerate refit must

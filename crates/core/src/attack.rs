@@ -35,6 +35,24 @@ impl Default for AttackConfig {
     }
 }
 
+impl AttackConfig {
+    /// The configuration folded into whole-run memo keys (see
+    /// [`crate::session::AttackSession`]): every field that can change
+    /// a search result, as plain integers.
+    pub(crate) fn memo_bits(&self) -> [u64; 4] {
+        let scope = match self.scope {
+            CandidateScope::Full => 0,
+            CandidateScope::TargetNeighborhood => 1,
+        };
+        let op = match self.op_kind {
+            EdgeOpKind::Both => 0,
+            EdgeOpKind::AddOnly => 1,
+            EdgeOpKind::DeleteOnly => 2,
+        };
+        [scope, op, u64::from(self.forbid_singletons), self.seed]
+    }
+}
+
 /// Errors an attack can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttackError {
@@ -47,6 +65,14 @@ pub enum AttackError {
     Loss(LossError),
     /// The candidate set is empty under the configured scope/mask.
     NoCandidates,
+    /// A search loop tried to toggle a degenerate candidate pair
+    /// (self-loop) — candidate enumeration should never produce one,
+    /// so this flags a corrupted candidate set instead of panicking
+    /// the worker.
+    InvalidCandidatePair(NodeId, NodeId),
+    /// The λ grid of the binarized attack is empty, so there is no
+    /// best sweep to extract.
+    EmptyLambdaGrid,
 }
 
 impl std::fmt::Display for AttackError {
@@ -56,6 +82,10 @@ impl std::fmt::Display for AttackError {
             AttackError::TargetOutOfRange(t) => write!(f, "target {t} out of range"),
             AttackError::Loss(e) => write!(f, "objective error: {e}"),
             AttackError::NoCandidates => write!(f, "no candidate pairs to modify"),
+            AttackError::InvalidCandidatePair(u, v) => {
+                write!(f, "candidate pair ({u}, {v}) is not togglable")
+            }
+            AttackError::EmptyLambdaGrid => write!(f, "empty λ grid: nothing to sweep"),
         }
     }
 }

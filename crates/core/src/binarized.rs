@@ -147,7 +147,7 @@ impl BinarizedAttack {
             for (idx, i, j, want) in changed {
                 session
                     .toggle(i, j)
-                    .expect("candidate pairs are not self-loops");
+                    .ok_or(AttackError::InvalidCandidatePair(i, j))?;
                 flipped[idx] = want;
             }
         }
@@ -179,12 +179,7 @@ pub(crate) fn extract_budget(
     let mut order: Vec<usize> = (0..scores.len())
         .filter(|&i| mask[i] && scores[i] > 0.0)
         .collect();
-    order.sort_by(|&a, &bidx| {
-        scores[bidx]
-            .partial_cmp(&scores[a])
-            .expect("NaN score")
-            .then(a.cmp(&bidx))
-    });
+    order.sort_by(|&a, &bidx| scores[bidx].total_cmp(&scores[a]).then(a.cmp(&bidx)));
     session.reset();
     let mut ops = Vec::with_capacity(b);
     for idx in order {
@@ -196,7 +191,9 @@ pub(crate) fn extract_budget(
         if g.has_edge(i, j) && forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
             continue;
         }
-        let op = session.toggle(i, j).expect("not a self-loop");
+        let op = session
+            .toggle(i, j)
+            .ok_or(AttackError::InvalidCandidatePair(i, j))?;
         ops.push(op);
     }
     let loss = session.loss()?;
@@ -213,6 +210,26 @@ impl StructuralAttack for BinarizedAttack {
         session: &mut AttackSession<'_>,
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
+        if self.lambdas.is_empty() {
+            return Err(AttackError::EmptyLambdaGrid);
+        }
+        // Whole-run memo, keyed on the clean state plus every hyper-
+        // parameter that steers the search (budget, T, η, the λ grid in
+        // order, and the candidate/op configuration).
+        session.reset();
+        let bits = self.config.memo_bits();
+        let mut key_parts = vec![
+            2,
+            budget as u64,
+            self.iterations as u64,
+            self.learning_rate.to_bits(),
+        ];
+        key_parts.extend(self.lambdas.iter().map(|l| l.to_bits()));
+        key_parts.extend(bits);
+        let run_key = session.run_key(&key_parts);
+        if let Some(outcome) = session.memo_run_probe(run_key) {
+            return Ok(outcome);
+        }
         let base = session.base();
         let targets = session.targets().to_vec();
         let candidates = Candidates::build(self.config.scope, base, &targets);
@@ -262,7 +279,7 @@ impl StructuralAttack for BinarizedAttack {
                     best = Some((ops, loss));
                 }
             }
-            let (mut ops, mut loss) = best.expect("at least one lambda");
+            let (mut ops, mut loss) = best.ok_or(AttackError::EmptyLambdaGrid)?;
             if let Some(prev_loss) = loss_per_budget.last().copied() {
                 if prev_loss < loss {
                     ops = ops_per_budget.last().expect("previous ops").clone();
@@ -272,12 +289,14 @@ impl StructuralAttack for BinarizedAttack {
             ops_per_budget.push(ops);
             loss_per_budget.push(loss);
         }
-        Ok(AttackOutcome {
+        let outcome = AttackOutcome {
             name: self.name().to_string(),
             ops_per_budget,
             surrogate_loss_per_budget: loss_per_budget,
             loss_trajectory: trajectory,
-        })
+        };
+        session.memo_run_store(run_key, &outcome);
+        Ok(outcome)
     }
 }
 

@@ -8,12 +8,22 @@
 //! be deleted when its gradient is positive. A pool of already-modified
 //! pairs is never revisited, and deletions that would create singleton
 //! nodes are skipped (both rules are explicit in the paper).
+//!
+//! Two scan-order refinements keep results bit-identical while cutting
+//! wall-clock: the never-revisit pool is a candidate-indexed
+//! [`IndexBitSet`] (one shift-and-mask instead of a hash probe per
+//! candidate per step), and the argmax scan is *PV-seeded* — last
+//! step's best movers are probed first, so by the time the full scan
+//! runs, almost every candidate fails the `|G| > |best|` test on the
+//! first compare. The selection comparator is total (magnitude, then
+//! index), so the winner is the same whatever order candidates are
+//! visited in; the principal-variation ordering is a pure wall-clock
+//! optimisation, as the cached≡uncached golden suite verifies.
 
 use crate::attack::{AttackConfig, AttackError, AttackOutcome, StructuralAttack};
-use crate::pair::{CandidateScope, Candidates};
+use crate::pair::{CandidateScope, Candidates, IndexBitSet};
 use crate::session::AttackSession;
 use ba_graph::{GraphView, NodeId};
-use std::collections::HashSet;
 
 /// The greedy per-edge gradient attack.
 #[derive(Debug, Clone, Copy)]
@@ -39,11 +49,9 @@ impl Default for GradMaxSearch {
     }
 }
 
-#[inline]
-fn pool_key(i: NodeId, j: NodeId) -> u64 {
-    let (i, j) = if i < j { (i, j) } else { (j, i) };
-    ((i as u64) << 32) | j as u64
-}
+/// Number of previous-step best movers probed before the full argmax
+/// scan (the principal variation). Affects wall-clock only.
+const PV_WIDTH: usize = 8;
 
 impl StructuralAttack for GradMaxSearch {
     fn name(&self) -> &'static str {
@@ -56,15 +64,26 @@ impl StructuralAttack for GradMaxSearch {
         budget: usize,
     ) -> Result<AttackOutcome, AttackError> {
         session.reset();
+        // Whole-run memo: a session reused across experiment cells (the
+        // orchestrator's shape) re-runs identical (state, attack, config)
+        // searches; replay the stored outcome instead of re-searching.
+        let bits = self.config.memo_bits();
+        let run_key = session.run_key(&[1, budget as u64, bits[0], bits[1], bits[2], bits[3]]);
+        if let Some(outcome) = session.memo_run_probe(run_key) {
+            return Ok(outcome);
+        }
         let targets = session.targets().to_vec();
         let candidates = Candidates::build(self.config.scope, session.base(), &targets);
         if candidates.is_empty() {
             return Err(AttackError::NoCandidates);
         }
-        let mut pool: HashSet<u64> = HashSet::new();
+        let mut pool = IndexBitSet::new(candidates.len());
         let mut eligible = vec![false; candidates.len()];
         let mut is_edge_cache = vec![false; candidates.len()];
         let mut grads = vec![0.0f64; candidates.len()];
+        // Principal variation: last step's top movers, best-first.
+        let mut pv: Vec<u32> = Vec::with_capacity(PV_WIDTH);
+        let mut top: Vec<(f64, u32)> = Vec::with_capacity(PV_WIDTH + 1);
         let mut ops = Vec::new();
         let mut ops_per_budget = Vec::with_capacity(budget);
         let mut loss_per_budget = Vec::with_capacity(budget);
@@ -83,15 +102,26 @@ impl StructuralAttack for GradMaxSearch {
             candidates.for_each(|idx, i, j| {
                 let is_edge = g.has_edge(i, j);
                 is_edge_cache[idx] = is_edge;
-                eligible[idx] = !pool.contains(&pool_key(i, j))
+                eligible[idx] = !pool.contains(idx)
                     && kind.allows(is_edge)
                     && !(is_edge && forbid_singletons && !g.deletion_keeps_no_singletons(i, j));
             });
             session.pair_gradients_into(&ng, &candidates, &eligible, &mut grads);
 
-            // Scan candidates for the best sign-consistent move.
-            let mut best: Option<(NodeId, NodeId, f64)> = None;
-            candidates.for_each(|idx, i, j| {
+            // Argmax over sign-consistent moves, with a *total*
+            // comparator — larger |G| wins, smaller index breaks ties —
+            // so the winner does not depend on visit order and the PV
+            // pre-pass below can only speed the scan up, never steer it.
+            let mut best: Option<(usize, NodeId, NodeId)> = None;
+            let mut best_abs = 0.0f64;
+            top.clear();
+            let consider = |idx: usize,
+                            i: NodeId,
+                            j: NodeId,
+                            collect_top: bool,
+                            best: &mut Option<(usize, NodeId, NodeId)>,
+                            best_abs: &mut f64,
+                            top: &mut Vec<(f64, u32)>| {
                 if !eligible[idx] {
                     return;
                 }
@@ -106,25 +136,61 @@ impl StructuralAttack for GradMaxSearch {
                 if !valid {
                     return;
                 }
-                if best.is_none_or(|(_, _, bg)| grad.abs() > bg.abs()) {
-                    best = Some((i, j, grad));
+                let a = grad.abs();
+                let replace = match *best {
+                    None => true,
+                    Some((bidx, _, _)) => a > *best_abs || (a == *best_abs && idx < bidx),
+                };
+                if replace {
+                    *best = Some((idx, i, j));
+                    *best_abs = a;
                 }
+                // Collect next step's PV during the full scan only (the
+                // PV pre-pass would double-insert its own entries).
+                if collect_top && (top.len() < PV_WIDTH || a > top.last().expect("non-empty").0) {
+                    let pos = top.partition_point(|&(ta, _)| ta > a);
+                    top.insert(pos, (a, idx as u32));
+                    top.truncate(PV_WIDTH);
+                }
+            };
+            // PV pre-pass: seed `best` with last step's movers so the
+            // full scan fails the `a > best_abs` compare early.
+            for &idx in &pv {
+                let (i, j) = candidates.pair(idx as usize);
+                consider(
+                    idx as usize,
+                    i,
+                    j,
+                    false,
+                    &mut best,
+                    &mut best_abs,
+                    &mut top,
+                );
+            }
+            candidates.for_each(|idx, i, j| {
+                consider(idx, i, j, true, &mut best, &mut best_abs, &mut top)
             });
+            pv.clear();
+            pv.extend(top.iter().map(|&(_, idx)| idx));
 
-            let Some((i, j, _)) = best else {
+            let Some((idx, i, j)) = best else {
                 break; // saturated: no feasible move improves the objective
             };
-            let op = session.toggle(i, j).expect("valid pair");
+            let op = session
+                .toggle(i, j)
+                .ok_or(AttackError::InvalidCandidatePair(i, j))?;
             let loss = session.loss()?;
             // The gradient is a linearisation; a discrete ±1 flip can
             // overshoot once the objective is nearly minimised. Revert
             // and stop — the attack has saturated (paper: "we stop
             // attacking until the changes of AScore saturated").
             if loss > ng.loss + 1e-12 {
-                session.toggle(i, j).expect("revert");
+                session
+                    .toggle(i, j)
+                    .ok_or(AttackError::InvalidCandidatePair(i, j))?;
                 break;
             }
-            pool.insert(pool_key(i, j));
+            pool.insert(idx);
             ops.push(op);
             ops_per_budget.push(ops.clone());
             loss_per_budget.push(loss);
@@ -132,12 +198,14 @@ impl StructuralAttack for GradMaxSearch {
         if let Some(&last) = loss_per_budget.last() {
             trajectory.push(last);
         }
-        Ok(AttackOutcome {
+        let outcome = AttackOutcome {
             name: self.name().to_string(),
             ops_per_budget,
             surrogate_loss_per_budget: loss_per_budget,
             loss_trajectory: trajectory,
-        })
+        };
+        session.memo_run_store(run_key, &outcome);
+        Ok(outcome)
     }
 }
 
@@ -150,6 +218,7 @@ mod tests {
     use crate::pair::EdgeOpKind;
     use ba_graph::{generators, Graph};
     use ba_oddball::OddBall;
+    use std::collections::HashSet;
 
     fn anomalous_graph(seed: u64) -> (Graph, Vec<NodeId>) {
         let mut g = generators::erdos_renyi(150, 0.04, seed);

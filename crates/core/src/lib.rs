@@ -57,6 +57,7 @@ pub mod gradmax;
 pub mod loss;
 pub mod pair;
 pub mod session;
+pub mod tt;
 
 pub use attack::{AttackConfig, AttackError, AttackOutcome, CurveError, StructuralAttack};
 pub use baselines::{CliqueBreaker, RandomAttack};
@@ -65,9 +66,10 @@ pub use continuous::ContinuousA;
 pub use dense::{dense_features, dense_pair_gradient};
 pub use grad::{
     assemble_pair_grads, assemble_pair_grads_into, assemble_pair_grads_with_scratch,
-    correction_map, node_grads, pair_grad, resolve_threads, NodeGrads,
+    correction_map, node_grads, pair_grad, pair_grads_for_indices, resolve_threads, NodeGrads,
 };
 pub use gradmax::GradMaxSearch;
 pub use loss::{fit_beta, surrogate_loss_from_features, LossError};
-pub use pair::{CandidateScope, Candidates, EdgeOpKind, PairSpace};
-pub use session::AttackSession;
+pub use pair::{CandidateScope, Candidates, EdgeOpKind, IndexBitSet, PairSpace};
+pub use session::{target_set_hash, AttackSession, MemoStats, SearchMemo};
+pub use tt::{TransTable, TtStats};

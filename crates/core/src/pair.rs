@@ -217,6 +217,69 @@ impl Candidates {
     }
 }
 
+/// A fixed-length bitvec over candidate indices.
+///
+/// The greedy search's never-revisit pool used to be a
+/// `HashSet<u64>` of packed pairs — a hash probe per candidate per
+/// step. [`Candidates`] already assigns every pair a dense flat index,
+/// so membership is one shift-and-mask into a word array: no hashing,
+/// no allocation after construction, and the whole pool for a
+/// 10⁵-pair candidate set is ~12 KiB of contiguous bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexBitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IndexBitSet {
+    /// An all-clear set over `len` indices.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of indices the set covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the set covers no indices.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `idx` is set.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        self.words[idx >> 6] & (1u64 << (idx & 63)) != 0
+    }
+
+    /// Sets `idx`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let word = &mut self.words[idx >> 6];
+        let bit = 1u64 << (idx & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Clears every bit (the pool is per-attack-run; sessions reuse
+    /// the allocation).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
 /// Static validity mask for a candidate set: pairs excluded by the op
 /// kind, or whose deletion would create a singleton in the *clean* graph.
 /// (Dynamic singleton checks against the evolving poisoned graph are
@@ -305,6 +368,24 @@ mod tests {
             let (i, j) = c.pair(idx);
             assert_eq!(c.index_of(i, j), Some(idx));
         }
+    }
+
+    #[test]
+    fn index_bitset_insert_contains_clear() {
+        let mut s = IndexBitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.is_empty());
+        assert!(!s.contains(0) && !s.contains(129));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "second insert reports not-fresh");
+        assert!(s.insert(0) && s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(63));
+        assert_eq!(s.count(), 3);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert!(!s.contains(129));
+        assert!(IndexBitSet::new(0).is_empty());
     }
 
     #[test]

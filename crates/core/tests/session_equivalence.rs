@@ -44,7 +44,7 @@ proptest! {
                 }
             }
             reused.retarget(&targets).unwrap();
-            let fresh = AttackSession::new(&csr, &targets).unwrap();
+            let mut fresh = AttackSession::new(&csr, &targets).unwrap();
 
             prop_assert_eq!(reused.targets(), fresh.targets());
             prop_assert_eq!(reused.graph().dirty_rows(), 0);

@@ -12,6 +12,7 @@
 //! graph is O(dirty rows), not O(n + m).
 
 use crate::view::{EditableGraph, GraphView};
+use crate::zobrist::{edge_key, edge_set_hash};
 use crate::{EdgeOp, Graph, NodeId};
 
 /// Compressed-sparse-row adjacency: `cols[offsets[u]..offsets[u+1]]` is
@@ -22,6 +23,10 @@ pub struct CsrGraph {
     offsets: Vec<usize>,
     cols: Vec<NodeId>,
     num_edges: usize,
+    /// Zobrist hash of the edge set (see [`crate::zobrist`]), computed
+    /// once at freeze time so overlays can report their state hash in
+    /// O(1) per toggle.
+    edge_hash: u64,
 }
 
 impl CsrGraph {
@@ -39,7 +44,15 @@ impl CsrGraph {
             offsets,
             cols,
             num_edges: g.num_edges(),
+            edge_hash: edge_set_hash(g),
         }
+    }
+
+    /// Zobrist hash of this graph's edge set — the frozen half of
+    /// [`DeltaOverlay::edge_set_hash`].
+    #[inline]
+    pub fn edge_hash(&self) -> u64 {
+        self.edge_hash
     }
 
     /// Row pointer array, length `n + 1` (for external kernels, e.g. the
@@ -104,6 +117,9 @@ pub struct DeltaOverlay<'a> {
     /// Nodes whose row has been materialised (for O(dirty) reset).
     dirty: Vec<NodeId>,
     num_edges: usize,
+    /// XOR of [`edge_key`] over the pairs whose presence differs from
+    /// the base — `0` when clean, updated in O(1) per toggle.
+    delta_hash: u64,
 }
 
 /// The owned edit state of a [`DeltaOverlay`], detached from its base.
@@ -119,6 +135,11 @@ pub struct OverlayEdits {
     rows: Vec<Option<Vec<NodeId>>>,
     dirty: Vec<NodeId>,
     num_edges: usize,
+    /// Delta hash carried through [`DeltaOverlay::detach`]; `None` for
+    /// edit sets rebuilt from serialised rows ([`OverlayEdits::from_rows`]),
+    /// where the base — and hence the diff — is unknown until
+    /// [`DeltaOverlay::attach`] recomputes it.
+    delta_hash: Option<u64>,
 }
 
 impl OverlayEdits {
@@ -180,6 +201,7 @@ impl OverlayEdits {
             rows,
             dirty,
             num_edges,
+            delta_hash: None,
         }
     }
 }
@@ -192,6 +214,7 @@ impl<'a> DeltaOverlay<'a> {
             rows: vec![None; base.num_nodes()],
             dirty: Vec::new(),
             num_edges: base.num_edges(),
+            delta_hash: 0,
         }
     }
 
@@ -209,11 +232,15 @@ impl<'a> DeltaOverlay<'a> {
             base.num_nodes(),
             "edits detached from a different base"
         );
+        let delta_hash = edits
+            .delta_hash
+            .unwrap_or_else(|| recompute_delta_hash(base, &edits.rows, &edits.dirty));
         Self {
             base,
             rows: edits.rows,
             dirty: edits.dirty,
             num_edges: edits.num_edges,
+            delta_hash,
         }
     }
 
@@ -224,6 +251,7 @@ impl<'a> DeltaOverlay<'a> {
             rows: self.rows,
             dirty: self.dirty,
             num_edges: self.num_edges,
+            delta_hash: Some(self.delta_hash),
         }
     }
 
@@ -237,6 +265,24 @@ impl<'a> DeltaOverlay<'a> {
         self.dirty.len()
     }
 
+    /// XOR of [`edge_key`] over the pairs toggled relative to the base:
+    /// `0` when clean, maintained in O(1) per edge edit. XOR's
+    /// self-inverse property makes it path-independent — only the
+    /// current symmetric difference matters, not how it was reached.
+    #[inline]
+    pub fn delta_hash(&self) -> u64 {
+        self.delta_hash
+    }
+
+    /// Zobrist hash of the *current* edge set: the frozen base's hash
+    /// with the toggled pairs folded in. Always equals
+    /// [`edge_set_hash`] of the materialised edge set (pinned by
+    /// proptest).
+    #[inline]
+    pub fn edge_set_hash(&self) -> u64 {
+        self.base.edge_hash ^ self.delta_hash
+    }
+
     /// Drops all edits, returning to the base edge set in
     /// `O(dirty rows)`.
     pub fn reset(&mut self) {
@@ -245,6 +291,7 @@ impl<'a> DeltaOverlay<'a> {
         }
         self.dirty.clear();
         self.num_edges = self.base.num_edges();
+        self.delta_hash = 0;
     }
 
     /// Materialises a standalone [`Graph`] of the current edge set.
@@ -304,6 +351,9 @@ impl<'a> DeltaOverlay<'a> {
             offsets,
             cols,
             num_edges: self.num_edges,
+            // XOR-folding is set-associative, so the frozen hash of the
+            // compacted graph is exactly base ⊕ delta — no rescan.
+            edge_hash: self.base.edge_hash ^ self.delta_hash,
         }
     }
 
@@ -339,6 +389,12 @@ impl<'a> DeltaOverlay<'a> {
                 }
             }
             return;
+        }
+        // Ops are pre-netted and consistent, so each one toggles exactly
+        // one pair's presence: fold its key before fanning out (the
+        // serial path above folds through add_edge/remove_edge).
+        for op in ops {
+            self.delta_hash ^= edge_key(op.u, op.v);
         }
         let chunk = n.div_ceil(shards);
         let base = self.base;
@@ -462,6 +518,7 @@ impl EditableGraph for DeltaOverlay<'_> {
         if self.half_add(u, v) {
             self.half_add(v, u);
             self.num_edges += 1;
+            self.delta_hash ^= edge_key(u, v);
             true
         } else {
             false
@@ -475,11 +532,53 @@ impl EditableGraph for DeltaOverlay<'_> {
         if self.half_remove(u, v) {
             self.half_remove(v, u);
             self.num_edges -= 1;
+            self.delta_hash ^= edge_key(u, v);
             true
         } else {
             false
         }
     }
+}
+
+/// Rebuilds the delta hash of deserialised edits by diffing each
+/// materialised row against the base. Symmetric edits guarantee every
+/// toggled pair `{u, v}` shows up as a diff in *both* endpoint rows, so
+/// counting it only at the smaller endpoint folds each key exactly
+/// once. O(Σ deg over dirty rows) — paid only on snapshot restore,
+/// never on the toggle path.
+fn recompute_delta_hash(base: &CsrGraph, rows: &[Option<Vec<NodeId>>], dirty: &[NodeId]) -> u64 {
+    let mut h = 0u64;
+    for &u in dirty {
+        let cur = rows[u as usize]
+            .as_deref()
+            .expect("dirty row is materialised");
+        let old = base.neighbors_sorted(u);
+        // Walk the symmetric difference of two sorted rows.
+        let (mut i, mut j) = (0, 0);
+        let mut fold = |v: NodeId| {
+            if v > u {
+                h ^= edge_key(u, v);
+            }
+        };
+        while i < cur.len() && j < old.len() {
+            match cur[i].cmp(&old[j]) {
+                std::cmp::Ordering::Less => {
+                    fold(cur[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    fold(old[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cur[i..].iter().chain(&old[j..]).for_each(|&v| fold(v));
+    }
+    h
 }
 
 #[cfg(test)]
@@ -661,6 +760,73 @@ mod tests {
             // Compaction of either overlay freezes the same bytes.
             assert_eq!(ov.compact(), serial.compact(), "shards={shards}");
         }
+    }
+
+    #[test]
+    fn incremental_hash_tracks_materialised_edge_set() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.edge_hash(), edge_set_hash(&g));
+        let mut ov = DeltaOverlay::new(&csr);
+        assert_eq!(ov.delta_hash(), 0);
+        assert_eq!(ov.edge_set_hash(), csr.edge_hash());
+        for (u, v) in [(0u32, 3u32), (0, 1), (2, 5), (0, 3), (4, 5)] {
+            ov.toggle_edge(u, v);
+            assert_eq!(ov.edge_set_hash(), edge_set_hash(&ov), "after ({u},{v})");
+        }
+        // Compaction freezes the same hash a from-scratch rebuild gets.
+        assert_eq!(
+            ov.compact().edge_hash(),
+            CsrGraph::from_view(&ov).edge_hash()
+        );
+        ov.reset();
+        assert_eq!(ov.delta_hash(), 0);
+        assert_eq!(ov.edge_set_hash(), csr.edge_hash());
+    }
+
+    #[test]
+    fn sharded_apply_and_serial_agree_on_hash() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let ops = [
+            EdgeOp::new(0, 3, true),
+            EdgeOp::new(0, 1, false),
+            EdgeOp::new(2, 5, true),
+        ];
+        let mut serial = DeltaOverlay::new(&csr);
+        EditableGraph::apply_ops(&mut serial, &ops);
+        let mut sharded = DeltaOverlay::new(&csr);
+        sharded.apply_ops_sharded(&ops, 3);
+        assert_eq!(serial.delta_hash(), sharded.delta_hash());
+        assert_eq!(sharded.edge_set_hash(), edge_set_hash(&sharded));
+    }
+
+    #[test]
+    fn hash_survives_detach_attach_and_row_serialisation() {
+        let g = sample();
+        let csr = CsrGraph::from(&g);
+        let mut ov = DeltaOverlay::new(&csr);
+        for (u, v) in [(0u32, 3u32), (0, 1), (2, 5)] {
+            ov.toggle_edge(u, v);
+        }
+        let expected = ov.delta_hash();
+        // detach/attach carries the hash verbatim.
+        let edits = ov.detach();
+        let ov = DeltaOverlay::attach(&csr, edits);
+        assert_eq!(ov.delta_hash(), expected);
+        // from_rows drops it; attach recomputes the identical value
+        // from the row diff (the snapshot-restore path).
+        let (n, m) = (ov.num_nodes(), ov.num_edges());
+        let rows: Vec<(NodeId, Vec<NodeId>)> = ov
+            .detach()
+            .dirty_rows_sorted()
+            .into_iter()
+            .map(|(u, r)| (u, r.to_vec()))
+            .collect();
+        let restored = OverlayEdits::from_rows(n, m, rows);
+        let ov = DeltaOverlay::attach(&csr, restored);
+        assert_eq!(ov.delta_hash(), expected);
+        assert_eq!(ov.edge_set_hash(), edge_set_hash(&ov));
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod io;
 pub mod metrics;
 pub mod sample;
 pub mod view;
+pub mod zobrist;
 
 pub use csr::{CsrGraph, DeltaOverlay, OverlayEdits};
 pub use graph::{EdgeOp, Graph, NodeId};

@@ -1,7 +1,9 @@
 //! Property-based tests for the graph substrate.
 
 use ba_graph::egonet::{egonet_features, IncrementalEgonet};
-use ba_graph::{generators, CsrGraph, DeltaOverlay, EditableGraph, Graph, GraphView, NodeId};
+use ba_graph::{
+    generators, zobrist, CsrGraph, DeltaOverlay, EditableGraph, Graph, GraphView, NodeId,
+};
 use proptest::prelude::*;
 
 /// Strategy: a random simple graph on up to `max_n` nodes.
@@ -159,5 +161,46 @@ proptest! {
     fn ba_always_connected(n in 10usize..80, m in 1usize..4, seed in 0u64..20) {
         let g = generators::barabasi_albert(n, m, seed);
         prop_assert_eq!(ba_graph::metrics::connected_components(&g), 1);
+    }
+
+    /// The incremental Zobrist hash on the overlay must equal the
+    /// from-scratch hash of the materialised edge set after every
+    /// toggle, batch apply, reset, and compaction — over both ER and
+    /// BA bases (script interpretation: `r` picks the base family).
+    #[test]
+    fn overlay_hash_matches_from_scratch(
+        er in 0u8..2,
+        seed in 0u64..30,
+        script in proptest::collection::vec((0u32..24, 0u32..24, 0u8..10), 1..60),
+    ) {
+        let g = if er == 1 {
+            generators::erdos_renyi(24, 0.12, seed)
+        } else {
+            generators::barabasi_albert(24, 2, seed)
+        };
+        let csr = CsrGraph::from(&g);
+        prop_assert_eq!(csr.edge_hash(), zobrist::edge_set_hash(&g));
+        let mut ov = DeltaOverlay::new(&csr);
+        for (u, v, act) in script {
+            match act {
+                // Occasional reset: hash must restore to the base's.
+                0 => {
+                    ov.reset();
+                    prop_assert_eq!(ov.delta_hash(), 0);
+                }
+                // Occasional sharded batch apply of one toggle.
+                1 if u != v => {
+                    let added = !ov.has_edge(u, v);
+                    ov.apply_ops_sharded(&[ba_graph::EdgeOp::new(u, v, added)], 2);
+                }
+                _ => {
+                    ov.toggle_edge(u, v);
+                }
+            }
+            prop_assert_eq!(ov.edge_set_hash(), zobrist::edge_set_hash(&ov));
+        }
+        // Compaction freezes the incremental hash verbatim, and a
+        // rebuilt CSR recomputes the identical value from scratch.
+        prop_assert_eq!(ov.compact().edge_hash(), CsrGraph::from_view(&ov).edge_hash());
     }
 }
