@@ -1,0 +1,312 @@
+//! The cell-lease state machine — the tracker's core, kept pure.
+//!
+//! A [`LeaseTable`] tracks every flat cell of a suite through
+//! `Pending → Leased → Completed`. It owns no clock, no socket, and no
+//! store: time is a caller-supplied `u64` tick (the tracker passes
+//! milliseconds since start; the proptests pass arbitrary integers), so
+//! every interleaving of claim / complete / heartbeat / timeout /
+//! crash is replayable deterministically in isolation.
+//!
+//! **Epochs make completion exactly-once.** Each lease bumps the cell's
+//! epoch counter, and a completion is [`CompleteOutcome::Accepted`]
+//! only when it carries the *current* epoch of a not-yet-completed
+//! cell. Everything the distributed merge relies on follows:
+//!
+//! * a worker that dies mid-cell times out, the cell re-pends (same
+//!   epoch) and re-leases (bumped epoch) — never lost;
+//! * a worker that merely *stalled* past its timeout can still land its
+//!   row, as long as no rival claimed the cell in between (the epoch
+//!   survives `expire`, so its completion still matches);
+//! * once a rival holds the bumped epoch, the stalled worker's late row
+//!   is [`CompleteOutcome::Stale`] and is discarded unmerged;
+//! * a re-delivered completion for a finished cell is
+//!   [`CompleteOutcome::Duplicate`] — acknowledged so the sender moves
+//!   on, never merged twice.
+
+/// A cell's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Not leased to anyone.
+    Pending,
+    /// Leased to `worker` until `deadline` (exclusive).
+    Leased { worker: u64, deadline: u64 },
+    /// Rows landed; the cell is done forever.
+    Completed,
+}
+
+/// One cell's slot: its lifecycle state plus the epoch counter that
+/// makes completions exactly-once.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    state: SlotState,
+    /// Bumped on every lease. A completion must present the current
+    /// value to be accepted.
+    epoch: u64,
+}
+
+/// Outcome of a worker's claim request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The worker now holds `cell` at `epoch` until its deadline.
+    Lease {
+        /// Flat suite-wide cell index.
+        cell: usize,
+        /// The lease's epoch; completions must echo it.
+        epoch: u64,
+    },
+    /// Nothing is pending right now, but outstanding leases could still
+    /// expire back into the queue — poll again.
+    Wait,
+    /// Every cell is completed; the worker can exit.
+    Done,
+}
+
+/// Outcome of a completion (or failure report) for `(cell, epoch)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteOutcome {
+    /// First completion at the current epoch: the rows are the cell's
+    /// result, exactly once.
+    Accepted,
+    /// The cell was already completed; acknowledge and discard.
+    Duplicate,
+    /// The epoch is not current (a rival re-claimed the cell after this
+    /// worker's lease expired): discard the rows.
+    Stale,
+}
+
+/// The lease table over a suite's flat cell index space.
+#[derive(Debug)]
+pub struct LeaseTable {
+    slots: Vec<Slot>,
+    timeout: u64,
+    completed: usize,
+}
+
+impl LeaseTable {
+    /// A table of `cells` pending cells whose leases last `timeout`
+    /// ticks. `timeout` is clamped to at least 1 so a lease can never
+    /// expire at the instant it is granted.
+    pub fn new(cells: usize, timeout: u64) -> Self {
+        Self {
+            slots: vec![
+                Slot {
+                    state: SlotState::Pending,
+                    epoch: 0,
+                };
+                cells
+            ],
+            timeout: timeout.max(1),
+            completed: 0,
+        }
+    }
+
+    /// Marks a cell completed outside the lease protocol — used for
+    /// cells the tracker adopted from the artifact store on resume.
+    /// Idempotent; releases any outstanding lease on the cell.
+    pub fn mark_completed(&mut self, cell: usize) {
+        if self.slots[cell].state != SlotState::Completed {
+            self.slots[cell].state = SlotState::Completed;
+            self.completed += 1;
+        }
+    }
+
+    /// Leases the lowest pending cell to `worker`.
+    pub fn claim(&mut self, worker: u64, now: u64) -> ClaimOutcome {
+        if self.all_done() {
+            return ClaimOutcome::Done;
+        }
+        for (cell, slot) in self.slots.iter_mut().enumerate() {
+            if slot.state == SlotState::Pending {
+                slot.epoch += 1;
+                slot.state = SlotState::Leased {
+                    worker,
+                    deadline: now + self.timeout,
+                };
+                return ClaimOutcome::Lease {
+                    cell,
+                    epoch: slot.epoch,
+                };
+            }
+        }
+        ClaimOutcome::Wait
+    }
+
+    /// Processes a completion (or failure report) for `(cell, epoch)`.
+    /// Exactly one call per cell ever returns
+    /// [`CompleteOutcome::Accepted`].
+    pub fn complete(&mut self, cell: usize, epoch: u64) -> CompleteOutcome {
+        let Some(slot) = self.slots.get_mut(cell) else {
+            return CompleteOutcome::Stale;
+        };
+        if slot.state == SlotState::Completed {
+            return CompleteOutcome::Duplicate;
+        }
+        // A Pending cell with a matching epoch is a lease that expired
+        // but was not re-claimed yet: the original worker finished
+        // late, and its result is still the only candidate — accept.
+        if slot.epoch == epoch {
+            slot.state = SlotState::Completed;
+            self.completed += 1;
+            CompleteOutcome::Accepted
+        } else {
+            CompleteOutcome::Stale
+        }
+    }
+
+    /// Extends the lease on `(cell, epoch)` to `now + timeout`. Returns
+    /// `false` (ignored) when the lease is no longer current.
+    pub fn heartbeat(&mut self, cell: usize, epoch: u64, now: u64) -> bool {
+        let Some(slot) = self.slots.get_mut(cell) else {
+            return false;
+        };
+        match slot.state {
+            SlotState::Leased { worker, .. } if slot.epoch == epoch => {
+                slot.state = SlotState::Leased {
+                    worker,
+                    deadline: now + self.timeout,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Re-pends every lease whose deadline has passed, returning the
+    /// expired cells. Epochs are *not* bumped here — only a re-claim
+    /// bumps, so a late completion from the expired worker stays
+    /// acceptable until someone else takes the cell over.
+    pub fn expire(&mut self, now: u64) -> Vec<usize> {
+        let mut expired = Vec::new();
+        for (cell, slot) in self.slots.iter_mut().enumerate() {
+            if let SlotState::Leased { deadline, .. } = slot.state {
+                if deadline <= now {
+                    slot.state = SlotState::Pending;
+                    expired.push(cell);
+                }
+            }
+        }
+        expired
+    }
+
+    /// Re-pends every cell leased to `worker` — the immediate path when
+    /// a peer's connection drops, so its cells re-lease without waiting
+    /// out the timeout. Returns the released cells.
+    pub fn release_worker(&mut self, worker: u64) -> Vec<usize> {
+        let mut released = Vec::new();
+        for (cell, slot) in self.slots.iter_mut().enumerate() {
+            if let SlotState::Leased { worker: w, .. } = slot.state {
+                if w == worker {
+                    slot.state = SlotState::Pending;
+                    released.push(cell);
+                }
+            }
+        }
+        released
+    }
+
+    /// Completed-cell count.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Whether every cell is completed.
+    pub fn all_done(&self) -> bool {
+        self.completed == self.slots.len()
+    }
+
+    /// Total cells.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table has no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_complete_lifecycle() {
+        let mut t = LeaseTable::new(2, 100);
+        let ClaimOutcome::Lease { cell, epoch } = t.claim(1, 0) else {
+            panic!("expected lease");
+        };
+        assert_eq!((cell, epoch), (0, 1));
+        assert_eq!(t.complete(0, 1), CompleteOutcome::Accepted);
+        assert_eq!(t.complete(0, 1), CompleteOutcome::Duplicate);
+        let ClaimOutcome::Lease { cell, epoch } = t.claim(1, 0) else {
+            panic!("expected lease");
+        };
+        // Epochs are per-cell: cell 1's first lease is its epoch 1.
+        assert_eq!((cell, epoch), (1, 1));
+        // The other cell is leased out, not pending: wait, not done.
+        assert_eq!(t.claim(2, 0), ClaimOutcome::Wait);
+        assert_eq!(t.complete(1, 1), CompleteOutcome::Accepted);
+        assert_eq!(t.claim(2, 0), ClaimOutcome::Done);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn expired_lease_releases_then_stale_on_reclaim() {
+        let mut t = LeaseTable::new(1, 10);
+        assert!(matches!(t.claim(1, 0), ClaimOutcome::Lease { .. }));
+        assert!(t.expire(5).is_empty(), "deadline not reached");
+        assert_eq!(t.expire(10), vec![0]);
+        // Expired but un-reclaimed: the original epoch still lands.
+        let mut u = t;
+        assert_eq!(u.complete(0, 1), CompleteOutcome::Accepted);
+
+        // Re-claimed: the original epoch is now stale.
+        let mut t = LeaseTable::new(1, 10);
+        t.claim(1, 0);
+        t.expire(10);
+        assert!(matches!(
+            t.claim(2, 11),
+            ClaimOutcome::Lease { cell: 0, epoch: 2 }
+        ));
+        assert_eq!(t.complete(0, 1), CompleteOutcome::Stale);
+        assert_eq!(t.complete(0, 2), CompleteOutcome::Accepted);
+    }
+
+    #[test]
+    fn heartbeat_extends_only_current_lease() {
+        let mut t = LeaseTable::new(1, 10);
+        t.claim(1, 0);
+        assert!(t.heartbeat(0, 1, 8));
+        // Extended to 18: not expired at 10.
+        assert!(t.expire(10).is_empty());
+        assert_eq!(t.expire(18), vec![0]);
+        // No longer leased: heartbeat is ignored.
+        assert!(!t.heartbeat(0, 1, 20));
+    }
+
+    #[test]
+    fn release_worker_repends_only_its_cells() {
+        let mut t = LeaseTable::new(3, 100);
+        t.claim(1, 0);
+        t.claim(2, 0);
+        t.claim(1, 0);
+        assert_eq!(t.release_worker(1), vec![0, 2]);
+        // Cell 1 (worker 2) is untouched; cells 0 and 2 re-lease with
+        // bumped epochs.
+        assert!(matches!(
+            t.claim(3, 1),
+            ClaimOutcome::Lease { cell: 0, epoch: 2 }
+        ));
+        assert_eq!(t.complete(1, 1), CompleteOutcome::Accepted);
+    }
+
+    #[test]
+    fn adopted_cells_skip_the_protocol() {
+        let mut t = LeaseTable::new(2, 100);
+        t.mark_completed(0);
+        t.mark_completed(0);
+        assert_eq!(t.completed(), 1);
+        assert!(matches!(t.claim(1, 0), ClaimOutcome::Lease { cell: 1, .. }));
+        assert_eq!(t.complete(0, 0), CompleteOutcome::Duplicate);
+    }
+}

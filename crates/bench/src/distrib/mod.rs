@@ -1,0 +1,37 @@
+//! Tracker/peer distributed orchestration.
+//!
+//! Scales the deterministic cell orchestrator past one process: a
+//! [`Tracker`] hands out cell leases over TCP (the same `ba-net`
+//! framing the scoring service speaks) and worker peers ([`run_peer`])
+//! claim, compute, and stream rows back. The design splits into layers
+//! so each is testable alone:
+//!
+//! * [`lease`] — the pure, clock-free lease state machine
+//!   (exactly-once completion under any interleaving; proptested in
+//!   isolation);
+//! * [`proto`] — the framed message codec (roundtrip-pinned);
+//! * [`tracker`] — TCP serving, artifact-store crash recovery, fault
+//!   counters;
+//! * [`peer`] — the worker loop over the runner's own
+//!   `run_cell_guarded` path, with lazy substrates and heartbeats;
+//! * [`registry`] — suite-by-name construction, so separate processes
+//!   agree on what they are running (verified by the fingerprint
+//!   handshake).
+//!
+//! The headline contract, pinned by `tests/distrib.rs`, the CLI's
+//! process-level tests, and the CI smoke: a localhost fleet at **any**
+//! peer count — including one with a worker killed mid-cell and a
+//! connection severed mid-frame — produces merged CSVs byte-identical
+//! to a single-machine `--threads 1` run.
+
+pub mod lease;
+pub mod peer;
+pub mod proto;
+pub mod registry;
+pub mod tracker;
+
+pub use lease::{ClaimOutcome, CompleteOutcome, LeaseTable};
+pub use peer::{run_peer, PeerConfig, PeerError, PeerReport};
+pub use proto::{decode_peer, decode_tracker, encode_peer, encode_tracker, PeerMsg, TrackerMsg};
+pub use registry::{suite_by_name, SUITE_NAMES};
+pub use tracker::{FirstLeaseHook, Tracker, TrackerConfig, TrackerReport};

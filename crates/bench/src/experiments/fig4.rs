@@ -123,6 +123,44 @@ impl Fig4Experiment {
         }
     }
 
+    /// A seconds-scale instance: two tiny panels, all three methods,
+    /// two target samples — 12 cells. The shared grid for everything
+    /// that pins the orchestrator's byte-identity contract: the
+    /// workspace determinism tests, the distributed tracker/peer tests,
+    /// and the CI smoke (registry name `det`). `name` keys the artifact
+    /// store and every derived seed stream, so differently-named
+    /// instances never collide in one output directory.
+    pub fn tiny(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            csv_name: format!("{name}.csv"),
+            panels: vec![
+                Fig4Panel {
+                    label: "ER".to_string(),
+                    spec: DatasetSpec::scaled(Dataset::Er, 150, 550),
+                    num_targets: 4,
+                    budget_frac: 0.012,
+                },
+                Fig4Panel {
+                    label: "BA".to_string(),
+                    spec: DatasetSpec::scaled(Dataset::Ba, 150, 450),
+                    num_targets: 4,
+                    budget_frac: 0.015,
+                },
+            ],
+            methods: vec![
+                Fig4Method::Binarized,
+                Fig4Method::GradMax,
+                Fig4Method::Continuous,
+            ],
+            samples: 2,
+            pool: 20,
+            bin_iters: 40,
+            bin_lambdas: vec![0.02],
+            cont_iters: 8,
+        }
+    }
+
     fn cell_index(&self, panel: usize, method: usize, sample: usize) -> usize {
         (panel * self.methods.len() + method) * self.samples + sample
     }

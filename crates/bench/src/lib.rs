@@ -9,6 +9,7 @@
 //! [`artifact`] layer and the runner-ported [`experiments`].
 
 pub mod artifact;
+pub mod distrib;
 pub mod experiments;
 pub mod report;
 pub mod runner;

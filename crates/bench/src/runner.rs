@@ -146,6 +146,59 @@ impl PreparedDataset {
     }
 }
 
+/// The frozen dataset substrates of one suite run, built at most once
+/// each. The in-process pool pre-builds the specs its pending cells
+/// declare (in parallel when the pool is parallel); a distributed peer
+/// builds lazily on first touch instead, because it cannot know which
+/// cells the tracker will lease it. Builds are pure functions of
+/// `(spec, seed)`, so eager and lazy construction are interchangeable.
+pub struct SubstratePool {
+    specs: Vec<DatasetSpec>,
+    seed: u64,
+    slots: Vec<OnceLock<PreparedDataset>>,
+}
+
+impl SubstratePool {
+    /// An empty pool over `specs` at `seed`. Nothing is built yet.
+    pub fn new(specs: Vec<DatasetSpec>, seed: u64) -> Self {
+        let slots = specs.iter().map(|_| OnceLock::new()).collect();
+        Self { specs, seed, slots }
+    }
+
+    /// The deduplicated specs, indexed by global substrate id.
+    pub fn specs(&self) -> &[DatasetSpec] {
+        &self.specs
+    }
+
+    /// The substrate for a global spec index, building it on first use
+    /// (`OnceLock` blocks concurrent callers until the build commits).
+    pub fn get(&self, global: usize) -> &PreparedDataset {
+        self.slots[global].get_or_init(|| PreparedDataset::build(self.specs[global], self.seed))
+    }
+
+    /// Pre-builds the flagged specs, overlapping them across threads
+    /// when `parallel`. Slot order keeps the result deterministic.
+    pub fn build_eager(&self, needed: &[bool], parallel: bool) {
+        if parallel {
+            std::thread::scope(|scope| {
+                for (global, &need) in needed.iter().enumerate() {
+                    if need {
+                        scope.spawn(move || {
+                            self.get(global);
+                        });
+                    }
+                }
+            });
+        } else {
+            for (global, &need) in needed.iter().enumerate() {
+                if need {
+                    self.get(global);
+                }
+            }
+        }
+    }
+}
+
 /// A deterministically cell-decomposable experiment.
 ///
 /// Implementations must keep `run_cell` a pure function of `(cell,
@@ -197,8 +250,9 @@ pub trait Experiment: Sync {
 }
 
 /// Per-worker reusable attack sessions, keyed by global substrate index.
+/// One per in-process pool worker; one per distributed peer process.
 #[derive(Default)]
-struct SessionCache<'p> {
+pub(crate) struct SessionCache<'p> {
     map: HashMap<usize, AttackSession<'p>>,
 }
 
@@ -209,7 +263,7 @@ pub struct CellCtx<'p, 'w> {
     cell: usize,
     base_seed: u64,
     inner_threads: usize,
-    prep: &'p [Option<PreparedDataset>],
+    pool: &'p SubstratePool,
     ds_map: &'w [usize],
     sessions: &'w mut SessionCache<'p>,
 }
@@ -237,12 +291,12 @@ impl<'p> CellCtx<'p, '_> {
     }
 
     /// The prepared substrate for an experiment-local dataset index.
-    /// Only substrates declared via [`Experiment::cell_dataset`] by a
-    /// pending cell are built.
+    /// Substrates declared via [`Experiment::cell_dataset`] are built
+    /// ahead of the pool; an undeclared one is built lazily here (the
+    /// build is a pure function of `(spec, seed)`, so results are
+    /// unaffected — only the warm-up overlap is lost).
     pub fn dataset(&self, ds: usize) -> &'p PreparedDataset {
-        self.prep[self.ds_map[ds]]
-            .as_ref()
-            .expect("substrate not built: cell accessed a dataset it did not declare")
+        self.pool.get(self.ds_map[ds])
     }
 
     /// The built graph.
@@ -277,10 +331,7 @@ impl<'p> CellCtx<'p, '_> {
         targets: &[NodeId],
     ) -> Result<&mut AttackSession<'p>, AttackError> {
         let global = self.ds_map[ds];
-        let csr = &self.prep[global]
-            .as_ref()
-            .expect("substrate not built: cell accessed a dataset it did not declare")
-            .csr;
+        let csr = &self.pool.get(global).csr;
         match self.sessions.map.entry(global) {
             std::collections::hash_map::Entry::Occupied(o) => {
                 let session = o.into_mut();
@@ -302,17 +353,292 @@ impl<'p> CellCtx<'p, '_> {
 }
 
 /// Per-experiment orchestration state inside a suite run.
-struct ExpState {
-    store: CellStore,
-    manifest: Mutex<Manifest>,
+pub(crate) struct ExpState {
+    pub(crate) store: CellStore,
+    pub(crate) manifest: Mutex<Manifest>,
     /// Offset of this experiment's cell 0 in the flat result vector.
-    offset: usize,
-    num_cells: usize,
+    pub(crate) offset: usize,
+    pub(crate) num_cells: usize,
     /// Set when one of the experiment's cells panicked; the experiment
     /// is then skipped at finalize so the rest of the suite survives
     /// (the legacy `run_all` likewise warned and continued past a
     /// failed child binary).
-    failed: std::sync::atomic::AtomicBool,
+    pub(crate) failed: std::sync::atomic::AtomicBool,
+}
+
+/// The manifest fingerprint of one experiment under one option set: the
+/// common options plus every experiment knob, hashed compact. Shared by
+/// the in-process runner, the tracker, and the peer handshake — resume
+/// must never adopt cells from a different configuration, and a peer
+/// must never compute cells for one.
+pub fn exp_fingerprint(exp: &dyn Experiment, opts: &ExpOptions) -> String {
+    format!(
+        "seed={},samples={},paper={},cells={},cfg={:016x}",
+        opts.seed,
+        opts.samples,
+        opts.paper,
+        exp.num_cells(),
+        derive_seed(&exp.config_fingerprint(), &[])
+    )
+}
+
+/// The pure, store-free shape of a suite: deduplicated substrate specs,
+/// per-experiment local→global dataset maps, flat cell offsets, and the
+/// handshake fingerprint. A function of `(exps, opts)` only, so the
+/// tracker and every peer — which must never touch the tracker's
+/// artifact store — derive identical layouts independently.
+pub struct SuiteLayout {
+    /// Deduplicated substrate specs, indexed by global substrate id.
+    pub specs: Vec<DatasetSpec>,
+    /// Per-experiment map: local dataset index → global substrate id.
+    pub maps: Vec<Vec<usize>>,
+    /// Flat index of each experiment's cell 0.
+    pub offsets: Vec<usize>,
+    /// Total cells across the suite.
+    pub total: usize,
+    /// Suite-level handshake fingerprint: the per-experiment manifest
+    /// fingerprints joined in suite order. A peer whose layout
+    /// fingerprint differs from the tracker's is rejected at Hello.
+    pub fingerprint: String,
+}
+
+impl SuiteLayout {
+    /// Derives the layout of `exps` under `opts`.
+    pub fn build(exps: &[&dyn Experiment], opts: &ExpOptions) -> Self {
+        let mut specs: Vec<DatasetSpec> = Vec::new();
+        let mut maps: Vec<Vec<usize>> = Vec::with_capacity(exps.len());
+        for exp in exps {
+            let map = exp
+                .datasets()
+                .into_iter()
+                .map(|spec| {
+                    specs.iter().position(|s| *s == spec).unwrap_or_else(|| {
+                        specs.push(spec);
+                        specs.len() - 1
+                    })
+                })
+                .collect();
+            maps.push(map);
+        }
+        let mut offsets = Vec::with_capacity(exps.len());
+        let mut total = 0;
+        for exp in exps {
+            offsets.push(total);
+            total += exp.num_cells();
+        }
+        let fingerprints: Vec<String> =
+            exps.iter().map(|exp| exp_fingerprint(*exp, opts)).collect();
+        Self {
+            specs,
+            maps,
+            offsets,
+            total,
+            fingerprint: fingerprints.join("|"),
+        }
+    }
+
+    /// Maps a flat suite-wide cell index to `(experiment, local cell)`.
+    pub fn split_flat(&self, flat: usize) -> Option<(usize, usize)> {
+        if flat >= self.total {
+            return None;
+        }
+        let ei = self.offsets.iter().rposition(|&o| o <= flat)?;
+        Some((ei, flat - self.offsets[ei]))
+    }
+}
+
+/// Everything a suite run resolves before any cell executes: the
+/// store-free [`SuiteLayout`] plus artifact stores with resume-adopted
+/// rows and the flat pending-cell list. Built identically by
+/// [`ExperimentRunner`] and the distributed tracker, so both merge the
+/// same bytes.
+pub(crate) struct SuitePlan {
+    pub(crate) layout: SuiteLayout,
+    pub(crate) states: Vec<ExpState>,
+    /// `(experiment index, local cell)` pairs still to compute.
+    pub(crate) pending: Vec<(usize, usize)>,
+    pub(crate) results: Vec<OnceLock<Vec<String>>>,
+}
+
+impl SuitePlan {
+    /// Resolves stores, manifests, and resumable cells for `exps`.
+    ///
+    /// With `resume`, a manifest whose fingerprint matches adopts every
+    /// committed cell — **including row files the manifest does not
+    /// list yet**. The cell row files are the crash-recovery log: each
+    /// is committed by atomic rename *before* its manifest update, so a
+    /// crash between the two leaves a valid row the manifest merely
+    /// lags behind on. Rows always round-trip through their on-disk
+    /// encoding, so adopted cells merge the same bytes a fresh run
+    /// would. A fingerprint mismatch still invalidates the whole store.
+    pub(crate) fn build(exps: &[&dyn Experiment], opts: &ExpOptions, resume: bool) -> Self {
+        std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
+        let layout = SuiteLayout::build(exps, opts);
+        let results: Vec<OnceLock<Vec<String>>> =
+            (0..layout.total).map(|_| OnceLock::new()).collect();
+        let mut states: Vec<ExpState> = Vec::with_capacity(exps.len());
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for (ei, exp) in exps.iter().enumerate() {
+            let name = exp.name();
+            let num_cells = exp.num_cells();
+            let offset = layout.offsets[ei];
+            let fingerprint = exp_fingerprint(*exp, opts);
+            let store = CellStore::open(&opts.out_dir, &name).expect("open cell store");
+            let mut manifest = Manifest::new(&name, &fingerprint, num_cells);
+            if resume {
+                if let Some(prev) = Manifest::load(&store.manifest_path()) {
+                    if prev.fingerprint == fingerprint && prev.num_cells == num_cells {
+                        // Adopt every cell whose rows reload, whether
+                        // the manifest lists it or only its row file
+                        // landed (crash between row commit and
+                        // manifest update).
+                        for cell in 0..num_cells {
+                            if let Some(rows) = store.read_cell(cell) {
+                                results[offset + cell].set(rows).expect("fresh slot");
+                                manifest.completed.insert(cell);
+                            }
+                        }
+                        eprintln!(
+                            "[runner] {name}: resuming {} of {num_cells} cells from manifest",
+                            manifest.completed.len()
+                        );
+                    } else {
+                        eprintln!("[runner] {name}: manifest fingerprint mismatch; starting fresh");
+                    }
+                }
+            }
+            if manifest.completed.is_empty() {
+                store.clear().expect("clear stale cell store");
+            }
+            manifest
+                .save(&store.manifest_path())
+                .expect("save manifest");
+            for cell in 0..num_cells {
+                if !manifest.completed.contains(&cell) {
+                    pending.push((ei, cell));
+                }
+            }
+            states.push(ExpState {
+                store,
+                manifest: Mutex::new(manifest),
+                offset,
+                num_cells,
+                failed: std::sync::atomic::AtomicBool::new(false),
+            });
+        }
+        Self {
+            layout,
+            states,
+            pending,
+            results,
+        }
+    }
+
+    /// Commits one computed cell: row file (atomic rename), manifest
+    /// update, and the in-memory merge slot. Safe from any thread.
+    pub(crate) fn commit(&self, ei: usize, cell: usize, rows: Vec<String>) -> std::io::Result<()> {
+        let state = &self.states[ei];
+        state.store.write_cell(cell, &rows)?;
+        {
+            let mut m = state.manifest.lock().expect("manifest lock");
+            m.completed.insert(cell);
+            m.save(&state.store.manifest_path())?;
+        }
+        self.results[state.offset + cell]
+            .set(rows)
+            .expect("cell slot set twice");
+        Ok(())
+    }
+
+    /// Records a failed cell: the experiment is marked failed (skipped
+    /// at finalize, committed cells kept for `--resume`) and the slot
+    /// is filled so the other experiments can still merge.
+    pub(crate) fn mark_failed(&self, ei: usize, cell: usize) {
+        let state = &self.states[ei];
+        state.failed.store(true, Ordering::Relaxed);
+        self.results[state.offset + cell].set(Vec::new()).ok();
+    }
+
+    /// Ordered merge: every non-failed experiment sees its cells
+    /// `0..n` in index order regardless of completion order, cache
+    /// hits, or which worker (thread or remote process) computed them.
+    /// Failed experiments have their stale artifacts deleted instead.
+    /// Returns `false` if any experiment failed.
+    pub(crate) fn merge_and_finalize(&self, exps: &[&dyn Experiment], opts: &ExpOptions) -> bool {
+        let mut all_ok = true;
+        for (ei, exp) in exps.iter().enumerate() {
+            let state = &self.states[ei];
+            if state.failed.load(Ordering::Relaxed) {
+                // Drop any stale artifact a previous run left behind so
+                // a failed experiment never ships old data.
+                for artifact in exp.artifacts() {
+                    let _ = std::fs::remove_file(opts.out_dir.join(artifact));
+                }
+                eprintln!(
+                    "warning: [{}] skipped finalize after a cell failure; \
+                     re-run with --resume to retry only the failed cells",
+                    exp.name()
+                );
+                all_ok = false;
+                continue;
+            }
+            let rows: Vec<Vec<String>> = (0..state.num_cells)
+                .map(|c| {
+                    self.results[state.offset + c]
+                        .get()
+                        .expect("all cells resolved")
+                        .clone()
+                })
+                .collect();
+            exp.finalize(opts, &rows);
+        }
+        all_ok
+    }
+}
+
+/// The invariant part of a worker's cell executions: which experiment,
+/// under which seed and thread budget, against which substrates.
+pub(crate) struct CellEnv<'p, 'w> {
+    pub(crate) exp: &'w dyn Experiment,
+    pub(crate) exp_name: &'w str,
+    pub(crate) base_seed: u64,
+    pub(crate) inner_threads: usize,
+    pub(crate) pool: &'p SubstratePool,
+    pub(crate) ds_map: &'w [usize],
+}
+
+/// Runs one cell under a panic guard. On panic the cell's session is
+/// evicted from the worker cache (only it can be mid-edit) and the
+/// panic payload is returned as the error message.
+pub(crate) fn run_cell_guarded<'p>(
+    env: &CellEnv<'p, '_>,
+    cell: usize,
+    sessions: &mut SessionCache<'p>,
+) -> Result<Vec<String>, String> {
+    let outcome = {
+        let mut ctx = CellCtx {
+            exp_name: env.exp_name,
+            cell,
+            base_seed: env.base_seed,
+            inner_threads: env.inner_threads,
+            pool: env.pool,
+            ds_map: env.ds_map,
+            sessions: &mut *sessions,
+        };
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            env.exp.run_cell(cell, &mut ctx)
+        }))
+    };
+    outcome.map_err(|payload| {
+        sessions.map.remove(&env.ds_map[env.exp.cell_dataset(cell)]);
+        if let Some(msg) = payload.downcast_ref::<&str>() {
+            (*msg).to_string()
+        } else if let Some(msg) = payload.downcast_ref::<String>() {
+            msg.clone()
+        } else {
+            "cell panicked".to_string()
+        }
+    })
 }
 
 /// The work-distributing, artifact-writing runner. See the module docs
@@ -353,139 +679,41 @@ impl ExperimentRunner {
     /// pool, then each experiment finalizes in order.
     pub fn run_suite(&self, exps: &[&dyn Experiment], opts: &ExpOptions) {
         let t0 = Instant::now();
-        std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
-
-        // Union of dataset specs; per-experiment local→global index maps.
-        let mut specs: Vec<DatasetSpec> = Vec::new();
-        let mut maps: Vec<Vec<usize>> = Vec::with_capacity(exps.len());
-        for exp in exps {
-            let map = exp
-                .datasets()
-                .into_iter()
-                .map(|spec| {
-                    specs.iter().position(|s| *s == spec).unwrap_or_else(|| {
-                        specs.push(spec);
-                        specs.len() - 1
-                    })
-                })
-                .collect();
-            maps.push(map);
-        }
-
-        // Artifact stores, manifests, and resumable results.
-        let total: usize = exps.iter().map(|e| e.num_cells()).sum();
-        let results: Vec<OnceLock<Vec<String>>> = (0..total).map(|_| OnceLock::new()).collect();
-        let mut states: Vec<ExpState> = Vec::with_capacity(exps.len());
-        let mut pending: Vec<(usize, usize)> = Vec::new();
-        let mut offset = 0;
-        for (ei, exp) in exps.iter().enumerate() {
-            let name = exp.name();
-            let num_cells = exp.num_cells();
-            // The fingerprint covers the common options AND every
-            // experiment knob (via config_fingerprint), hashed compact:
-            // resume must never adopt cells from a different config.
-            let fingerprint = format!(
-                "seed={},samples={},paper={},cells={num_cells},cfg={:016x}",
-                opts.seed,
-                opts.samples,
-                opts.paper,
-                derive_seed(&exp.config_fingerprint(), &[])
-            );
-            let store = CellStore::open(&opts.out_dir, &name).expect("open cell store");
-            let mut manifest = Manifest::new(&name, &fingerprint, num_cells);
-            if self.resume {
-                if let Some(prev) = Manifest::load(&store.manifest_path()) {
-                    if prev.fingerprint == fingerprint && prev.num_cells == num_cells {
-                        // Adopt every committed cell whose rows reload.
-                        for &cell in prev.completed.iter().filter(|&&c| c < num_cells) {
-                            if let Some(rows) = store.read_cell(cell) {
-                                results[offset + cell].set(rows).expect("fresh slot");
-                                manifest.completed.insert(cell);
-                            }
-                        }
-                        eprintln!(
-                            "[runner] {name}: resuming {} of {num_cells} cells from manifest",
-                            manifest.completed.len()
-                        );
-                    } else {
-                        eprintln!("[runner] {name}: manifest fingerprint mismatch; starting fresh");
-                    }
-                }
-            }
-            if manifest.completed.is_empty() {
-                store.clear().expect("clear stale cell store");
-            }
-            manifest
-                .save(&store.manifest_path())
-                .expect("save manifest");
-            for cell in 0..num_cells {
-                if !manifest.completed.contains(&cell) {
-                    pending.push((ei, cell));
-                }
-            }
-            states.push(ExpState {
-                store,
-                manifest: Mutex::new(manifest),
-                offset,
-                num_cells,
-                failed: std::sync::atomic::AtomicBool::new(false),
-            });
-            offset += num_cells;
-        }
+        let plan = SuitePlan::build(exps, opts, self.resume);
 
         // The pool: workers claim cells off a shared queue. Inner
         // (gradient/matmul) parallelism is folded to 1 thread whenever
         // the pool itself is parallel.
-        let workers = self.threads.min(pending.len()).max(1);
+        let workers = self.threads.min(plan.pending.len()).max(1);
         let inner_threads = if workers > 1 { 1 } else { 0 };
-        let cached = total - pending.len();
+        let cached = plan.layout.total - plan.pending.len();
         eprintln!(
             "[runner] {} cell(s) across {} experiment(s): {} to run, {} cached, {} worker(s)",
-            total,
+            plan.layout.total,
             exps.len(),
-            pending.len(),
+            plan.pending.len(),
             cached,
             workers
         );
         // Substrates are only needed by live cells: build exactly the
         // ones pending cells declare via cell_dataset. A fully-cached
-        // resume therefore skips dataset building entirely.
-        let mut needed = vec![false; specs.len()];
-        for &(ei, cell) in &pending {
-            needed[maps[ei][exps[ei].cell_dataset(cell)]] = true;
+        // resume therefore skips dataset building entirely. Builds are
+        // independent and seeded, so a parallel pool overlaps them
+        // instead of idling the workers through a serial prefix.
+        let pool = SubstratePool::new(plan.layout.specs.clone(), self.base_seed);
+        let mut needed = vec![false; pool.specs().len()];
+        for &(ei, cell) in &plan.pending {
+            needed[plan.layout.maps[ei][exps[ei].cell_dataset(cell)]] = true;
         }
         if needed.iter().any(|&n| n) {
             eprintln!(
                 "[runner] preparing {} of {} dataset substrate(s) (seed {})",
                 needed.iter().filter(|&&n| n).count(),
-                specs.len(),
+                pool.specs().len(),
                 self.base_seed
             );
         }
-        // Builds are independent and seeded, so a parallel pool overlaps
-        // them instead of idling the workers through a serial prefix;
-        // results are slotted by spec index, keeping order deterministic.
-        let prep: Vec<Option<PreparedDataset>> = if workers > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = specs
-                    .iter()
-                    .zip(&needed)
-                    .map(|(&s, &n)| {
-                        n.then(|| scope.spawn(move || PreparedDataset::build(s, self.base_seed)))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.map(|h| h.join().expect("substrate build")))
-                    .collect()
-            })
-        } else {
-            specs
-                .iter()
-                .zip(&needed)
-                .map(|(&s, &n)| n.then(|| PreparedDataset::build(s, self.base_seed)))
-                .collect()
-        };
+        pool.build_eager(&needed, workers > 1);
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -494,100 +722,53 @@ impl ExperimentRunner {
                     let mut sessions = SessionCache::default();
                     loop {
                         let k = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(ei, cell)) = pending.get(k) else {
+                        let Some(&(ei, cell)) = plan.pending.get(k) else {
                             break;
                         };
                         let exp = exps[ei];
                         let name = exp.name();
-                        let state = &states[ei];
                         let cell_t0 = Instant::now();
-                        let mut ctx = CellCtx {
-                            exp_name: &name,
-                            cell,
-                            base_seed: self.base_seed,
-                            inner_threads,
-                            prep: &prep,
-                            ds_map: &maps[ei],
-                            sessions: &mut sessions,
-                        };
                         // A panicking cell fails its *experiment*, not
                         // the suite: the slot is filled so the merge
                         // can proceed for the other experiments, and
                         // this experiment is skipped at finalize. Its
                         // committed cells stay on disk for --resume.
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                exp.run_cell(cell, &mut ctx)
-                            }));
-                        let rows = match outcome {
-                            Ok(rows) => rows,
+                        let env = CellEnv {
+                            exp,
+                            exp_name: &name,
+                            base_seed: self.base_seed,
+                            inner_threads,
+                            pool: &pool,
+                            ds_map: &plan.layout.maps[ei],
+                        };
+                        match run_cell_guarded(&env, cell, &mut sessions) {
+                            Ok(rows) => {
+                                plan.commit(ei, cell, rows).expect("commit cell rows");
+                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                eprintln!(
+                                    "[{name} {finished}/{}] {} ({:.1}s)",
+                                    plan.pending.len(),
+                                    exp.cell_label(cell),
+                                    cell_t0.elapsed().as_secs_f64()
+                                );
+                            }
                             Err(_) => {
-                                state.failed.store(true, Ordering::Relaxed);
-                                // Only the panicked cell's session can be
-                                // mid-edit; evict it and keep the rest.
-                                sessions.map.remove(&maps[ei][exp.cell_dataset(cell)]);
+                                plan.mark_failed(ei, cell);
                                 eprintln!(
                                     "warning: [{name}] cell {} panicked; {name} will not finalize",
                                     exp.cell_label(cell)
                                 );
-                                results[state.offset + cell].set(Vec::new()).ok();
-                                continue;
                             }
-                        };
-                        state
-                            .store
-                            .write_cell(cell, &rows)
-                            .expect("commit cell rows");
-                        {
-                            let mut m = state.manifest.lock().expect("manifest lock");
-                            m.completed.insert(cell);
-                            m.save(&state.store.manifest_path()).expect("save manifest");
                         }
-                        results[state.offset + cell]
-                            .set(rows)
-                            .expect("cell slot set twice");
-                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                        eprintln!(
-                            "[{name} {finished}/{}] {} ({:.1}s)",
-                            pending.len(),
-                            exp.cell_label(cell),
-                            cell_t0.elapsed().as_secs_f64()
-                        );
                     }
                 });
             }
         });
 
-        // Ordered merge: every experiment sees its cells 0..n in index
-        // order regardless of completion order or cache hits.
-        for (ei, exp) in exps.iter().enumerate() {
-            let state = &states[ei];
-            if state.failed.load(Ordering::Relaxed) {
-                // Drop any stale artifact a previous run left behind so
-                // a failed experiment never ships old data.
-                for artifact in exp.artifacts() {
-                    let _ = std::fs::remove_file(opts.out_dir.join(artifact));
-                }
-                eprintln!(
-                    "warning: [{}] skipped finalize after a cell failure; \
-                     re-run with --resume to retry only the failed cells",
-                    exp.name()
-                );
-                continue;
-            }
-            let rows: Vec<Vec<String>> = (0..state.num_cells)
-                .map(|c| {
-                    results[state.offset + c]
-                        .get()
-                        .expect("all cells resolved")
-                        .clone()
-                })
-                .collect();
-            exp.finalize(opts, &rows);
-        }
+        plan.merge_and_finalize(exps, opts);
         eprintln!(
             "[runner] {} cell(s) ({} cached) in {:.1}s on {} worker thread(s)",
-            total,
+            plan.layout.total,
             cached,
             t0.elapsed().as_secs_f64(),
             workers

@@ -1,0 +1,233 @@
+//! Property tests for the lease state machine in isolation.
+//!
+//! A random interpreter drives a [`LeaseTable`] through arbitrary
+//! interleavings of claim / complete / heartbeat / timeout / crash /
+//! duplicate-delivery, then drains it to completion. The distributed
+//! merge is only correct if three invariants hold under *every*
+//! interleaving:
+//!
+//! 1. no cell is ever lost (the drain always terminates with every cell
+//!    completed),
+//! 2. no cell is ever accepted twice (exactly one `Accepted` per cell,
+//!    ever — re-deliveries are `Duplicate` or `Stale`),
+//! 3. progress is monotone (the completed count never decreases and
+//!    `Done` is only reported when all cells are completed).
+
+use ba_bench::distrib::{ClaimOutcome, CompleteOutcome, LeaseTable};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A worker's belief that it holds `(cell, epoch)`. Beliefs survive
+/// lease expiry on purpose: a stalled worker does not know its lease
+/// lapsed and will still try to complete — the table must sort the
+/// late-but-first from the late-and-overtaken.
+#[derive(Debug, Clone, Copy)]
+struct Belief {
+    worker: u64,
+    cell: usize,
+    epoch: u64,
+}
+
+/// Interpreter state shared by the properties.
+struct Harness {
+    table: LeaseTable,
+    now: u64,
+    timeout: u64,
+    cells: usize,
+    beliefs: Vec<Belief>,
+    /// Every (cell, epoch) completion ever sent — replayed for
+    /// duplicate-delivery coverage.
+    sent: Vec<(usize, u64)>,
+    /// Cells whose completion was `Accepted`. Inserting twice is the
+    /// double-merge bug this whole subsystem exists to prevent.
+    accepted: HashSet<usize>,
+    max_completed_seen: usize,
+}
+
+impl Harness {
+    fn new(cells: usize, timeout: u64, adopted: &[usize]) -> Self {
+        let mut table = LeaseTable::new(cells, timeout);
+        let mut accepted = HashSet::new();
+        for &c in adopted {
+            table.mark_completed(c);
+            accepted.insert(c);
+        }
+        Self {
+            table,
+            now: 0,
+            timeout,
+            cells,
+            beliefs: Vec::new(),
+            sent: Vec::new(),
+            accepted,
+            max_completed_seen: 0,
+        }
+    }
+
+    /// Applies one op decoded from `code`; returns Err on an invariant
+    /// violation.
+    fn step(&mut self, code: u64) -> Result<(), TestCaseError> {
+        let worker = (code >> 8) % 4;
+        match code % 6 {
+            // Claim for a random worker.
+            0 => match self.table.claim(worker, self.now) {
+                ClaimOutcome::Lease { cell, epoch } => {
+                    self.beliefs.push(Belief {
+                        worker,
+                        cell,
+                        epoch,
+                    });
+                }
+                ClaimOutcome::Done => {
+                    prop_assert!(
+                        self.table.all_done(),
+                        "Done reported with {}/{} completed",
+                        self.table.completed(),
+                        self.cells
+                    );
+                }
+                ClaimOutcome::Wait => {}
+            },
+            // A believing worker completes (it may be long expired).
+            1 => {
+                if !self.beliefs.is_empty() {
+                    let b = self
+                        .beliefs
+                        .swap_remove((code >> 16) as usize % self.beliefs.len());
+                    self.complete(b.cell, b.epoch)?;
+                }
+            }
+            // Re-deliver a past completion verbatim.
+            2 => {
+                if !self.sent.is_empty() {
+                    let (cell, epoch) = self.sent[(code >> 16) as usize % self.sent.len()];
+                    let out = self.table.complete(cell, epoch);
+                    prop_assert!(
+                        out != CompleteOutcome::Accepted,
+                        "re-delivered completion for cell {cell} epoch {epoch} was Accepted again"
+                    );
+                }
+            }
+            // Heartbeat a random belief (possibly a dead lease).
+            3 => {
+                if !self.beliefs.is_empty() {
+                    let b = self.beliefs[(code >> 16) as usize % self.beliefs.len()];
+                    self.table.heartbeat(b.cell, b.epoch, self.now);
+                }
+            }
+            // Time passes; expired leases re-pend.
+            4 => {
+                self.now += (code >> 16) % (2 * self.timeout) + 1;
+                self.table.expire(self.now);
+            }
+            // A worker crashes: its leases release, its beliefs die
+            // with the process (it will never send those completions).
+            _ => {
+                self.table.release_worker(worker);
+                self.beliefs.retain(|b| b.worker != worker);
+            }
+        }
+        let done = self.table.completed();
+        prop_assert!(
+            done >= self.max_completed_seen,
+            "completed count went backwards: {} -> {done}",
+            self.max_completed_seen
+        );
+        self.max_completed_seen = done;
+        Ok(())
+    }
+
+    fn complete(&mut self, cell: usize, epoch: u64) -> Result<(), TestCaseError> {
+        self.sent.push((cell, epoch));
+        match self.table.complete(cell, epoch) {
+            CompleteOutcome::Accepted => {
+                prop_assert!(
+                    self.accepted.insert(cell),
+                    "cell {cell} accepted twice (second time at epoch {epoch})"
+                );
+            }
+            CompleteOutcome::Duplicate => {
+                prop_assert!(
+                    self.accepted.contains(&cell),
+                    "Duplicate for cell {cell} that was never accepted"
+                );
+            }
+            CompleteOutcome::Stale => {}
+        }
+        Ok(())
+    }
+
+    /// A fresh worker drains the table: no script, just claim/complete
+    /// until `Done`. Must terminate with every cell completed exactly
+    /// once no matter what the random prefix did.
+    fn drain(&mut self) -> Result<(), TestCaseError> {
+        let budget = 4 * self.cells + 8;
+        for _ in 0..=budget {
+            self.now += self.timeout + 1;
+            self.table.expire(self.now);
+            match self.table.claim(u64::MAX, self.now) {
+                ClaimOutcome::Lease { cell, epoch } => self.complete(cell, epoch)?,
+                ClaimOutcome::Wait => {}
+                ClaimOutcome::Done => {
+                    prop_assert!(self.table.all_done());
+                    prop_assert_eq!(
+                        self.accepted.len(),
+                        self.cells,
+                        "drained table but {} of {} cells were accepted",
+                        self.accepted.len(),
+                        self.cells
+                    );
+                    // Still Done on a re-ask, and still duplicate-safe.
+                    prop_assert_eq!(self.table.claim(0, self.now), ClaimOutcome::Done);
+                    return Ok(());
+                }
+            }
+        }
+        prop_assert!(
+            false,
+            "drain did not terminate within {budget} steps ({}/{} completed)",
+            self.table.completed(),
+            self.cells
+        );
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariants 1–3 under arbitrary interleavings from a clean table.
+    #[test]
+    fn random_interleavings_never_lose_or_double_merge(
+        cells in 1usize..12,
+        timeout in 1u64..40,
+        script in proptest::collection::vec(0u64..u64::MAX, 0..160),
+    ) {
+        let mut h = Harness::new(cells, timeout, &[]);
+        for code in script {
+            h.step(code)?;
+        }
+        h.drain()?;
+    }
+
+    /// Same invariants when a prefix of cells was adopted from the
+    /// artifact store on resume: adopted cells are never re-leased and
+    /// the drain completes exactly the remainder.
+    #[test]
+    fn adopted_cells_compose_with_random_interleavings(
+        cells in 1usize..12,
+        adopt_every in 1usize..4,
+        timeout in 1u64..40,
+        script in proptest::collection::vec(0u64..u64::MAX, 0..120),
+    ) {
+        let adopted: Vec<usize> = (0..cells).step_by(adopt_every).collect();
+        let mut h = Harness::new(cells, timeout, &adopted);
+        for code in script {
+            h.step(code)?;
+        }
+        // Completions can never target adopted cells with Accepted: the
+        // harness seeded them into `accepted`, so a second Accepted
+        // would have tripped the double-merge assert inside step().
+        h.drain()?;
+    }
+}

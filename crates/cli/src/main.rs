@@ -11,6 +11,10 @@
 //! * `serve` — run the epoch-snapshot anomaly-scoring TCP server
 //! * `gen-requests` — derive a deterministic served-traffic request log
 //! * `client` — replay a request log and print the response transcript
+//! * `exp` — run a named experiment suite with the in-process runner
+//! * `tracker` — coordinate a distributed suite run (optionally
+//!   spawning a localhost peer fleet)
+//! * `peer` — join a tracker as a cell-computing worker
 //!
 //! Run `binattack help` for usage. Argument parsing is hand-rolled (the
 //! approved dependency set has no CLI parser; the grammar is small).
@@ -53,6 +57,14 @@ USAGE:
   binattack gen-requests --graph <file> --out <file> [--batches B]
                      [--batch-size S] [--queries Q] [--topk K] [--seed N]
   binattack client   --addr HOST:PORT --requests <file> [--clients N]
+  binattack exp      --exp <fig4|fig5|fig6|table3|table4|all|det>
+                     [--out DIR] [--seed N] [--samples N] [--paper]
+                     [--threads N] [--resume]
+  binattack tracker  --exp NAME --addr HOST:PORT [--peers N]
+                     [--kill-peer NAME] [--lease-ms MS] [--out DIR]
+                     [--seed N] [--samples N] [--paper] [--resume]
+  binattack peer     --exp NAME --addr HOST:PORT [--name NAME]
+                     [--seed N] [--samples N] [--paper]
   binattack help
 ";
 
@@ -73,6 +85,9 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "gen-requests" => cmd_gen_requests(&flags),
         "client" => cmd_client(&flags),
+        "exp" => cmd_exp(&flags),
+        "tracker" => cmd_tracker(&flags),
+        "peer" => cmd_peer(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -466,6 +481,145 @@ fn cmd_client(flags: &Flags) -> Result<(), String> {
         requests.len(),
         t0.elapsed().as_secs_f64()
     );
+    Ok(())
+}
+
+/// Experiment options from the CLI flag map — same flag names and
+/// defaults as `ExpOptions::from_args`, but sourced from the already
+/// parsed subcommand flags.
+fn exp_options(flags: &Flags) -> ba_bench::ExpOptions {
+    let mut opts = ba_bench::ExpOptions::default();
+    if flags.has("paper") {
+        opts.paper = true;
+        opts.samples = 5;
+    }
+    opts.seed = flags.u64_or("seed", opts.seed);
+    opts.samples = flags.usize_or("samples", opts.samples);
+    if let Some(dir) = flags.get("out") {
+        opts.out_dir = std::path::PathBuf::from(dir);
+    }
+    opts.threads = flags.usize_or("threads", opts.threads);
+    opts.resume = flags.has("resume");
+    opts
+}
+
+/// Builds the named suite, with a helpful error naming the registry.
+fn named_suite(
+    flags: &Flags,
+    opts: &ba_bench::ExpOptions,
+) -> Result<Vec<Box<dyn ba_bench::runner::Experiment>>, String> {
+    let name = flags.require("exp")?;
+    ba_bench::distrib::suite_by_name(name, opts).ok_or_else(|| {
+        format!(
+            "unknown suite {name:?} (known: {})",
+            ba_bench::distrib::SUITE_NAMES.join(", ")
+        )
+    })
+}
+
+fn cmd_exp(flags: &Flags) -> Result<(), String> {
+    let opts = exp_options(flags);
+    let suite = named_suite(flags, &opts)?;
+    let refs: Vec<&dyn ba_bench::runner::Experiment> = suite.iter().map(|e| e.as_ref()).collect();
+    ba_bench::runner::ExperimentRunner::new(&opts).run_suite(&refs, &opts);
+    Ok(())
+}
+
+fn cmd_tracker(flags: &Flags) -> Result<(), String> {
+    use ba_bench::distrib::{FirstLeaseHook, Tracker, TrackerConfig};
+    use std::sync::{Arc, Mutex};
+
+    let opts = exp_options(flags);
+    let suite = named_suite(flags, &opts)?;
+    let refs: Vec<&dyn ba_bench::runner::Experiment> = suite.iter().map(|e| e.as_ref()).collect();
+    let cfg = TrackerConfig {
+        lease_ms: flags.u64_or("lease-ms", TrackerConfig::default().lease_ms),
+        kill_peer: flags.get("kill-peer").map(str::to_string),
+        ..TrackerConfig::default()
+    };
+
+    let addr = flags.require("addr")?;
+    let tracker = Tracker::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = tracker.local_addr().to_string();
+
+    // Localhost fleet mode: spawn `--peers N` copies of this binary as
+    // worker processes against the resolved address.
+    let peers = flags.usize_or("peers", 0);
+    let children: Arc<Mutex<Vec<(String, std::process::Child)>>> = Arc::new(Mutex::new(Vec::new()));
+    let exe = std::env::current_exe().map_err(|e| format!("current exe: {e}"))?;
+    let exp_name = flags.require("exp")?;
+    for k in 0..peers {
+        let peer_name = format!("peer-{k}");
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("peer")
+            .arg("--exp")
+            .arg(exp_name)
+            .arg("--addr")
+            .arg(&local)
+            .arg("--name")
+            .arg(&peer_name)
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--samples")
+            .arg(opts.samples.to_string());
+        if opts.paper {
+            cmd.arg("--paper");
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning {peer_name}: {e}"))?;
+        eprintln!("[tracker] spawned {peer_name} (pid {})", child.id());
+        children.lock().expect("children").push((peer_name, child));
+    }
+
+    // Fault injection: kill the named spawned child the moment its
+    // first lease frame is on the wire — provably mid-cell.
+    let hook: Option<FirstLeaseHook> = match (&cfg.kill_peer, peers) {
+        (Some(_), n) if n > 0 => {
+            let children = Arc::clone(&children);
+            Some(Box::new(move |victim: &str| {
+                let mut children = children.lock().expect("children");
+                for (name, child) in children.iter_mut() {
+                    if name == victim {
+                        let _ = child.kill();
+                    }
+                }
+            }))
+        }
+        _ => None,
+    };
+
+    let report = tracker
+        .serve_with_hook(&refs, &opts, &cfg, hook)
+        .map_err(|e| format!("tracker run failed: {e}"))?;
+
+    // Reap the fleet. The injected-kill victim's failure is expected;
+    // any other worker failing means the run was not healthy.
+    let mut children = children.lock().expect("children");
+    for (name, child) in children.iter_mut() {
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting on {name}: {e}"))?;
+        let killed = cfg.kill_peer.as_deref() == Some(name.as_str());
+        if !status.success() && !killed {
+            return Err(format!("worker {name} exited with {status}"));
+        }
+    }
+    if !report.all_ok {
+        return Err("one or more experiments failed to finalize".into());
+    }
+    Ok(())
+}
+
+fn cmd_peer(flags: &Flags) -> Result<(), String> {
+    use ba_bench::distrib::{run_peer, PeerConfig};
+
+    let opts = exp_options(flags);
+    let suite = named_suite(flags, &opts)?;
+    let refs: Vec<&dyn ba_bench::runner::Experiment> = suite.iter().map(|e| e.as_ref()).collect();
+    let addr = flags.require("addr")?;
+    let cfg = PeerConfig::new(addr, flags.get("name").unwrap_or("peer"));
+    run_peer(&refs, &opts, &cfg).map_err(|e| e.to_string())?;
     Ok(())
 }
 

@@ -1,0 +1,186 @@
+//! Process-level fault-injection harness for `binattack tracker` /
+//! `binattack peer` / `binattack exp`, driving the real binary via
+//! `CARGO_BIN_EXE_binattack`:
+//!
+//! * a localhost fleet (`--peers 2`) with `--kill-peer peer-0` — a
+//!   worker *process* dies while holding a lease — must re-lease the
+//!   orphaned cell and still merge CSV and cell record files
+//!   byte-identical to `exp --threads 1`;
+//! * an externally-launched peer process against a `--peers 0` tracker,
+//!   with a raw connection severed mid-frame thrown in, must do the
+//!   same.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const BIN: &str = env!("CARGO_BIN_EXE_binattack");
+/// Cells in the `det` suite (`Fig4Experiment::tiny`): 2 panels × 3
+/// methods × 2 samples.
+const DET_CELLS: usize = 12;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ba_cli_distrib").join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// CSV plus every cell record file of the `det` suite, in index order.
+fn det_artifacts(dir: &Path) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let csv = std::fs::read(dir.join("det.csv")).expect("det.csv");
+    let cells = (0..DET_CELLS)
+        .map(|c| {
+            std::fs::read(
+                dir.join(".cells")
+                    .join("det")
+                    .join(format!("cell_{c:04}.rows")),
+            )
+            .unwrap_or_else(|e| panic!("cell {c} missing: {e}"))
+        })
+        .collect();
+    (csv, cells)
+}
+
+fn reference(dir: &Path) -> (Vec<u8>, Vec<Vec<u8>>) {
+    let out = Command::new(BIN)
+        .args(["exp", "--exp", "det", "--threads", "1", "--seed", "42"])
+        .arg("--out")
+        .arg(dir)
+        .output()
+        .expect("run exp");
+    assert!(
+        out.status.success(),
+        "exp failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    det_artifacts(dir)
+}
+
+#[test]
+fn spawned_fleet_with_killed_worker_matches_single_process() {
+    let ref_dir = fresh_dir("kill_ref");
+    let expected = reference(&ref_dir);
+
+    let fleet_dir = fresh_dir("kill_fleet");
+    let out = Command::new(BIN)
+        .args([
+            "tracker",
+            "--exp",
+            "det",
+            "--addr",
+            "127.0.0.1:0",
+            "--peers",
+            "2",
+            "--kill-peer",
+            "peer-0",
+            "--seed",
+            "42",
+        ])
+        .arg("--out")
+        .arg(&fleet_dir)
+        .output()
+        .expect("run tracker");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "tracker failed:\n{stderr}");
+    assert!(
+        stderr.contains("injected kill of peer-0"),
+        "kill was not injected:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("re-leasing"),
+        "killed worker's lease was not re-leased:\n{stderr}"
+    );
+
+    let got = det_artifacts(&fleet_dir);
+    assert_eq!(
+        got.0, expected.0,
+        "fleet CSV differs from single-process run"
+    );
+    assert_eq!(
+        got.1, expected.1,
+        "fleet cell record files differ from single-process run"
+    );
+}
+
+#[test]
+fn external_peer_process_with_severed_connection_matches_single_process() {
+    let ref_dir = fresh_dir("ext_ref");
+    let expected = reference(&ref_dir);
+
+    // Tracker with no spawned workers: peers join from outside.
+    let fleet_dir = fresh_dir("ext_fleet");
+    let mut tracker = Command::new(BIN)
+        .args([
+            "tracker",
+            "--exp",
+            "det",
+            "--addr",
+            "127.0.0.1:0",
+            "--seed",
+            "42",
+        ])
+        .arg("--out")
+        .arg(&fleet_dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tracker");
+
+    // The readiness line carries the resolved port.
+    let mut tracker_err = BufReader::new(tracker.stderr.take().expect("tracker stderr"));
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            tracker_err.read_line(&mut line).expect("read stderr") > 0,
+            "tracker exited before announcing its address"
+        );
+        if let Some(rest) = line.trim().strip_prefix("[tracker] listening on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("addr token")
+                .to_string();
+        }
+    };
+    // Keep draining so the tracker never blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        let mut rest = String::new();
+        std::io::Read::read_to_string(&mut tracker_err, &mut rest).expect("drain stderr");
+        rest
+    });
+
+    // A raw connection promises 64 bytes, delivers half, and hangs up
+    // mid-frame. The tracker must carry on serving real peers.
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+    raw.write_all(&64u64.to_le_bytes()).unwrap();
+    raw.write_all(b"severed mid-frame").unwrap();
+    drop(raw);
+
+    let peer = Command::new(BIN)
+        .args([
+            "peer", "--exp", "det", "--addr", &addr, "--name", "ext-0", "--seed", "42",
+        ])
+        .output()
+        .expect("run peer");
+    assert!(
+        peer.status.success(),
+        "peer failed:\n{}",
+        String::from_utf8_lossy(&peer.stderr)
+    );
+
+    let status = tracker.wait().expect("wait tracker");
+    let stderr = drain.join().expect("stderr drained");
+    assert!(status.success(), "tracker failed:\n{stderr}");
+
+    let got = det_artifacts(&fleet_dir);
+    assert_eq!(
+        got.0, expected.0,
+        "external-peer CSV differs from single-process run"
+    );
+    assert_eq!(
+        got.1, expected.1,
+        "external-peer cell record files differ from single-process run"
+    );
+}

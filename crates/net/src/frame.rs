@@ -1,4 +1,6 @@
-//! Length-prefixed binary framing over a byte stream.
+//! Length-prefixed binary framing over a byte stream — the one frame
+//! layer every wire in the workspace speaks (the `ba-serve` scoring
+//! service and the `ba-bench` tracker/peer orchestrator).
 //!
 //! Every message — request or response — travels as one *frame*: a
 //! little-endian `u64` payload length followed by exactly that many

@@ -1,0 +1,22 @@
+//! # ba-net
+//!
+//! Shared network plumbing for every wire-speaking crate in the
+//! workspace. Two layers, both dependency-free:
+//!
+//! * [`frame`] — length-prefixed binary framing (a little-endian `u64`
+//!   payload length, then the payload). The reader distinguishes clean
+//!   closes, severed connections (EOF mid-header or mid-payload), and
+//!   rejected headers (zero-length or oversized), so a dying peer can
+//!   never leave a torn message. Extracted verbatim from `ba-serve`,
+//!   which re-exports it — the scoring service and the experiment
+//!   tracker speak the exact same frame layer.
+//! * [`wire`] — primitive message codecs (`u8`/`u64`/UTF-8 strings /
+//!   string lists) over a byte buffer, with strict truncation and
+//!   trailing-byte detection. Protocol crates build their typed
+//!   encode/decode on these so every message round-trips exactly.
+
+pub mod frame;
+pub mod wire;
+
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
+pub use wire::{WireReader, WireWriter};

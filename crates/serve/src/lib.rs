@@ -43,10 +43,14 @@
 
 pub mod client;
 pub mod epoch;
-pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod workload;
+
+/// The framing layer, shared with the experiment tracker — re-exported
+/// from [`ba_net`] so `ba_serve::frame::*` paths keep working with zero
+/// duplicated frame code.
+pub use ba_net::frame;
 
 pub use client::{replay, ClientError, Connection};
 pub use epoch::{EpochStore, ServeState};

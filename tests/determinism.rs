@@ -17,43 +17,16 @@
 //!    snapshot continues with byte-identical output.
 
 use ba_bench::artifact::Manifest;
-use ba_bench::experiments::{Fig4Experiment, Fig4Method, Fig4Panel};
-use ba_bench::runner::{DatasetSpec, ExperimentRunner};
+use ba_bench::experiments::Fig4Experiment;
+use ba_bench::runner::ExperimentRunner;
 use ba_bench::ExpOptions;
-use binarized_attack::datasets::Dataset;
 use std::path::{Path, PathBuf};
 
-/// A seconds-scale fig4 instance: two half-panels, all three methods,
-/// two target samples — 12 cells.
+/// The seconds-scale fig4 instance shared with the distributed tests
+/// and the CI smoke (`Fig4Experiment::tiny`): two tiny panels, all
+/// three methods, two target samples — 12 cells.
 fn tiny_fig4(name: &str) -> Fig4Experiment {
-    Fig4Experiment {
-        name: name.to_string(),
-        csv_name: format!("{name}.csv"),
-        panels: vec![
-            Fig4Panel {
-                label: "ER".to_string(),
-                spec: DatasetSpec::scaled(Dataset::Er, 150, 550),
-                num_targets: 4,
-                budget_frac: 0.012,
-            },
-            Fig4Panel {
-                label: "BA".to_string(),
-                spec: DatasetSpec::scaled(Dataset::Ba, 150, 450),
-                num_targets: 4,
-                budget_frac: 0.015,
-            },
-        ],
-        methods: vec![
-            Fig4Method::Binarized,
-            Fig4Method::GradMax,
-            Fig4Method::Continuous,
-        ],
-        samples: 2,
-        pool: 20,
-        bin_iters: 40,
-        bin_lambdas: vec![0.02],
-        cont_iters: 8,
-    }
+    Fig4Experiment::tiny(name)
 }
 
 fn opts_for(dir: &Path, threads: usize, resume: bool) -> ExpOptions {
