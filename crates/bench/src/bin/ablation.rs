@@ -109,5 +109,6 @@ fn main() {
     run("cliquebreaker heuristic", &CliqueBreaker::default());
     run("random floor", &RandomAttack::default());
 
-    opts.write_csv("ablation.csv", "variant,tau_as,seconds", &csv);
+    opts.write_csv("ablation.csv", "variant,tau_as,seconds", &csv)
+        .expect("write csv");
 }

@@ -125,5 +125,6 @@ fn main() {
             ks_e.p_value
         ));
     }
-    opts.write_csv("defense_extension.csv", "dataset,defence,tau_or_p", &csv);
+    opts.write_csv("defense_extension.csv", "dataset,defence,tau_or_p", &csv)
+        .expect("write csv");
 }

@@ -116,7 +116,8 @@ fn main() {
         .metric("incremental_s", inc_s, "s")
         .metric("full_s", full_s, "s")
         .metric("speedup", speedup, "x")
-        .write_if_requested(&args);
+        .write_if_requested(&args)
+        .expect("write bench json");
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: incremental path is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

@@ -113,5 +113,6 @@ fn main() {
         "fig10.csv",
         "dataset,budget,tau_ols,tau_huber,tau_ransac",
         &csv,
-    );
+    )
+    .expect("write csv");
 }

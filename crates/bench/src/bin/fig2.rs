@@ -43,6 +43,7 @@ fn main() {
             &format!("fig2_{}.csv", d.name().to_lowercase().replace('-', "_")),
             "node,log_n,log_e,ascore",
             &rows,
-        );
+        )
+        .expect("write csv");
     }
 }

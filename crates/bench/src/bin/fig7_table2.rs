@@ -80,11 +80,13 @@ fn main() {
                     "fig7_density.csv",
                     "feature,x,density_clean,density_poisoned",
                     &rows,
-                );
+                )
+                .expect("write csv");
             }
         }
     }
-    opts.write_csv("table2.csv", "run,dataset,p_n,p_e", &table_csv);
+    opts.write_csv("table2.csv", "run,dataset,p_n,p_e", &table_csv)
+        .expect("write csv");
     println!(
         "\n(paper: p(N) ~ 0.56-0.75 never significant; p(E) 0.005-0.14, one Wikivote run < 0.01)"
     );

@@ -133,5 +133,6 @@ fn main() {
         "fig8_fig9_tsne.csv",
         "figure,dataset,graph,node,x,y,is_target",
         &csv,
-    );
+    )
+    .expect("write csv");
 }

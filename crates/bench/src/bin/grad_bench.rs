@@ -102,7 +102,8 @@ fn main() {
         .metric("sparse_s", sparse_s, "s")
         .metric("dense_s", dense_s, "s")
         .metric("speedup", speedup, "x")
-        .write_if_requested(&args);
+        .write_if_requested(&args)
+        .expect("write bench json");
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: sparse path is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

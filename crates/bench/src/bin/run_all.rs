@@ -32,7 +32,10 @@ fn main() {
     let table3 = Table3Experiment::standard(&opts);
     let table4 = Table4Experiment::standard(&opts);
     let suite: [&dyn Experiment; 5] = [&fig4, &fig5, &fig6, &table3, &table4];
-    ExperimentRunner::new(&opts).run_suite(&suite, &opts);
+    if let Err(e) = ExperimentRunner::new(&opts).run_suite(&suite, &opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 
     // The remaining binaries are scalar reports or diagnostics with no
     // grid to fan out; they keep their child-process path.

@@ -227,7 +227,8 @@ fn main() {
         .metric("loss_hits", stats.loss_hits as f64, "count")
         .metric("outcome_hits", stats.outcome_hits as f64, "count")
         .metric("outcome_misses", stats.outcome_misses as f64, "count")
-        .write_if_requested(&args);
+        .write_if_requested(&args)
+        .expect("write bench json");
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: memoized sweep is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

@@ -44,5 +44,6 @@ fn main() {
         "table1.csv",
         "dataset,nodes,edges,paper_nodes,paper_edges,avg_clustering",
         &csv,
-    );
+    )
+    .expect("write csv");
 }

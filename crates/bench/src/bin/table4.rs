@@ -18,5 +18,8 @@ use ba_bench::ExpOptions;
 fn main() {
     let opts = ExpOptions::from_args();
     let exp = Table4Experiment::standard(&opts);
-    ExperimentRunner::new(&opts).run(&exp, &opts);
+    if let Err(e) = ExperimentRunner::new(&opts).run(&exp, &opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

@@ -133,6 +133,7 @@ fn connect(cfg: &PeerConfig) -> io::Result<TcpStream> {
 /// Writes one peer frame under the shared writer lock (claim loop and
 /// heartbeat thread interleave whole frames, never bytes).
 fn send(writer: &Mutex<BufWriter<TcpStream>>, msg: &PeerMsg) -> io::Result<()> {
+    // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
     let mut w = writer.lock().expect("peer writer");
     write_frame(&mut *w, &encode_peer(msg))
 }
@@ -198,6 +199,7 @@ pub fn run_peer(
                     continue;
                 }
                 since_beat = Duration::ZERO;
+                // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
                 let lease = *current.lock().expect("current lease");
                 if let Some((cell, epoch)) = lease {
                     if send(&writer, &PeerMsg::Heartbeat { cell, epoch }).is_err() {
@@ -212,6 +214,7 @@ pub fn run_peer(
                 send(&writer, &PeerMsg::Claim)?;
                 match recv(&mut reader)? {
                     TrackerMsg::Lease { cell, epoch } => {
+                        // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
                         *current.lock().expect("current lease") = Some((cell, epoch));
                         let (ei, local) = layout.split_flat(cell as usize).ok_or_else(|| {
                             PeerError::Protocol(format!("lease for out-of-range cell {cell}"))
@@ -239,6 +242,7 @@ pub fn run_peer(
                         };
                         send(&writer, &msg)?;
                         let ack = recv(&mut reader)?;
+                        // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
                         *current.lock().expect("current lease") = None;
                         match ack {
                             TrackerMsg::Ack { status } => {

@@ -177,7 +177,7 @@ impl Tracker {
         cfg: &TrackerConfig,
         hook: Option<FirstLeaseHook>,
     ) -> io::Result<TrackerReport> {
-        let plan = SuitePlan::build(exps, opts, opts.resume);
+        let plan = SuitePlan::build(exps, opts, opts.resume)?;
         let total = plan.layout.total;
         let adopted = total - plan.pending.len();
 
@@ -239,6 +239,7 @@ impl Tracker {
                     std::thread::sleep(std::time::Duration::from_millis(tick));
                     let now = shared.now_ms();
                     let (expired, done) = {
+                        // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
                         let mut table = shared.table.lock().expect("lease table");
                         (table.expire(now), table.all_done())
                     };
@@ -313,7 +314,9 @@ impl Tracker {
             ));
         }
 
-        let all_ok = plan.merge_and_finalize(exps, opts);
+        let all_ok = plan
+            .merge_and_finalize(exps, opts)
+            .map_err(io::Error::other)?;
         let report = TrackerReport {
             adopted,
             computed: shared.computed.load(Ordering::Relaxed),
@@ -411,6 +414,7 @@ fn serve_peer(stream: TcpStream, shared: &Shared<'_, '_>) {
         let reply = match msg {
             PeerMsg::Claim => {
                 let outcome = {
+                    // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
                     let mut table = shared.table.lock().expect("lease table");
                     table.claim(worker, shared.now_ms())
                 };
@@ -470,6 +474,7 @@ fn serve_peer(stream: TcpStream, shared: &Shared<'_, '_>) {
                 TrackerMsg::Ack { status }
             }
             PeerMsg::Heartbeat { cell, epoch } => {
+                // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
                 let mut table = shared.table.lock().expect("lease table");
                 table.heartbeat(cell as usize, epoch, shared.now_ms());
                 continue; // fire-and-forget: no reply frame
@@ -492,6 +497,7 @@ fn serve_peer(stream: TcpStream, shared: &Shared<'_, '_>) {
 /// the outcome counters.
 fn settle(shared: &Shared<'_, '_>, cell: u64, epoch: u64) -> CompleteOutcome {
     let status = {
+        // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
         let mut table = shared.table.lock().expect("lease table");
         table.complete(cell as usize, epoch)
     };
@@ -515,25 +521,35 @@ fn accept_rows(
     rows: Result<Vec<String>, String>,
     from: &str,
 ) {
-    let (ei, cell) = shared
-        .plan
-        .layout
-        .split_flat(flat)
-        .expect("accepted cell in range");
+    // Defensive against a buggy peer: an out-of-range flat index is
+    // dropped with a warning instead of panicking the tracker.
+    let Some((ei, cell)) = shared.plan.layout.split_flat(flat) else {
+        eprintln!("warning: [tracker] {from} reported out-of-range cell {flat}; ignoring");
+        return;
+    };
     let exp = shared.exps[ei];
     let name = exp.name();
     match rows {
-        Ok(rows) => {
-            shared
-                .plan
-                .commit(ei, cell, rows)
-                .expect("commit cell rows");
-            let done = shared.computed.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!(
-                "[tracker {done}] {name} {} from {from}",
-                exp.cell_label(cell)
-            );
-        }
+        // A commit failure is an unwritable artifact store: fail the
+        // experiment (like a remote panic) instead of panicking the
+        // tracker, so the other experiments still merge.
+        Ok(rows) => match shared.plan.commit(ei, cell, rows) {
+            Ok(()) => {
+                let done = shared.computed.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[tracker {done}] {name} {} from {from}",
+                    exp.cell_label(cell)
+                );
+            }
+            Err(e) => {
+                shared.plan.mark_failed(ei, cell);
+                eprintln!(
+                    "warning: [{name}] cell {} commit failed ({e}); \
+                     {name} will not finalize",
+                    exp.cell_label(cell)
+                );
+            }
+        },
         Err(reason) => {
             shared.plan.mark_failed(ei, cell);
             eprintln!(
@@ -544,6 +560,7 @@ fn accept_rows(
         }
     }
     let done = {
+        // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
         let table = shared.table.lock().expect("lease table");
         table.all_done()
     };
@@ -555,6 +572,7 @@ fn accept_rows(
 /// Re-pends every cell the worker still holds and logs the re-lease.
 fn release(shared: &Shared<'_, '_>, worker: u64, name: &str) {
     let released = {
+        // ba-lint: allow(panic-path) -- a poisoned lock means another thread already panicked; propagating that panic is the correct escalation
         let mut table = shared.table.lock().expect("lease table");
         table.release_worker(worker)
     };

@@ -6,8 +6,9 @@
 //! concurrently.
 
 use crate::artifact::{dec_curve, enc_curve};
+use crate::experiments::corrupt;
 use crate::runner::{CellCtx, DatasetSpec, Experiment};
-use crate::{average_padded, f4, sample_from_pool, target_pool, ExpOptions};
+use crate::{average_padded, f4, sample_from_pool, target_pool, BenchError, ExpOptions};
 use ba_core::{
     AttackConfig, AttackError, AttackOutcome, BinarizedAttack, ContinuousA, GradMaxSearch,
     StructuralAttack,
@@ -178,6 +179,7 @@ impl Fig4Experiment {
         specs
             .iter()
             .position(|&s| s == self.panels[panel].spec)
+            // ba-lint: allow(panic-path) -- datasets() is built by inserting every panel's spec, so the position always exists; a miss is a logic bug worth crashing on
             .expect("panel spec present")
     }
 }
@@ -280,7 +282,7 @@ impl Experiment for Fig4Experiment {
         rows
     }
 
-    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) {
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError> {
         println!(
             "FIG 4: tau_as vs edges changed (%) — mean over {} target samples",
             self.samples
@@ -290,18 +292,20 @@ impl Experiment for Fig4Experiment {
             let meta = meta_fields(&cells[self.cell_index(p, 0, 0)][0]);
             let (nodes, edges, budget) = (meta("nodes"), meta("edges"), meta("budget"));
             // Mean τ_as curve per method over its sample-cells.
-            let mean_curves: Vec<Vec<f64>> = (0..self.methods.len())
-                .map(|mi| {
-                    let curves: Vec<Vec<f64>> = (0..self.samples)
-                        .filter_map(|s| {
-                            let payload = &cells[self.cell_index(p, mi, s)][1];
-                            (!payload.starts_with("failed"))
-                                .then(|| dec_curve(payload).expect("valid curve payload"))
-                        })
-                        .collect();
-                    average_padded(&curves, budget + 1)
-                })
-                .collect();
+            let mut mean_curves: Vec<Vec<f64>> = Vec::with_capacity(self.methods.len());
+            for mi in 0..self.methods.len() {
+                let mut curves: Vec<Vec<f64>> = Vec::new();
+                for s in 0..self.samples {
+                    let payload = &cells[self.cell_index(p, mi, s)][1];
+                    if payload.starts_with("failed") {
+                        continue;
+                    }
+                    curves.push(dec_curve(payload).ok_or_else(|| {
+                        corrupt(&self.name, format!("curve payload of {}/s{s}", panel.label))
+                    })?);
+                }
+                mean_curves.push(average_padded(&curves, budget + 1));
+            }
 
             println!(
                 "\n=== {} (n={nodes}, m={edges}, budget={budget} = {:.2}% edges) ===",
@@ -336,7 +340,8 @@ impl Experiment for Fig4Experiment {
         for m in &self.methods {
             header.push_str(&format!(",tau_{}", m.column()));
         }
-        opts.write_csv(&self.csv_name, &header, &csv);
+        opts.write_csv(&self.csv_name, &header, &csv)?;
+        Ok(())
     }
 }
 

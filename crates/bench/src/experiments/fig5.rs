@@ -4,7 +4,7 @@
 //! constraints, so they are fully independent.
 
 use crate::runner::{CellCtx, DatasetSpec, Experiment};
-use crate::{target_pool, ExpOptions};
+use crate::{target_pool, BenchError, ExpOptions};
 use ba_core::{AttackConfig, BinarizedAttack, EdgeOpKind, StructuralAttack};
 use ba_datasets::Dataset;
 use ba_graph::{DeltaOverlay, EditableGraph};
@@ -75,15 +75,31 @@ impl Experiment for Fig5Experiment {
             op_kind: kind,
             ..AttackConfig::default()
         };
-        let session = ctx.session(0, &[target]).expect("valid target");
-        let outcome = BinarizedAttack::new(cfg)
-            .with_iterations(self.iterations)
-            .attack_with_session(session, self.budget)
-            .expect("fig5 attack");
+        // Attack and refit errors fail this case's cell gracefully (the
+        // fig6 convention): the reason rides in the record row and
+        // finalize reports the failed case instead of panicking a
+        // worker.
+        let outcome = match ctx.session(0, &[target]).and_then(|session| {
+            BinarizedAttack::new(cfg)
+                .with_iterations(self.iterations)
+                .attack_with_session(session, self.budget)
+        }) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("warning: fig5 {case} attack failed: {e}");
+                return vec![format!("failed,{case},{e}")];
+            }
+        };
         let b = outcome.max_budget();
         let mut poisoned = DeltaOverlay::new(ctx.csr(0));
         poisoned.apply_ops(outcome.ops(b));
-        let model_after = OddBall::default().fit(&poisoned).expect("fit poisoned");
+        let model_after = match OddBall::default().fit(&poisoned) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("warning: fig5 {case} poisoned refit failed: {e}");
+                return vec![format!("failed,{case},{e}")];
+            }
+        };
         let feats_b = model.features();
         let feats_a = model_after.features();
         let adds = outcome.ops(b).iter().filter(|op| op.added).count();
@@ -119,8 +135,16 @@ impl Experiment for Fig5Experiment {
         ]
     }
 
-    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) {
-        let mut meta = cells[0][0].split(',').skip(1);
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError> {
+        // A failed case ships no table row: the reason was recorded in
+        // its cell, the healthy cases still print and land in the CSV.
+        let ok = |rows: &&Vec<String>| !rows[0].starts_with("failed,");
+        let mut meta = cells
+            .iter()
+            .find(ok)
+            .map(|rows| rows[0].split(',').skip(1))
+            .into_iter()
+            .flatten();
         println!(
             "FIG 5: single-target case studies (Wikivote-like, n={}, m={})",
             meta.next().unwrap_or("?"),
@@ -130,15 +154,21 @@ impl Experiment for Fig5Experiment {
             "{:>18} {:>7} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6}",
             "case", "target", "S_before", "S_after", "N_b", "E_b", "N_a", "E_a", "#add", "#del"
         );
+        let mut csv = Vec::new();
         for rows in cells {
+            if let Some(reason) = rows[0].strip_prefix("failed,") {
+                eprintln!("warning: fig5 case unavailable: {reason}");
+                continue;
+            }
             println!("{}", rows[1]);
+            csv.push(rows[2].clone());
         }
-        let csv: Vec<String> = cells.iter().map(|rows| rows[2].clone()).collect();
         opts.write_csv(
             "fig5.csv",
             "case,target,score_before,score_after,n_before,e_before,n_after,e_after,adds,deletes",
             &csv,
-        );
+        )?;
         println!("\n(paper anchors: 6.05->0.69 add-only, 8.4->0.29 delete-only, 5.34->0.42 both)");
+        Ok(())
     }
 }

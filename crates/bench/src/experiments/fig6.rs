@@ -4,9 +4,10 @@
 //! splitting them would re-run the attack per group. Parallelism comes
 //! from pooling this cell with other experiments' cells in `run_all`.
 
-use crate::artifact::{dec_curve, dec_f64, enc_curve, enc_f64};
+use crate::artifact::{dec_curve, enc_curve, enc_f64};
+use crate::experiments::{corrupt, dec_field};
 use crate::runner::{CellCtx, DatasetSpec, Experiment};
-use crate::{f4, ExpOptions};
+use crate::{f4, BenchError, ExpOptions};
 use ba_core::{AttackConfig, AttackOutcome, BinarizedAttack, StructuralAttack};
 use ba_datasets::Dataset;
 use ba_graph::{DeltaOverlay, EditableGraph, NodeId};
@@ -185,7 +186,7 @@ impl Experiment for Fig6Experiment {
         rows
     }
 
-    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) {
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError> {
         let rows = &cells[0];
         // A whole-cell failure (the attack itself) ships empty artifacts
         // plus a warning instead of panicking the finalize pass, so the
@@ -194,15 +195,15 @@ impl Experiment for Fig6Experiment {
         // without `--resume` recomputes it.
         if let Some(reason) = rows[0].strip_prefix("failed,") {
             eprintln!("warning: fig6 produced no figure: {reason}");
-            opts.write_csv("fig6_groups.csv", "budget,tau_low,tau_medium,tau_high", &[]);
-            opts.write_csv("fig6_regression.csv", "series,x_or_beta0,y_or_beta1", &[]);
-            return;
+            opts.write_csv("fig6_groups.csv", "budget,tau_low,tau_medium,tau_high", &[])?;
+            opts.write_csv("fig6_regression.csv", "series,x_or_beta0,y_or_beta1", &[])?;
+            return Ok(());
         }
         let qs: Vec<f64> = rows[0]
             .split(',')
             .skip(1)
-            .map(|s| dec_f64(s).expect("q payload"))
-            .collect();
+            .map(|s| dec_field("fig6", "q payload", s))
+            .collect::<Result<_, _>>()?;
         println!(
             "FIG 6: Blogcatalog-like, percentile thresholds q1={:.4} (10%), q2={:.4} (90%)",
             qs[0], qs[1]
@@ -216,10 +217,16 @@ impl Experiment for Fig6Experiment {
         for row in rows.iter().skip(1) {
             let parts: Vec<&str> = row.split(',').collect();
             match parts[0] {
-                "groupcurve" => curves.push((
-                    parts[1].to_string(),
-                    (parts[2] != "failed").then(|| dec_curve(parts[2]).expect("curve payload")),
-                )),
+                "groupcurve" => {
+                    let curve = if parts[2] == "failed" {
+                        None
+                    } else {
+                        Some(dec_curve(parts[2]).ok_or_else(|| {
+                            corrupt("fig6", format!("{} curve payload", parts[1]))
+                        })?)
+                    };
+                    curves.push((parts[1].to_string(), curve));
+                }
                 "beta" if parts[2] == "failed" => {
                     eprintln!(
                         "warning: fig6 {} regression unavailable: {}",
@@ -229,17 +236,17 @@ impl Experiment for Fig6Experiment {
                 }
                 "beta" => betas.push((
                     parts[1].to_string(),
-                    dec_f64(parts[2]).expect("beta0"),
-                    dec_f64(parts[3]).expect("beta1"),
+                    dec_field("fig6", "beta0", parts[2])?,
+                    dec_field("fig6", "beta1", parts[3])?,
                 )),
                 "scatter" => scatter.push(format!(
                     "scatter_{}_{},{:.6},{:.6}",
                     parts[1],
                     parts[2],
-                    dec_f64(parts[3]).expect("x"),
-                    dec_f64(parts[4]).expect("y")
+                    dec_field("fig6", "scatter x", parts[3])?,
+                    dec_field("fig6", "scatter y", parts[4])?
                 )),
-                other => panic!("unknown fig6 record {other:?}"),
+                other => return Err(corrupt("fig6", format!("unknown record {other:?}"))),
             }
         }
 
@@ -269,7 +276,7 @@ impl Experiment for Fig6Experiment {
             "fig6_groups.csv",
             "budget,tau_low,tau_medium,tau_high",
             &csv,
-        );
+        )?;
 
         let mut reg_csv = Vec::new();
         for (tag, b0, b1) in &betas {
@@ -289,7 +296,8 @@ impl Experiment for Fig6Experiment {
             "fig6_regression.csv",
             "series,x_or_beta0,y_or_beta1",
             &reg_csv,
-        );
+        )?;
+        Ok(())
     }
 }
 
@@ -317,7 +325,8 @@ mod tests {
             budget: 20,
         };
         let opts = opts("whole");
-        exp.finalize(&opts, &[vec!["failed,empty target set".to_string()]]);
+        exp.finalize(&opts, &[vec!["failed,empty target set".to_string()]])
+            .unwrap();
         let groups = std::fs::read_to_string(opts.out_dir.join("fig6_groups.csv")).unwrap();
         assert_eq!(groups, "budget,tau_low,tau_medium,tau_high\n");
         assert!(opts.out_dir.join("fig6_regression.csv").exists());
@@ -342,7 +351,7 @@ mod tests {
             "beta,poisoned,failed,regression failed: degenerate".to_string(),
             format!("scatter,clean,low,{},{}", enc_f64(1.0), enc_f64(2.0)),
         ];
-        exp.finalize(&opts, &[rows]);
+        exp.finalize(&opts, &[rows]).unwrap();
         let groups = std::fs::read_to_string(opts.out_dir.join("fig6_groups.csv")).unwrap();
         assert!(groups.contains("NaN"), "{groups}");
         assert!(groups.contains("0,0,NaN,0"), "{groups}");

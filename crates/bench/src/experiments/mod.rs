@@ -15,6 +15,21 @@ pub mod fig6;
 pub mod table3;
 pub mod table4;
 
+/// A [`crate::BenchError::Corrupt`] for experiment `exp`: a committed
+/// cell record that no longer decodes at merge time.
+pub(crate) fn corrupt(exp: &str, detail: impl Into<String>) -> crate::BenchError {
+    crate::BenchError::Corrupt {
+        experiment: exp.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Decodes one exact-bits float field of a cell record, naming the
+/// field and raw payload on failure.
+pub(crate) fn dec_field(exp: &str, what: &str, s: &str) -> Result<f64, crate::BenchError> {
+    crate::artifact::dec_f64(s).ok_or_else(|| corrupt(exp, format!("{what}: {s:?}")))
+}
+
 pub use fig4::{Fig4Experiment, Fig4Method, Fig4Panel};
 pub use fig5::Fig5Experiment;
 pub use fig6::Fig6Experiment;

@@ -3,9 +3,10 @@
 //! [`crate::experiments::table3`]; budgets are absolute edge counts as
 //! in the paper's table.
 
-use crate::artifact::{dec_f64, enc_f64};
+use crate::artifact::enc_f64;
+use crate::experiments::{corrupt, dec_field};
 use crate::runner::{CellCtx, DatasetSpec, Experiment};
-use crate::ExpOptions;
+use crate::{BenchError, ExpOptions};
 use ba_core::{AttackConfig, BinarizedAttack, StructuralAttack};
 use ba_datasets::Dataset;
 use ba_gad::{
@@ -86,12 +87,22 @@ impl Experiment for Table4Experiment {
             return rows;
         }
 
-        let session = ctx.session(cell, &targets).expect("valid targets");
-        let outcome = BinarizedAttack::new(AttackConfig::default())
-            .with_iterations(self.attack_iters)
-            .with_lambdas(vec![0.01, 0.05])
-            .attack_with_session(session, max_budget)
-            .expect("table4 attack");
+        // An attack error fails the dataset's poisoned rows gracefully
+        // (fig6 convention): the clean row still ships, the reason rides
+        // in the record, and no worker panics.
+        let outcome = match ctx.session(cell, &targets).and_then(|session| {
+            BinarizedAttack::new(AttackConfig::default())
+                .with_iterations(self.attack_iters)
+                .with_lambdas(vec![0.01, 0.05])
+                .attack_with_session(session, max_budget)
+        }) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("warning: table4 attack on {} failed: {e}", d.name());
+                rows.push(format!("failed,{e}"));
+                return rows;
+            }
+        };
 
         let mut b = step;
         while b <= max_budget {
@@ -110,7 +121,7 @@ impl Experiment for Table4Experiment {
         rows
     }
 
-    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) {
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError> {
         println!("TABLE IV: ReFeX transfer attack (AUC / F1 / delta_B)");
         let mut csv = Vec::new();
         for rows in cells {
@@ -119,28 +130,33 @@ impl Experiment for Table4Experiment {
             println!("\n--- {name} (n={n}, m={m}, {ntargets} identified targets) ---");
             println!("{:>8} {:>8} {:>8} {:>8}", "B", "AUC", "F1", "dB(%)");
             let clean: Vec<&str> = rows[1].split(',').collect();
-            let (auc, f1) = (
-                dec_f64(clean[1]).expect("auc"),
-                dec_f64(clean[2]).expect("f1"),
-            );
+            let auc = dec_field("table4", "clean auc", clean[1])?;
+            let f1 = dec_field("table4", "clean f1", clean[2])?;
             println!("{:>8} {auc:>8.3} {f1:>8.3} {:>8.2}", 0, 0.0);
             csv.push(format!("{name},0,{auc:.4},{f1:.4},0.0"));
             if rows.len() <= 2 {
                 eprintln!("warning: no targets identified; skipping dataset");
                 continue;
             }
+            if let Some(reason) = rows[2].strip_prefix("failed,") {
+                eprintln!("warning: table4 {name} attack rows unavailable: {reason}");
+                continue;
+            }
             for row in rows.iter().skip(2) {
                 let parts: Vec<&str> = row.split(',').collect();
-                let b: usize = parts[1].parse().expect("budget");
-                let auc = dec_f64(parts[2]).expect("auc");
-                let f1 = dec_f64(parts[3]).expect("f1");
-                let db = dec_f64(parts[4]).expect("db");
+                let b: usize = parts[1]
+                    .parse()
+                    .map_err(|_| corrupt("table4", format!("budget: {:?}", parts[1])))?;
+                let auc = dec_field("table4", "auc", parts[2])?;
+                let f1 = dec_field("table4", "f1", parts[3])?;
+                let db = dec_field("table4", "db", parts[4])?;
                 println!("{b:>8} {auc:>8.3} {f1:>8.3} {db:>8.2}");
                 csv.push(format!("{name},{b},{auc:.4},{f1:.4},{db:.3}"));
             }
         }
-        opts.write_csv("table4.csv", "dataset,budget,auc,f1,delta_b_pct", &csv);
+        opts.write_csv("table4.csv", "dataset,budget,auc,f1,delta_b_pct", &csv)?;
         println!("\n(paper: Bitcoin-Alpha AUC 0.79->0.72, dB up to 33.3%;");
         println!(" Wikivote AUC 0.84->0.66, dB up to 56.4%)");
+        Ok(())
     }
 }

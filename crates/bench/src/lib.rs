@@ -61,6 +61,50 @@ impl Default for ExpOptions {
     }
 }
 
+/// Harness-level failure: artifact/CSV IO, or a committed cell record
+/// that no longer decodes at merge time. The runner surfaces it so the
+/// thin experiment binaries can exit non-zero with context instead of
+/// panicking a worker (lint rule `panic-path`).
+#[derive(Debug)]
+pub enum BenchError {
+    /// Filesystem failure in the CSV/artifact layer.
+    Io(std::io::Error),
+    /// A cell record failed to decode on merge (truncated or hand-edited
+    /// artifact store); `--resume` after deleting the store recomputes.
+    Corrupt {
+        /// Experiment whose record is bad.
+        experiment: String,
+        /// Which field failed to decode, and its raw payload.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "artifact io: {e}"),
+            BenchError::Corrupt { experiment, detail } => {
+                write!(f, "corrupt {experiment} cell record: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Io(e) => Some(e),
+            BenchError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
 impl ExpOptions {
     /// Parses options from the process arguments.
     pub fn from_args() -> Self {
@@ -111,16 +155,17 @@ impl ExpOptions {
     }
 
     /// Writes a CSV artefact, creating the output directory on demand.
-    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
-        std::fs::create_dir_all(&self.out_dir).expect("create experiment output dir");
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.out_dir)?;
         let path = self.out_dir.join(name);
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv file"));
-        writeln!(f, "{header}").unwrap();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{header}")?;
         for row in rows {
-            writeln!(f, "{row}").unwrap();
+            writeln!(f, "{row}")?;
         }
-        f.flush().unwrap();
+        f.flush()?;
         println!("[csv] wrote {}", path.display());
+        Ok(())
     }
 }
 
@@ -156,6 +201,7 @@ pub fn sample_targets<V: GraphView + ?Sized>(
 ) -> Vec<NodeId> {
     let model = OddBall::default()
         .fit(g)
+        // ba-lint: allow(panic-path) -- sampling precedes every attack; a detector that cannot fit the clean graph voids the whole experiment, so abort with context
         .expect("OddBall fit for target sampling");
     sample_from_pool(&target_pool(&model, pool), count, seed)
 }

@@ -98,15 +98,16 @@ impl BenchReport {
     /// `args`, writes [`BenchReport::to_json`] atomically to `PATH` and
     /// logs it — the machine-readable half of the CI perf-trend
     /// artifacts.
-    pub fn write_if_requested(&self, args: &[String]) {
+    pub fn write_if_requested(&self, args: &[String]) -> std::io::Result<()> {
         if let Some(path) = args
             .iter()
             .position(|a| a == "--json")
             .and_then(|i| args.get(i + 1))
         {
-            write_atomic(Path::new(path), &self.to_json()).expect("write bench json");
+            write_atomic(Path::new(path), &self.to_json())?;
             eprintln!("[json] wrote {path}");
         }
+        Ok(())
     }
 }
 

@@ -29,14 +29,14 @@
 //! workspace root.
 
 use crate::artifact::{CellStore, Manifest};
-use crate::ExpOptions;
+use crate::{BenchError, ExpOptions};
 use ba_core::{AttackError, AttackSession};
 use ba_datasets::Dataset;
 use ba_graph::{CsrGraph, Graph, NodeId};
 use ba_oddball::{OddBall, OddBallModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -246,14 +246,19 @@ pub trait Experiment: Sync {
 
     /// Merges all cells' rows — presented in cell-index order, whether
     /// computed or reloaded — into the final report and CSV artifacts.
-    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]);
+    /// Fails on artifact IO errors or cell records that no longer
+    /// decode (a truncated or hand-edited store).
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError>;
 }
 
 /// Per-worker reusable attack sessions, keyed by global substrate index.
 /// One per in-process pool worker; one per distributed peer process.
+/// `BTreeMap` keeps the runner free of randomized-iteration containers
+/// (determinism rule R2); it holds a handful of entries, so the log-n
+/// lookup is irrelevant.
 #[derive(Default)]
 pub(crate) struct SessionCache<'p> {
-    map: HashMap<usize, AttackSession<'p>>,
+    map: BTreeMap<usize, AttackSession<'p>>,
 }
 
 /// What a cell sees while it runs: the shared substrates, its derived
@@ -333,12 +338,12 @@ impl<'p> CellCtx<'p, '_> {
         let global = self.ds_map[ds];
         let csr = &self.pool.get(global).csr;
         match self.sessions.map.entry(global) {
-            std::collections::hash_map::Entry::Occupied(o) => {
+            std::collections::btree_map::Entry::Occupied(o) => {
                 let session = o.into_mut();
                 session.retarget(targets)?;
                 Ok(session)
             }
-            std::collections::hash_map::Entry::Vacant(v) => Ok(v.insert(
+            std::collections::btree_map::Entry::Vacant(v) => Ok(v.insert(
                 // One transposition table per worker session: it is
                 // keyed by (edge set ⊕ target set), so it survives the
                 // retargets between cells and stays useful across the
@@ -471,8 +476,12 @@ impl SuitePlan {
     /// lags behind on. Rows always round-trip through their on-disk
     /// encoding, so adopted cells merge the same bytes a fresh run
     /// would. A fingerprint mismatch still invalidates the whole store.
-    pub(crate) fn build(exps: &[&dyn Experiment], opts: &ExpOptions, resume: bool) -> Self {
-        std::fs::create_dir_all(&opts.out_dir).expect("create experiment output dir");
+    pub(crate) fn build(
+        exps: &[&dyn Experiment],
+        opts: &ExpOptions,
+        resume: bool,
+    ) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&opts.out_dir)?;
         let layout = SuiteLayout::build(exps, opts);
         let results: Vec<OnceLock<Vec<String>>> =
             (0..layout.total).map(|_| OnceLock::new()).collect();
@@ -483,7 +492,7 @@ impl SuitePlan {
             let num_cells = exp.num_cells();
             let offset = layout.offsets[ei];
             let fingerprint = exp_fingerprint(*exp, opts);
-            let store = CellStore::open(&opts.out_dir, &name).expect("open cell store");
+            let store = CellStore::open(&opts.out_dir, &name)?;
             let mut manifest = Manifest::new(&name, &fingerprint, num_cells);
             if resume {
                 if let Some(prev) = Manifest::load(&store.manifest_path()) {
@@ -494,6 +503,7 @@ impl SuitePlan {
                         // manifest update).
                         for cell in 0..num_cells {
                             if let Some(rows) = store.read_cell(cell) {
+                                // ba-lint: allow(panic-path) -- slots were allocated fresh above and this loop visits each cell once; a double set is a logic bug worth crashing on
                                 results[offset + cell].set(rows).expect("fresh slot");
                                 manifest.completed.insert(cell);
                             }
@@ -508,11 +518,9 @@ impl SuitePlan {
                 }
             }
             if manifest.completed.is_empty() {
-                store.clear().expect("clear stale cell store");
+                store.clear()?;
             }
-            manifest
-                .save(&store.manifest_path())
-                .expect("save manifest");
+            manifest.save(&store.manifest_path())?;
             for cell in 0..num_cells {
                 if !manifest.completed.contains(&cell) {
                     pending.push((ei, cell));
@@ -526,12 +534,12 @@ impl SuitePlan {
                 failed: std::sync::atomic::AtomicBool::new(false),
             });
         }
-        Self {
+        Ok(Self {
             layout,
             states,
             pending,
             results,
-        }
+        })
     }
 
     /// Commits one computed cell: row file (atomic rename), manifest
@@ -540,12 +548,14 @@ impl SuitePlan {
         let state = &self.states[ei];
         state.store.write_cell(cell, &rows)?;
         {
+            // ba-lint: allow(panic-path) -- a poisoned manifest lock means another worker already panicked mid-commit; propagating that panic is the correct escalation
             let mut m = state.manifest.lock().expect("manifest lock");
             m.completed.insert(cell);
             m.save(&state.store.manifest_path())?;
         }
         self.results[state.offset + cell]
             .set(rows)
+            // ba-lint: allow(panic-path) -- the pending list is deduplicated and resume-adopted cells are never pending, so a second set is a logic bug worth crashing on
             .expect("cell slot set twice");
         Ok(())
     }
@@ -563,8 +573,13 @@ impl SuitePlan {
     /// `0..n` in index order regardless of completion order, cache
     /// hits, or which worker (thread or remote process) computed them.
     /// Failed experiments have their stale artifacts deleted instead.
-    /// Returns `false` if any experiment failed.
-    pub(crate) fn merge_and_finalize(&self, exps: &[&dyn Experiment], opts: &ExpOptions) -> bool {
+    /// Returns `false` if any experiment failed; `Err` on artifact IO
+    /// or record-decode failures inside a finalize.
+    pub(crate) fn merge_and_finalize(
+        &self,
+        exps: &[&dyn Experiment],
+        opts: &ExpOptions,
+    ) -> Result<bool, BenchError> {
         let mut all_ok = true;
         for (ei, exp) in exps.iter().enumerate() {
             let state = &self.states[ei];
@@ -586,13 +601,14 @@ impl SuitePlan {
                 .map(|c| {
                     self.results[state.offset + c]
                         .get()
+                        // ba-lint: allow(panic-path) -- by the time the worker scope has joined, every pending cell has either committed or marked its experiment failed; an empty slot is a logic bug worth crashing on
                         .expect("all cells resolved")
                         .clone()
                 })
                 .collect();
-            exp.finalize(opts, &rows);
+            exp.finalize(opts, &rows)?;
         }
-        all_ok
+        Ok(all_ok)
     }
 }
 
@@ -670,16 +686,18 @@ impl ExperimentRunner {
     }
 
     /// Runs a single experiment end to end.
-    pub fn run(&self, exp: &dyn Experiment, opts: &ExpOptions) {
-        self.run_suite(&[exp], opts);
+    pub fn run(&self, exp: &dyn Experiment, opts: &ExpOptions) -> Result<(), BenchError> {
+        self.run_suite(&[exp], opts)
     }
 
     /// Runs several experiments as one pooled cell grid: substrates are
     /// deduplicated across experiments and all cells share the worker
-    /// pool, then each experiment finalizes in order.
-    pub fn run_suite(&self, exps: &[&dyn Experiment], opts: &ExpOptions) {
+    /// pool, then each experiment finalizes in order. Fails on artifact
+    /// IO errors; a *cell* failure only skips that experiment's
+    /// finalize (see `SuitePlan::mark_failed`).
+    pub fn run_suite(&self, exps: &[&dyn Experiment], opts: &ExpOptions) -> Result<(), BenchError> {
         let t0 = Instant::now();
-        let plan = SuitePlan::build(exps, opts, self.resume);
+        let plan = SuitePlan::build(exps, opts, self.resume)?;
 
         // The pool: workers claim cells off a shared queue. Inner
         // (gradient/matmul) parallelism is folded to 1 thread whenever
@@ -742,16 +760,29 @@ impl ExperimentRunner {
                             ds_map: &plan.layout.maps[ei],
                         };
                         match run_cell_guarded(&env, cell, &mut sessions) {
-                            Ok(rows) => {
-                                plan.commit(ei, cell, rows).expect("commit cell rows");
-                                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                                eprintln!(
-                                    "[{name} {finished}/{}] {} ({:.1}s)",
-                                    plan.pending.len(),
-                                    exp.cell_label(cell),
-                                    cell_t0.elapsed().as_secs_f64()
-                                );
-                            }
+                            // A commit failure is an unwritable artifact
+                            // store: fail the experiment (like a cell
+                            // panic) instead of panicking the worker, so
+                            // the other experiments still merge.
+                            Ok(rows) => match plan.commit(ei, cell, rows) {
+                                Ok(()) => {
+                                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                                    eprintln!(
+                                        "[{name} {finished}/{}] {} ({:.1}s)",
+                                        plan.pending.len(),
+                                        exp.cell_label(cell),
+                                        cell_t0.elapsed().as_secs_f64()
+                                    );
+                                }
+                                Err(e) => {
+                                    plan.mark_failed(ei, cell);
+                                    eprintln!(
+                                        "warning: [{name}] cell {} commit failed ({e}); \
+                                         {name} will not finalize",
+                                        exp.cell_label(cell)
+                                    );
+                                }
+                            },
                             Err(_) => {
                                 plan.mark_failed(ei, cell);
                                 eprintln!(
@@ -765,7 +796,7 @@ impl ExperimentRunner {
             }
         });
 
-        plan.merge_and_finalize(exps, opts);
+        plan.merge_and_finalize(exps, opts)?;
         eprintln!(
             "[runner] {} cell(s) ({} cached) in {:.1}s on {} worker thread(s)",
             plan.layout.total,
@@ -773,6 +804,7 @@ impl ExperimentRunner {
             t0.elapsed().as_secs_f64(),
             workers
         );
+        Ok(())
     }
 }
 
@@ -832,10 +864,11 @@ mod tests {
             }
             vec![format!("{}:{cell}", self.name)]
         }
-        fn finalize(&self, _opts: &ExpOptions, cells: &[Vec<String>]) {
+        fn finalize(&self, _opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError> {
             assert_eq!(cells.len(), 2);
             self.finalized
                 .store(true, std::sync::atomic::Ordering::Relaxed);
+            Ok(())
         }
     }
 
@@ -864,7 +897,9 @@ mod tests {
         // failed re-run.
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("panicky.csv"), "stale,data\n").unwrap();
-        ExperimentRunner::new(&opts).run_suite(&[&bad, &good], &opts);
+        ExperimentRunner::new(&opts)
+            .run_suite(&[&bad, &good], &opts)
+            .unwrap();
         assert!(!bad.finalized.load(std::sync::atomic::Ordering::Relaxed));
         assert!(good.finalized.load(std::sync::atomic::Ordering::Relaxed));
         assert!(

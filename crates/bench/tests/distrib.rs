@@ -19,7 +19,7 @@ use ba_bench::experiments::Fig4Experiment;
 use ba_bench::runner::{
     derive_seed, CellCtx, DatasetSpec, Experiment, ExperimentRunner, SuiteLayout,
 };
-use ba_bench::ExpOptions;
+use ba_bench::{BenchError, ExpOptions};
 use ba_datasets::Dataset;
 use ba_net::frame::{read_frame, write_frame};
 use std::io::Write;
@@ -114,7 +114,9 @@ fn fleet_merges_byte_identical_to_single_thread_runner() {
 
     let ref_dir = fresh_dir("fleet_ref");
     let opts = opts_in(&ref_dir, 42);
-    ExperimentRunner::new(&opts).run(&exp, &opts);
+    ExperimentRunner::new(&opts)
+        .run(&exp, &opts)
+        .expect("runner");
     let reference = artifact_bytes(&ref_dir, name, cells);
     assert!(!reference.0.is_empty());
 
@@ -180,13 +182,14 @@ impl Experiment for MiniExp {
     fn artifacts(&self) -> Vec<String> {
         vec![format!("{}.csv", self.name)]
     }
-    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) {
+    fn finalize(&self, opts: &ExpOptions, cells: &[Vec<String>]) -> Result<(), BenchError> {
         let rows: Vec<String> = cells
             .iter()
             .enumerate()
             .flat_map(|(i, c)| c.iter().map(move |r| format!("{i},{r}")))
             .collect();
-        opts.write_csv(&format!("{}.csv", self.name), "cell,record", &rows);
+        opts.write_csv(&format!("{}.csv", self.name), "cell,record", &rows)?;
+        Ok(())
     }
 }
 
@@ -211,7 +214,9 @@ fn scripted_peer_exercises_stale_duplicate_and_heartbeat() {
     // Reference bytes from the in-process runner, in a separate dir.
     let ref_dir = fresh_dir("script_ref");
     let ref_opts = opts_in(&ref_dir, 7);
-    ExperimentRunner::new(&ref_opts).run(&exp, &ref_opts);
+    ExperimentRunner::new(&ref_opts)
+        .run(&exp, &ref_opts)
+        .expect("runner");
     let ref_csv = std::fs::read(ref_dir.join("dscript.csv")).unwrap();
 
     let refs: Vec<&dyn Experiment> = vec![&exp];

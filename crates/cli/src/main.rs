@@ -521,8 +521,9 @@ fn cmd_exp(flags: &Flags) -> Result<(), String> {
     let opts = exp_options(flags);
     let suite = named_suite(flags, &opts)?;
     let refs: Vec<&dyn ba_bench::runner::Experiment> = suite.iter().map(|e| e.as_ref()).collect();
-    ba_bench::runner::ExperimentRunner::new(&opts).run_suite(&refs, &opts);
-    Ok(())
+    ba_bench::runner::ExperimentRunner::new(&opts)
+        .run_suite(&refs, &opts)
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_tracker(flags: &Flags) -> Result<(), String> {

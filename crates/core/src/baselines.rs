@@ -65,7 +65,9 @@ impl StructuralAttack for RandomAttack {
             if is_edge && self.config.forbid_singletons && !g.deletion_keeps_no_singletons(i, j) {
                 continue;
             }
-            let op = session.toggle(i, j).expect("not a self-loop");
+            let op = session
+                .toggle(i, j)
+                .ok_or(AttackError::InvalidCandidatePair(i, j))?;
             ops.push(op);
             let loss = session.loss()?;
             ops_per_budget.push(ops.clone());
@@ -148,7 +150,9 @@ impl StructuralAttack for CliqueBreaker {
                 }
             }
             let Some((t, x, _)) = choice else { break };
-            let op = session.toggle(t, x).expect("distinct nodes");
+            let op = session
+                .toggle(t, x)
+                .ok_or(AttackError::InvalidCandidatePair(t, x))?;
             ops.push(op);
             let loss = session.loss()?;
             ops_per_budget.push(ops.clone());

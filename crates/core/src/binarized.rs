@@ -280,9 +280,11 @@ impl StructuralAttack for BinarizedAttack {
                 }
             }
             let (mut ops, mut loss) = best.ok_or(AttackError::EmptyLambdaGrid)?;
-            if let Some(prev_loss) = loss_per_budget.last().copied() {
+            if let (Some(prev_loss), Some(prev_ops)) =
+                (loss_per_budget.last().copied(), ops_per_budget.last())
+            {
                 if prev_loss < loss {
-                    ops = ops_per_budget.last().expect("previous ops").clone();
+                    ops = prev_ops.clone();
                     loss = prev_loss;
                 }
             }

@@ -29,7 +29,7 @@ use crate::loss::{fit_beta, safe_exp, LossError};
 use crate::pair::Candidates;
 use ba_graph::view::merge_common;
 use ba_graph::{GraphView, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-node derivatives of the surrogate loss, plus the fitted regression
 /// and the loss value itself (the forward pass is a by-product).
@@ -408,9 +408,11 @@ fn pair_key(i: NodeId, j: NodeId) -> u64 {
 /// ([`assemble_pair_grads_into`]) replaced this in the attack hot loops —
 /// it allocates nothing per step and parallelises — but the map remains
 /// the independent reference implementation the equivalence tests check
-/// the merge path against.
-pub fn correction_map<V: GraphView + ?Sized>(g: &V, g_e: &[f64]) -> HashMap<u64, (f64, f64)> {
-    let mut map: HashMap<u64, (f64, f64)> = HashMap::with_capacity(4 * g.num_edges());
+/// the merge path against. A `BTreeMap` rather than a hash map: lookups
+/// are the only consumer, and the determinism contract (R2) keeps
+/// randomized-iteration-order containers out of this crate entirely.
+pub fn correction_map<V: GraphView + ?Sized>(g: &V, g_e: &[f64]) -> BTreeMap<u64, (f64, f64)> {
+    let mut map: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
     for m in 0..g.num_nodes() as NodeId {
         let gem = g_e[m as usize];
         let nbrs = g.neighbors_sorted(m);
@@ -431,7 +433,7 @@ pub fn correction_map<V: GraphView + ?Sized>(g: &V, g_e: &[f64]) -> HashMap<u64,
 #[inline]
 pub fn pair_grad_with_corrections(
     ng: &NodeGrads,
-    corrections: &HashMap<u64, (f64, f64)>,
+    corrections: &BTreeMap<u64, (f64, f64)>,
     i: NodeId,
     j: NodeId,
 ) -> f64 {

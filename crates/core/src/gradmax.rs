@@ -147,7 +147,8 @@ impl StructuralAttack for GradMaxSearch {
                 }
                 // Collect next step's PV during the full scan only (the
                 // PV pre-pass would double-insert its own entries).
-                if collect_top && (top.len() < PV_WIDTH || a > top.last().expect("non-empty").0) {
+                if collect_top && (top.len() < PV_WIDTH || top.last().is_none_or(|&(ta, _)| a > ta))
+                {
                     let pos = top.partition_point(|&(ta, _)| ta > a);
                     top.insert(pos, (a, idx as u32));
                     top.truncate(PV_WIDTH);

@@ -459,7 +459,7 @@ impl<'g> AttackSession<'g> {
         mask: &[bool],
         out: &mut [f64],
     ) {
-        if self.memo.is_none() {
+        let Some(memo) = self.memo.as_deref_mut() else {
             assemble_pair_grads_with_scratch(
                 &self.overlay,
                 ng,
@@ -470,12 +470,11 @@ impl<'g> AttackSession<'g> {
                 &mut self.grad_scratch,
             );
             return;
-        }
+        };
         let len = candidates.len();
         assert_eq!(mask.len(), len, "mask length mismatch");
         assert_eq!(out.len(), len, "output length mismatch");
         let state = self.overlay.edge_set_hash() ^ self.target_hash;
-        let memo = self.memo.as_deref_mut().expect("memo checked above");
 
         // Whole-assembly LRU: an exact (state, mask) repeat replays by
         // memcpy. Mask equality is checked verbatim (cheap: a state
@@ -579,6 +578,7 @@ impl<'g> AttackSession<'g> {
         let cap = SearchMemo::grads_capacity(len);
         let mut slot = if memo.grads_slots.len() >= cap {
             memo.grads_slots.truncate(cap);
+            // ba-lint: allow(panic-path) -- grads_capacity() is >= 2 and the branch guard just proved len >= cap, so the pop always succeeds; restructuring would bury that invariant
             let victim = memo.grads_slots.pop().expect("cap >= 2");
             if victim.hits > 0 {
                 for (idx, &m) in victim.mask.iter().enumerate() {

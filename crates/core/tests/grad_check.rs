@@ -182,7 +182,7 @@ fn gradient_sign_predicts_discrete_toggle_direction() {
             pairs.push((i, j, pair_grad(&g, &ng, i, j)));
         }
     }
-    pairs.sort_by(|a, b| b.2.abs().partial_cmp(&a.2.abs()).unwrap());
+    pairs.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
     let mut correct = 0;
     let mut total = 0;
     for &(i, j, grad) in pairs.iter().take(5) {

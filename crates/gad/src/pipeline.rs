@@ -109,6 +109,7 @@ pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> (Vec<NodeId
 pub fn oddball_labels(g: &Graph, fraction: f64) -> Vec<bool> {
     OddBall::default()
         .fit(g)
+        // ba-lint: allow(panic-path) -- labelling precedes every pipeline stage; a detector that cannot fit the clean graph voids the run, so abort with context
         .expect("OddBall fit for labelling")
         .labels_top_fraction(fraction)
 }

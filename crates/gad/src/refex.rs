@@ -128,12 +128,7 @@ fn vertical_log_bin(col: &[f64], p: f64) -> Vec<usize> {
     );
     let n = col.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        col[a]
-            .partial_cmp(&col[b])
-            .expect("NaN feature")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| col[a].total_cmp(&col[b]).then(a.cmp(&b)));
     let mut bins = vec![0usize; n];
     let mut remaining = n;
     let mut start = 0usize;

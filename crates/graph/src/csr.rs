@@ -176,6 +176,7 @@ impl OverlayEdits {
                     u,
                     self.rows[u as usize]
                         .as_deref()
+                        // ba-lint: allow(panic-path) -- u comes from the dirty list, and a node only enters dirty when its row slot is filled
                         .expect("dirty row is materialised"),
                 )
             })
@@ -328,6 +329,7 @@ impl<'a> DeltaOverlay<'a> {
         let base_cols = self.base.cols();
         let copy_clean_span = |cols: &mut Vec<NodeId>, offsets: &mut Vec<usize>, lo, hi| {
             if lo < hi {
+                // ba-lint: allow(panic-path) -- offsets is seeded with a leading 0 before any span is copied, so last() always exists
                 let shift = offsets.last().copied().expect("offsets non-empty") as isize
                     - base_off[lo] as isize;
                 cols.extend_from_slice(&base_cols[base_off[lo]..base_off[hi]]);
@@ -341,6 +343,7 @@ impl<'a> DeltaOverlay<'a> {
         for &d in &dirty_sorted {
             let d = d as usize;
             copy_clean_span(&mut cols, &mut offsets, cursor, d);
+            // ba-lint: allow(panic-path) -- d iterates the dirty list, and a node only enters dirty when its row slot is filled
             let row = self.rows[d].as_deref().expect("dirty row is materialised");
             cols.extend_from_slice(row);
             offsets.push(cols.len());
@@ -419,6 +422,7 @@ impl<'a> DeltaOverlay<'a> {
                                     *slot = Some(base.neighbors_sorted(a).to_vec());
                                     newly.push(a);
                                 }
+                                // ba-lint: allow(panic-path) -- the branch above fills the slot when it is None, so it is Some here
                                 let row = slot.as_mut().expect("just materialised");
                                 match (row.binary_search(&b), op.added) {
                                     (Err(pos), true) => row.insert(pos, b),
@@ -440,6 +444,7 @@ impl<'a> DeltaOverlay<'a> {
                 .collect();
             handles
                 .into_iter()
+                // ba-lint: allow(panic-path) -- a join Err means the shard worker panicked; re-raising preserves the original panic
                 .map(|h| h.join().expect("shard worker"))
                 .collect()
         });
@@ -458,6 +463,7 @@ impl<'a> DeltaOverlay<'a> {
             *slot = Some(self.base.neighbors_sorted(u).to_vec());
             self.dirty.push(u);
         }
+        // ba-lint: allow(panic-path) -- the branch above fills the slot when it is None, so it is Some here
         slot.as_mut().expect("just materialised")
     }
 
@@ -551,6 +557,7 @@ fn recompute_delta_hash(base: &CsrGraph, rows: &[Option<Vec<NodeId>>], dirty: &[
     for &u in dirty {
         let cur = rows[u as usize]
             .as_deref()
+            // ba-lint: allow(panic-path) -- u iterates the dirty list, and a node only enters dirty when its row slot is filled
             .expect("dirty row is materialised");
         let old = base.neighbors_sorted(u);
         // Walk the symmetric difference of two sorted rows.

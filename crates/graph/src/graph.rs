@@ -124,6 +124,7 @@ impl Graph {
                 self.adj[u as usize].remove(pos);
                 let pos_v = self.adj[v as usize]
                     .binary_search(&u)
+                    // ba-lint: allow(panic-path) -- every mutation writes both endpoint rows, so a missing reverse edge is memory corruption worth crashing on
                     .expect("adjacency symmetry violated");
                 self.adj[v as usize].remove(pos_v);
                 self.num_edges -= 1;

@@ -166,7 +166,7 @@ mod tests {
         let m = Matrix::diag(&[5.0, 3.0, 1.0]);
         let pairs = symmetric_topk(&m, 3, 300, 7);
         let mut eigs: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
-        eigs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        eigs.sort_by(|a, b| b.total_cmp(a));
         assert!((eigs[0] - 5.0).abs() < 1e-6);
         assert!((eigs[1] - 3.0).abs() < 1e-6);
         assert!((eigs[2] - 1.0).abs() < 1e-6);

@@ -1,0 +1,264 @@
+//! The ratcheted violation baseline: `lint-baseline.toml`.
+//!
+//! The baseline records, per `(rule, crate)`, how many *unsuppressed*
+//! violations the tree is currently allowed to contain. `--check`
+//! compares the live counts against it with ratchet semantics:
+//!
+//! * **regression** — any cell above its baseline fails the check and
+//!   prints every site in that cell (per-site identity is not stored,
+//!   so the whole cell is shown for triage);
+//! * **improvement** — any cell below its baseline rewrites the file
+//!   in place with the lower number, so the next regression is judged
+//!   against the better state. The run still succeeds; committing the
+//!   tightened file is what locks the win in.
+//! * a `(rule, crate)` cell absent from the file allows **zero**
+//!   violations — new crates start clean by default.
+//!
+//! The format is a deliberately tiny TOML subset (comments, one
+//! `schema = 1` scalar, `[rule]` sections, `crate = count` entries) so
+//! the linter stays dependency-free. Serialization is sorted, so the
+//! file is byte-stable for a given state of the tree.
+
+use crate::rules::{Rule, ALL_RULES};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counts per `(rule, crate)`. Absent cell = 0 allowed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    pub counts: BTreeMap<(Rule, String), usize>,
+}
+
+/// A syntax or semantic error in the baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl fmt::Display for BaselineParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-baseline.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Baseline {
+    /// Parses the TOML subset. Unknown sections, non-numeric counts,
+    /// and junk lines are errors — a typo must not silently allow
+    /// violations.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineParseError> {
+        let mut counts = BTreeMap::new();
+        let mut section: Option<Rule> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = (idx + 1) as u32;
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                section = Some(Rule::from_key(name).ok_or_else(|| BaselineParseError {
+                    line: lineno,
+                    message: format!("unknown rule section `[{name}]`"),
+                })?);
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BaselineParseError {
+                    line: lineno,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match section {
+                None => {
+                    if key != "schema" {
+                        return Err(BaselineParseError {
+                            line: lineno,
+                            message: format!("unexpected top-level key `{key}`"),
+                        });
+                    }
+                    if value != "1" {
+                        return Err(BaselineParseError {
+                            line: lineno,
+                            message: format!("unsupported schema `{value}` (expected 1)"),
+                        });
+                    }
+                }
+                Some(rule) => {
+                    // Crate names are bare or quoted keys.
+                    let krate = key.trim_matches('"').to_string();
+                    let count: usize = value.parse().map_err(|_| BaselineParseError {
+                        line: lineno,
+                        message: format!("count for `{krate}` is not a non-negative integer"),
+                    })?;
+                    counts.insert((rule, krate), count);
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders the sorted, byte-stable file.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ba-lint ratcheted violation baseline.\n\
+             #\n\
+             # Counts are per (rule, crate) and may only go DOWN: `ba-lint --check`\n\
+             # fails on any count above its cell here and rewrites this file with\n\
+             # the lower number whenever the tree improves. Regenerate from\n\
+             # scratch with `cargo run -p ba-lint -- --write-baseline`.\n\
+             schema = 1\n",
+        );
+        for rule in ALL_RULES {
+            let cells: Vec<(&String, usize)> = self
+                .counts
+                .iter()
+                .filter(|((r, _), count)| *r == rule && **count > 0)
+                .map(|((_, krate), count)| (krate, *count))
+                .collect();
+            if cells.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("\n[{}]\n", rule.key()));
+            for (krate, count) in cells {
+                out.push_str(&format!("\"{krate}\" = {count}\n"));
+            }
+        }
+        out
+    }
+
+    /// Builds a baseline from live counts.
+    pub fn from_counts(counts: BTreeMap<(Rule, String), usize>) -> Baseline {
+        Baseline {
+            counts: counts.into_iter().filter(|(_, c)| *c > 0).collect(),
+        }
+    }
+}
+
+/// Outcome of ratcheting live counts against a baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RatchetOutcome {
+    /// Cells above their allowance: `(rule, crate, live, allowed)`.
+    pub regressions: Vec<(Rule, String, usize, usize)>,
+    /// Cells below their allowance: `(rule, crate, live, allowed)`.
+    pub improvements: Vec<(Rule, String, usize, usize)>,
+    /// The baseline with improvements folded in (regressions keep the
+    /// old allowance — a failing check never loosens the file).
+    pub tightened: Baseline,
+}
+
+/// Compares live counts against `baseline` with ratchet semantics.
+pub fn ratchet(live: &BTreeMap<(Rule, String), usize>, baseline: &Baseline) -> RatchetOutcome {
+    let mut regressions = Vec::new();
+    let mut improvements = Vec::new();
+    let mut tightened = baseline.clone();
+    // Union of cells seen on either side.
+    let mut cells: Vec<(Rule, String)> =
+        live.keys().chain(baseline.counts.keys()).cloned().collect();
+    cells.sort();
+    cells.dedup();
+    for cell in cells {
+        let current = live.get(&cell).copied().unwrap_or(0);
+        let allowed = baseline.counts.get(&cell).copied().unwrap_or(0);
+        match current.cmp(&allowed) {
+            std::cmp::Ordering::Greater => {
+                regressions.push((cell.0, cell.1, current, allowed));
+            }
+            std::cmp::Ordering::Less => {
+                improvements.push((cell.0, cell.1.clone(), current, allowed));
+                if current == 0 {
+                    tightened.counts.remove(&cell);
+                } else {
+                    tightened.counts.insert(cell, current);
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    RatchetOutcome {
+        regressions,
+        improvements,
+        tightened,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(cells: &[(Rule, &str, usize)]) -> BTreeMap<(Rule, String), usize> {
+        cells
+            .iter()
+            .map(|(r, k, c)| ((*r, k.to_string()), *c))
+            .collect()
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_identity() {
+        let b = Baseline::from_counts(counts(&[
+            (Rule::PanicPath, "ba-core", 12),
+            (Rule::PanicPath, "ba-graph", 3),
+            (Rule::Determinism, "ba-stream", 1),
+        ]));
+        let text = b.render();
+        let parsed = Baseline::parse(&text).expect("round trip parses");
+        assert_eq!(parsed, b);
+        // Byte-stable: rendering the parse reproduces the text.
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn missing_cell_allows_zero() {
+        let b = Baseline::from_counts(counts(&[(Rule::PanicPath, "ba-core", 1)]));
+        let out = ratchet(&counts(&[(Rule::FloatOrder, "ba-new", 2)]), &b);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].3, 0);
+    }
+
+    #[test]
+    fn improvements_tighten_and_drop_zeros() {
+        let b = Baseline::from_counts(counts(&[
+            (Rule::PanicPath, "ba-core", 10),
+            (Rule::PanicPath, "ba-graph", 2),
+        ]));
+        let live = counts(&[
+            (Rule::PanicPath, "ba-core", 7),
+            (Rule::PanicPath, "ba-graph", 0),
+        ]);
+        let out = ratchet(&live, &b);
+        assert!(out.regressions.is_empty());
+        assert_eq!(out.improvements.len(), 2);
+        assert_eq!(
+            out.tightened,
+            Baseline::from_counts(counts(&[(Rule::PanicPath, "ba-core", 7)]))
+        );
+    }
+
+    #[test]
+    fn unknown_section_and_bad_count_are_parse_errors() {
+        let err = Baseline::parse("[no-such-rule]\n").expect_err("unknown section");
+        assert!(err.message.contains("unknown rule section"));
+        let err = Baseline::parse("[panic-path]\n\"ba-core\" = many\n").expect_err("bad count");
+        assert!(err.message.contains("not a non-negative integer"));
+        let err = Baseline::parse("schema = 2\n").expect_err("bad schema");
+        assert!(err.message.contains("unsupported schema"));
+        let err = Baseline::parse("junk line\n").expect_err("junk");
+        assert!(err.message.contains("expected `key = value`"));
+    }
+
+    #[test]
+    fn comments_and_quoted_keys_parse() {
+        let text = "# header\nschema = 1\n[wire-cast] # trailing\n\"ba-net\" = 4 # why\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(
+            b.counts.get(&(Rule::WireCast, "ba-net".to_string())),
+            Some(&4)
+        );
+    }
+}

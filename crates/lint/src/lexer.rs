@@ -1,0 +1,358 @@
+//! A hand-rolled Rust lexer, just deep enough for invariant linting.
+//!
+//! The build environment has no `syn`, so `ba-lint` tokenizes source
+//! itself. The rules only need four things a regex can't deliver
+//! reliably: (1) string/char literals must not produce identifier
+//! matches (`"call .unwrap() here"` in a log message is not a panic
+//! path), (2) comments must be kept — with their line numbers — so
+//! suppression pragmas can be found, (3) raw strings and nested block
+//! comments must be skipped correctly, and (4) lifetimes must not be
+//! confused with char literals. Everything else (numbers, punctuation)
+//! is lexed loosely: the rules match identifier/punct sequences and
+//! never need exact literal values.
+
+/// What a token is. Identifier text and comment text are retained;
+/// literal contents are deliberately dropped (no rule looks inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// String / raw-string / byte-string / char / number literal.
+    Lit,
+    /// Line or block comment; text excludes the delimiters.
+    Comment(String),
+    /// A lifetime such as `'a` (distinct from a char literal).
+    Lifetime,
+}
+
+/// One token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals or comments
+/// simply end at EOF — good enough for linting, and it means a
+/// syntactically broken file degrades to fewer matches rather than a
+/// crashed lint run.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, line: u32) {
+        self.toks.push(Tok { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(line);
+                }
+                '\'' => self.quote(line),
+                'r' | 'b' if self.raw_or_byte_literal(line) => {}
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(TokKind::Comment(text), line);
+    }
+
+    /// Body of a non-raw string, after the opening `"` was consumed.
+    fn string_body(&mut self, line: u32) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Lit, line);
+    }
+
+    /// `'a` lifetime vs `'x'` / `'\n'` char literal.
+    fn quote(&mut self, line: u32) {
+        let first = self.peek(1);
+        let second = self.peek(2);
+        let is_lifetime =
+            matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+        self.bump(); // the quote
+        if is_lifetime {
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.bump();
+            }
+            self.push(TokKind::Lifetime, line);
+            return;
+        }
+        // Char literal: consume through the closing quote, honouring
+        // escapes (`'\''`, `'\\'`).
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Lit, line);
+    }
+
+    /// Attempts `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` at the
+    /// current position. Returns false (consuming nothing) when the
+    /// `r`/`b` starts an ordinary identifier.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let mut ahead = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // b'x'
+        if self.peek(0) == Some('b') && self.peek(1) == Some('\'') {
+            self.bump();
+            self.quote(line);
+            return true;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false;
+        }
+        let raw = ahead >= 2 || self.peek(0) == Some('r') || hashes > 0;
+        // Consume prefix + opening quote.
+        for _ in 0..=ahead {
+            self.bump();
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` hash marks;
+            // no escapes.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for k in 0..hashes {
+                        if self.peek(k) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.push(TokKind::Lit, line);
+        } else {
+            self.string_body(line);
+        }
+        true
+    }
+
+    fn number(&mut self, line: u32) {
+        // Loose: digits, letters (hex/suffixes/exponents), `_`, and a
+        // `.` only when followed by a digit (so `0..n` stays a range).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                let prev = self.chars[self.pos];
+                self.bump();
+                // Exponent sign: 1e-5 / 1E+3.
+                if (prev == 'e' || prev == 'E')
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Lit, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident(text), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_in_strings_are_not_tokens() {
+        let src = r##"let msg = "please .unwrap() me"; let r = r#"also .expect("x")"#;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "msg", "let", "r"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let src = "let a = 1;\n// ba-lint: allow(panic-path) -- why\nlet b = 2;";
+        let toks = lex(src);
+        let c = toks
+            .iter()
+            .find(|t| matches!(t.kind, TokKind::Comment(_)))
+            .expect("comment token");
+        assert_eq!(c.line, 2);
+        match &c.kind {
+            TokKind::Comment(text) => assert!(text.contains("ba-lint: allow")),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let src = "/* outer /* inner */ still outer */ fn x() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'b' }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let src = r#"let s = "he said \"unwrap\""; let t = 1;"#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_exponents() {
+        let src = "for i in 0..n { let x = 1.5e-3; let y = 0xff_u32; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"for".to_string()));
+        assert!(ids.contains(&"n".to_string()));
+        // The `..` range punctuation survives as two dots.
+        let dots = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn byte_and_raw_strings_are_literals() {
+        let src = r###"let a = b"bytes"; let b = br#"raw bytes"#; let c = b'x';"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c"]);
+    }
+}

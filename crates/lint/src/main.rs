@@ -1,0 +1,241 @@
+//! CLI front-end for the workspace invariant linter.
+//!
+//! ```text
+//! ba-lint [--root DIR] [--baseline FILE]          # list violations, exit 0
+//! ba-lint --check [--json PATH]                   # ratchet against the baseline
+//! ba-lint --write-baseline                        # regenerate the baseline file
+//! ba-lint --json PATH                             # also emit the BenchReport-schema summary
+//! ```
+//!
+//! Exit codes: 0 clean (or informational run), 1 ratchet regression or
+//! malformed pragma, 2 usage / IO / baseline-parse error.
+
+use ba_lint::baseline::{ratchet, Baseline};
+use ba_lint::rules::ALL_RULES;
+use ba_lint::{lint_workspace, LintConfig, LintReport};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    check: bool,
+    write_baseline: bool,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        check: false,
+        write_baseline: false,
+        json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} requires a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--root" => {
+                args.root = PathBuf::from(value(i)?);
+                i += 2;
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(value(i)?));
+                i += 2;
+            }
+            "--check" => {
+                args.check = true;
+                i += 1;
+            }
+            "--write-baseline" => {
+                args.write_baseline = true;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                return Err("usage: ba-lint [--root DIR] [--baseline FILE] [--check] [--write-baseline] [--json PATH]".to_string());
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Default root: walk up from the CWD to the directory holding a
+    // `crates/` tree, so the tool runs from any crate dir.
+    let root = if args.root == Path::new(".") {
+        find_root().unwrap_or_else(|| args.root.clone())
+    } else {
+        args.root.clone()
+    };
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let config = match LintConfig::load(root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ba-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ba-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_bench_json()) {
+            eprintln!("ba-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[json] wrote {}", path.display());
+    }
+
+    // Malformed pragmas fail every mode: a typo'd suppression must not
+    // silently stop suppressing (or silently suppress).
+    if !report.pragma_errors.is_empty() {
+        for e in &report.pragma_errors {
+            eprintln!("{}:{}: bad pragma: {}", e.rel_path, e.line, e.message);
+        }
+        return ExitCode::from(1);
+    }
+
+    if args.write_baseline {
+        let b = Baseline::from_counts(report.counts());
+        if let Err(e) = std::fs::write(&baseline_path, b.render()) {
+            eprintln!("ba-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", baseline_path.display());
+        print_summary(&report);
+        return ExitCode::SUCCESS;
+    }
+
+    if args.check {
+        return run_check(&report, &baseline_path);
+    }
+
+    // Informational mode: list everything, always exit 0.
+    for v in report.active() {
+        println!("{}:{}: [{}] {}", v.rel_path, v.line, v.rule, v.message);
+    }
+    print_summary(&report);
+    ExitCode::SUCCESS
+}
+
+fn run_check(report: &LintReport, baseline_path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "ba-lint: cannot read {} ({e}); run `ba-lint --write-baseline` first",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("ba-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let live = report.counts();
+    let outcome = ratchet(&live, &baseline);
+
+    if !outcome.regressions.is_empty() {
+        for (rule, krate, current, allowed) in &outcome.regressions {
+            eprintln!(
+                "ratchet regression: [{rule}] {krate}: {current} violations (baseline allows {allowed})"
+            );
+            for v in report.active() {
+                if v.rule == *rule && &v.crate_name == krate {
+                    eprintln!("  {}:{}: {}", v.rel_path, v.line, v.message);
+                }
+            }
+        }
+        eprintln!(
+            "\nfix the new violations, or suppress with `// ba-lint: allow(<rule>) -- <justification>`"
+        );
+        return ExitCode::from(1);
+    }
+
+    if !outcome.improvements.is_empty() {
+        for (rule, krate, current, allowed) in &outcome.improvements {
+            println!("[ratchet] tightened [{rule}] {krate}: {allowed} -> {current}");
+        }
+        if let Err(e) = std::fs::write(baseline_path, outcome.tightened.render()) {
+            eprintln!("ba-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "[ratchet] {} tightened; commit the update",
+            baseline_path.display()
+        );
+    }
+
+    print_summary(report);
+    println!("ba-lint --check: OK");
+    ExitCode::SUCCESS
+}
+
+fn print_summary(report: &LintReport) {
+    let counts = report.counts();
+    println!(
+        "scanned {} files: {} active violations, {} suppressed",
+        report.files_scanned,
+        report.active().count(),
+        report.suppressed_count()
+    );
+    for rule in ALL_RULES {
+        let total: usize = counts
+            .iter()
+            .filter(|((r, _), _)| *r == rule)
+            .map(|(_, c)| *c)
+            .sum();
+        let per_crate: Vec<String> = counts
+            .iter()
+            .filter(|((r, _), c)| *r == rule && **c > 0)
+            .map(|((_, k), c)| format!("{k}={c}"))
+            .collect();
+        println!("  [{}] {} ({})", rule, total, per_crate.join(", "));
+    }
+}
+
+/// Walks up from the CWD looking for a directory with a `crates/`
+/// subdirectory and a `Cargo.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Fully clean fixture: no rule should fire anywhere in this crate.
+
+/// Typed-error style the contracts ask for.
+pub fn safe_head(xs: &[f64]) -> Result<f64, &'static str> {
+    xs.first().copied().ok_or("empty input")
+}
+
+/// `total_cmp` ordering, no hash containers, no clocks.
+pub fn rank(xs: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    idx
+}

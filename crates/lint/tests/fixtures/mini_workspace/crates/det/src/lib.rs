@@ -1,0 +1,28 @@
+//! R2 fixture: this crate is tagged deterministic by the test config.
+
+use std::collections::HashMap;
+
+/// POSITIVE: HashMap in a deterministic crate (the `use` above and the
+/// signature below both count).
+pub fn build(keys: &[u64]) -> HashMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, k)| (*k, i)).collect()
+}
+
+/// POSITIVE: wall clock and ambient RNG.
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    let _ = t;
+    0
+}
+
+/// SUPPRESSED: a seeded constructor is allowed to consult entropy.
+pub fn seeded() -> u64 {
+    // ba-lint: allow(determinism) -- fixture: seed derivation happens once, outside any replayed path
+    let x: u64 = rand::random();
+    x
+}
+
+/// NEGATIVE: BTreeMap is the sanctioned container.
+pub fn sorted(keys: &[u64]) -> std::collections::BTreeMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, k)| (*k, i)).collect()
+}

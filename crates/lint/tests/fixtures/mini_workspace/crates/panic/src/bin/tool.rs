@@ -1,0 +1,5 @@
+//! NEGATIVE: `src/bin/` is bin code — outside the R1 contract.
+fn main() {
+    let v = std::env::var("HOME").unwrap();
+    println!("{v}");
+}

@@ -1,0 +1,41 @@
+//! R1 fixture: positives, pragma suppression, and false-positive
+//! guards for the panic-path rule.
+
+/// POSITIVE: one `.unwrap()` and one `.expect(…)` violation.
+pub fn positives(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("boom");
+    a + b
+}
+
+/// SUPPRESSED: same-line and previous-line pragma forms.
+pub fn suppressed(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // ba-lint: allow(panic-path) -- fixture: same-line suppression
+    // ba-lint: allow(panic-path) -- fixture: previous-line suppression
+    let b = x.unwrap();
+    a + b
+}
+
+/// NEGATIVE: non-panicking cousins must not match.
+pub fn negatives(x: Option<u32>) -> u32 {
+    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()
+}
+
+/// NEGATIVE: the method names inside string literals and doc text are
+/// not calls: ".unwrap()" and ".expect(msg)" stay strings.
+pub fn strings() -> &'static str {
+    "please call .unwrap() and .expect(now) immediately"
+}
+
+#[cfg(test)]
+mod tests {
+    // NEGATIVE: test code may panic freely.
+    #[test]
+    fn in_test_module() {
+        let v: Vec<u32> = Vec::new();
+        let _ = v.first().copied().unwrap_or(0);
+        let _ = Some(3).unwrap();
+        let _: Result<u32, ()> = Ok(1);
+        let _ = Ok::<u32, ()>(1).expect("fine in tests");
+    }
+}

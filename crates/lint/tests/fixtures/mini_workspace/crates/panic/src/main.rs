@@ -1,0 +1,6 @@
+//! NEGATIVE: `src/main.rs` is bin code — outside the R1 contract.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let first = args.first().unwrap();
+    println!("{first}");
+}

@@ -1,0 +1,34 @@
+//! R3 + R4 fixture: float ordering everywhere, casts in a wire crate.
+
+/// POSITIVE (float-order): method form; the `.unwrap()` is also R1.
+pub fn sort_floats(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// POSITIVE (float-order): bare-path comparator form. (Fixtures are
+/// never compiled, so the bogus `max_by` signature does not matter.)
+pub fn max_float(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().max_by(f64::partial_cmp)
+}
+
+/// NEGATIVE: total_cmp is the sanctioned comparator.
+pub fn sort_total(xs: &mut [f64]) {
+    xs.sort_by(f64::total_cmp);
+}
+
+/// POSITIVE (wire-cast): narrowing casts on wire-adjacent lengths.
+pub fn narrow(len: u64) -> (usize, u32) {
+    (len as usize, len as u32)
+}
+
+/// SUPPRESSED (wire-cast): a cast proven in-range by a prior check.
+pub fn checked(len: u64) -> usize {
+    assert!(len < 1 << 20);
+    // ba-lint: allow(wire-cast) -- fixture: bounds-checked on the line above
+    len as usize
+}
+
+/// NEGATIVE: widening casts are fine.
+pub fn widen(len: u32) -> (u64, f64) {
+    (len as u64, len as f64)
+}

@@ -96,12 +96,15 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     if len > MAX_FRAME_LEN {
         return Err(FrameError::Oversized { len });
     }
-    let mut payload = vec![0u8; len as usize];
+    // Lossless even on 16-bit targets: a length that does not fit in
+    // `usize` is by definition oversized for this process.
+    let len = usize::try_from(len).map_err(|_| FrameError::Oversized { len })?;
+    let mut payload = vec![0u8; len];
     let got = read_up_to(r, &mut payload)?;
     if got < payload.len() {
         return Err(FrameError::Severed {
             read: got,
-            expected: len as usize,
+            expected: len,
         });
     }
     Ok(Some(payload))

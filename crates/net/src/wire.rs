@@ -109,6 +109,7 @@ impl<'a> WireReader<'a> {
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireDecodeError> {
         let bytes = self.take(8)?;
+        // ba-lint: allow(panic-path) -- take(8) just returned exactly eight bytes, so the slice-to-array conversion cannot fail
         Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
     }
 

@@ -131,6 +131,7 @@ impl IncrementalFit {
             Regressor::Ols => self
                 .stats
                 .as_ref()
+                // ba-lint: allow(panic-path) -- the constructor populates stats iff the regressor is OLS, the arm we are in
                 .expect("stats are built whenever the regressor is OLS")
                 .solve()
                 .map_err(FitError::Regression)?,

@@ -60,7 +60,7 @@ pub fn low_rank_purify(g: &Graph, cfg: PurifyConfig) -> Graph {
         }
     }
     let m = g.num_edges();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut out = Graph::new(n);
     for &(_, i, j) in scored.iter().take(m) {
         out.add_edge(i, j);

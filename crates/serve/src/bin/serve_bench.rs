@@ -129,7 +129,8 @@ fn main() {
         .metric("sustained_qps", qps, "qps")
         .metric("p50_latency_us", p50, "us")
         .metric("p99_latency_us", p99, "us")
-        .write_if_requested(&args);
+        .write_if_requested(&args)
+        .expect("write bench json");
 
     if qps < REQUIRED_QPS {
         eprintln!("FAIL: sustained throughput {qps:.0} qps is below the {REQUIRED_QPS} qps floor");

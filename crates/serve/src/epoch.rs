@@ -53,6 +53,7 @@ impl EpochStore {
 
     /// The latest epoch (the store is never empty).
     pub fn latest(&self) -> Arc<EpochSnapshot> {
+        // ba-lint: allow(panic-path) -- the store is constructed with a seed epoch and eviction keeps at least one, so it is never empty
         Arc::clone(self.epochs.last_key_value().expect("store is non-empty").1)
     }
 
@@ -68,11 +69,13 @@ impl EpochStore {
 
     /// Oldest epoch still retained.
     pub fn oldest(&self) -> u64 {
+        // ba-lint: allow(panic-path) -- the store is constructed with a seed epoch and eviction keeps at least one, so it is never empty
         *self.epochs.first_key_value().expect("store is non-empty").0
     }
 
     /// Newest epoch number.
     pub fn latest_epoch(&self) -> u64 {
+        // ba-lint: allow(panic-path) -- the store is constructed with a seed epoch and eviction keeps at least one, so it is never empty
         *self.epochs.last_key_value().expect("store is non-empty").0
     }
 

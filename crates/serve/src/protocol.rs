@@ -162,6 +162,7 @@ impl<'a> Cursor<'a> {
         }
         let (head, rest) = self.0.split_at(N);
         self.0 = rest;
+        // ba-lint: allow(panic-path) -- split_at(N) after the length guard yields a head of exactly N bytes, so the array conversion cannot fail
         Ok(head.try_into().expect("split_at guarantees length"))
     }
 

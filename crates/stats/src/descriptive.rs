@@ -33,7 +33,7 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty data");
     assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
     let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let pos = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -167,5 +167,16 @@ mod tests {
     fn histogram_constant_data() {
         let h = histogram(&[5.0; 8], 4);
         assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn percentile_with_nan_does_not_panic() {
+        // Regression for the float-order sweep: NaN input used to
+        // panic the sort; total_cmp places NaN above +inf, so low
+        // percentiles of mostly-finite data stay finite.
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        let p0 = percentile(&xs, 0.0);
+        assert_eq!(p0, 1.0);
+        assert!(percentile(&xs, 100.0).is_nan());
     }
 }

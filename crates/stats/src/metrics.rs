@@ -77,7 +77,7 @@ pub fn auc_roc(scores: &[f64], labels: &[bool]) -> f64 {
     }
     // Sort indices by score; assign midranks to tied groups.
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -178,5 +178,16 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn mismatch_panics() {
         auc_roc(&[0.1], &[true, false]);
+    }
+
+    #[test]
+    fn auc_with_nan_scores_does_not_panic() {
+        // Regression for the float-order sweep: detector scores can go
+        // NaN on degenerate refits, and used to panic the rank sort.
+        // total_cmp ranks NaN above every finite score.
+        let scores = [0.1, f64::NAN, 0.9, 0.3];
+        let labels = [false, true, true, false];
+        let auc = auc_roc(&scores, &labels);
+        assert!((0.0..=1.0).contains(&auc));
     }
 }

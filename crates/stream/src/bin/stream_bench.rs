@@ -156,7 +156,8 @@ fn main() {
         .metric("full_s", full_s, "s")
         .metric("engine_events_per_sec", engine_eps, "events/s")
         .metric("speedup", speedup, "x")
-        .write_if_requested(&args);
+        .write_if_requested(&args)
+        .expect("write bench json");
     if speedup < REQUIRED_SPEEDUP {
         eprintln!("FAIL: engine ingest is only {speedup:.2}x faster (need {REQUIRED_SPEEDUP}x)");
         std::process::exit(1);

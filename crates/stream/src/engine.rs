@@ -433,6 +433,7 @@ fn recompute_features(
             .collect();
         handles
             .into_iter()
+            // ba-lint: allow(panic-path) -- a join Err means the shard worker panicked; re-raising preserves the original panic
             .flat_map(|h| h.join().expect("feature shard"))
             .collect()
     })

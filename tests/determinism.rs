@@ -50,7 +50,9 @@ fn fresh_dir(tag: &str) -> PathBuf {
 fn run(exp_name: &str, dir: &Path, threads: usize, resume: bool) -> Vec<u8> {
     let exp = tiny_fig4(exp_name);
     let opts = opts_for(dir, threads, resume);
-    ExperimentRunner::new(&opts).run(&exp, &opts);
+    ExperimentRunner::new(&opts)
+        .run(&exp, &opts)
+        .expect("runner");
     std::fs::read(dir.join(format!("{exp_name}.csv"))).unwrap()
 }
 
@@ -138,7 +140,9 @@ fn resume_from_half_completed_manifest_matches_fresh_run() {
     let mut opts = opts_for(&dir, 2, true);
     opts.seed = 43;
     let exp = tiny_fig4(name);
-    ExperimentRunner::new(&opts).run(&exp, &opts);
+    ExperimentRunner::new(&opts)
+        .run(&exp, &opts)
+        .expect("runner");
     let other_csv = std::fs::read(dir.join(format!("{name}.csv"))).unwrap();
     assert_ne!(
         other_csv, ref_csv,

@@ -167,7 +167,9 @@ fn orchestrator_grid_end_to_end() {
         threads: 2,
         resume: false,
     };
-    ExperimentRunner::new(&opts).run(&exp, &opts);
+    ExperimentRunner::new(&opts)
+        .run(&exp, &opts)
+        .expect("runner");
 
     // CSV artifact with the fixed-seed golden shape: header + one row
     // per budget step (budget 7 at seed 5 → steps 0..=7).
