@@ -199,8 +199,9 @@ fn unescape(s: &str) -> String {
 }
 
 /// Extracts `"key":"value"` from a flat JSON object (no nested quotes
-/// beyond the escapes [`escape`] produces).
-fn json_str_field(text: &str, key: &str) -> Option<String> {
+/// beyond the escapes [`escape`] produces). Shared with the
+/// [`crate::graphstore`] manifest, which reuses this codec.
+pub(crate) fn json_str_field(text: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = text.find(&pat)? + pat.len();
     let rest = &text[start..];
@@ -216,7 +217,7 @@ fn json_str_field(text: &str, key: &str) -> Option<String> {
     None
 }
 
-fn json_usize_field(text: &str, key: &str) -> Option<usize> {
+pub(crate) fn json_usize_field(text: &str, key: &str) -> Option<usize> {
     let pat = format!("\"{key}\":");
     let start = text.find(&pat)? + pat.len();
     let digits: String = text[start..]

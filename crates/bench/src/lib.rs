@@ -11,6 +11,7 @@
 pub mod artifact;
 pub mod distrib;
 pub mod experiments;
+pub mod graphstore;
 pub mod report;
 pub mod runner;
 

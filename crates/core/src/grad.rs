@@ -27,7 +27,7 @@
 
 use crate::loss::{fit_beta, safe_exp, LossError};
 use crate::pair::Candidates;
-use ba_graph::view::merge_common;
+use ba_graph::view::merge_count_weighted;
 use ba_graph::{GraphView, NodeId};
 use std::collections::BTreeMap;
 
@@ -123,12 +123,27 @@ pub fn node_grads(n: &[f64], e: &[f64], targets: &[NodeId]) -> Result<NodeGrads,
 /// merge over the two neighbour slices, `O(deg(i) + deg(j))`.
 pub fn pair_grad<V: GraphView + ?Sized>(g: &V, ng: &NodeGrads, i: NodeId, j: NodeId) -> f64 {
     debug_assert_ne!(i, j);
-    let mut cn = 0usize;
-    let mut wsum = 0.0;
-    merge_common(g.neighbors_sorted(i), g.neighbors_sorted(j), |m| {
-        cn += 1;
-        wsum += ng.g_e[m as usize];
-    });
+    pair_grad_row(g, ng, i, g.neighbors_sorted(i), j)
+}
+
+/// [`pair_grad`] with the first endpoint's neighbour slice supplied by
+/// the caller. The chunked merge assembly walks candidates grouped by
+/// their first endpoint, so it fetches each leading row once per run of
+/// pairs instead of once per pair — on a `DeltaOverlay` that fetch is an
+/// indirection through the dirty-row table, and hoisting it keeps the
+/// hot loop inside the fused merge kernel. Bit-identical to
+/// [`pair_grad`]: the merge itself accumulates in ascending common
+/// neighbour, whichever strategy ([`merge_count_weighted`]'s linear or
+/// galloping path) the length ratio picks.
+#[inline]
+fn pair_grad_row<V: GraphView + ?Sized>(
+    g: &V,
+    ng: &NodeGrads,
+    i: NodeId,
+    nbrs_i: &[NodeId],
+    j: NodeId,
+) -> f64 {
+    let (cn, wsum) = merge_count_weighted(nbrs_i, g.neighbors_sorted(j), &ng.g_e);
     ng.h[i as usize]
         + ng.h[j as usize]
         + cn as f64 * (ng.g_e[i as usize] + ng.g_e[j as usize])
@@ -233,9 +248,17 @@ fn merge_pair_grads<V: GraphView + Sync + ?Sized>(
     let threads = resolve_threads(threads).min(len.max(1));
     let fill = |start: usize, chunk: &mut [f64]| {
         let end = start + chunk.len();
+        // Candidates arrive grouped by first endpoint, so the leading
+        // row slice is hoisted across each run of pairs sharing it.
+        let mut cur_i: Option<NodeId> = None;
+        let mut row_i: &[NodeId] = &[];
         candidates.for_each_range(start, end, |idx, i, j| {
             chunk[idx - start] = if mask[idx] {
-                pair_grad(g, ng, i, j)
+                if cur_i != Some(i) {
+                    cur_i = Some(i);
+                    row_i = g.neighbors_sorted(i);
+                }
+                pair_grad_row(g, ng, i, row_i, j)
             } else {
                 0.0
             };

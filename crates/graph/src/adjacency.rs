@@ -7,8 +7,10 @@
 //! *not* a dependency of `ba-graph`: the graph substrate sits at the
 //! bottom of the crate DAG). Production code that needs dense products —
 //! `ContinuousA`'s relaxed forward/backward passes, the purification
-//! defense — exports a row-major buffer via [`to_row_major`] and builds a
-//! `ba_linalg::Matrix` from it. The tiny [`DenseAdj`] type here exists
+//! defense — exports a row-major buffer via
+//! [`to_row_major`](crate::adjacency::to_row_major) and builds a
+//! `ba_linalg::Matrix` from it. The tiny
+//! [`DenseAdj`](crate::adjacency::DenseAdj) type here exists
 //! only so `ba-graph`'s own tests can cross-check the sparse kernels
 //! against the `A²`/`A³` definitions without a dependency cycle; its
 //! matmul is accordingly compiled for tests only. CSR structure for

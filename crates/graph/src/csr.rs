@@ -18,6 +18,17 @@ use crate::{EdgeOp, Graph, NodeId};
 /// Compressed-sparse-row adjacency: `cols[offsets[u]..offsets[u+1]]` is
 /// the strictly increasing neighbour list of `u`. Immutable by design —
 /// edits go through a [`DeltaOverlay`].
+///
+/// ```
+/// use ba_graph::{CsrGraph, Graph, GraphView};
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+/// let csr = CsrGraph::from(&g);
+/// assert_eq!(csr.num_edges(), 4);
+/// assert_eq!(csr.neighbors_sorted(2), &[0, 1, 3]);
+/// // The frozen form round-trips exactly.
+/// assert_eq!(csr.to_graph(), g);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
@@ -30,6 +41,27 @@ pub struct CsrGraph {
 }
 
 impl CsrGraph {
+    /// Assembles a CSR from already-validated parts — the widening path
+    /// out of [`crate::compact::CsrGraph32`]. Callers guarantee the
+    /// offsets/cols invariants (length `n + 1`, monotone offsets,
+    /// strictly increasing rows) and that `edge_hash` matches the edge
+    /// set.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<usize>,
+        cols: Vec<NodeId>,
+        num_edges: usize,
+        edge_hash: u64,
+    ) -> Self {
+        debug_assert_eq!(*offsets.last().unwrap_or(&0), cols.len());
+        debug_assert_eq!(cols.len(), 2 * num_edges);
+        Self {
+            offsets,
+            cols,
+            num_edges,
+            edge_hash,
+        }
+    }
+
     /// Builds the CSR structure from any graph view.
     pub fn from_view<V: GraphView + ?Sized>(g: &V) -> Self {
         let n = g.num_nodes();
@@ -74,6 +106,40 @@ impl CsrGraph {
         });
         g
     }
+
+    /// Splits the node space into `shards` contiguous ranges balanced by
+    /// *cumulative degree* rather than node count. Returns `shards + 1`
+    /// monotone boundaries with `bounds[0] == 0` and
+    /// `bounds[shards] == n`; shard `k` owns nodes
+    /// `bounds[k]..bounds[k + 1]` and carries close to `2m / shards`
+    /// adjacency entries.
+    ///
+    /// Under power-law degree distributions (every BA-style dataset in
+    /// this repo) equal-*count* ranges skew badly — the hub-heavy range
+    /// can carry an order of magnitude more adjacency entries than the
+    /// tail ranges — so sharded row work keyed on node ranges must use
+    /// these boundaries to stay balanced. Boundaries depend only on the
+    /// frozen degree sequence, never on thread timing, so any consumer
+    /// stays deterministic. Some shards may be empty (e.g. more shards
+    /// than nodes).
+    pub fn degree_balanced_bounds(&self, shards: usize) -> Vec<usize> {
+        let n = self.num_nodes();
+        let shards = shards.max(1);
+        let total = self.cols.len();
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        for k in 1..shards {
+            // Smallest node index whose row starts at or past the k-th
+            // equal slice of the adjacency array.
+            let target = total * k / shards;
+            let cut = self.offsets.partition_point(|&o| o < target).min(n);
+            // ba-lint: allow(panic-path) -- bounds starts non-empty and only grows
+            let prev = *bounds.last().expect("bounds non-empty");
+            bounds.push(cut.max(prev));
+        }
+        bounds.push(n);
+        bounds
+    }
 }
 
 impl From<&Graph> for CsrGraph {
@@ -107,6 +173,20 @@ impl GraphView for CsrGraph {
 /// the patches, returning to the clean graph without rebuilding anything
 /// — the operation attack loops perform once per λ / per budget
 /// extraction.
+///
+/// ```
+/// use ba_graph::{CsrGraph, DeltaOverlay, EditableGraph, Graph, GraphView};
+///
+/// let csr = CsrGraph::from(&Graph::from_edges(4, [(0, 1), (1, 2)]));
+/// let mut ov = DeltaOverlay::new(&csr);
+/// ov.toggle_edge(0, 3); // add
+/// ov.toggle_edge(1, 2); // remove
+/// assert!(ov.has_edge(0, 3) && !ov.has_edge(1, 2));
+/// assert_eq!(ov.num_edges(), 2);
+/// // Dropping the patches restores the clean base in O(dirty rows).
+/// ov.reset();
+/// assert_eq!(ov.to_graph(), csr.to_graph());
+/// ```
 #[derive(Debug, Clone)]
 pub struct DeltaOverlay<'a> {
     base: &'a CsrGraph,
@@ -364,9 +444,12 @@ impl<'a> DeltaOverlay<'a> {
     /// absent edge, each delete a present one — as produced by netting a
     /// stream batch against the current state) with the row updates
     /// sharded across `shards` threads. Each shard owns a contiguous
-    /// node range and applies exactly the op endpoints that fall in it,
-    /// so the resulting adjacency — and therefore everything downstream
-    /// — is byte-identical at any shard count, including `1`.
+    /// node range balanced by cumulative base degree
+    /// ([`CsrGraph::degree_balanced_bounds`] — equal node *counts* skew
+    /// badly under power-law degrees) and applies exactly the op
+    /// endpoints that fall in it, so the resulting adjacency — and
+    /// therefore everything downstream — is byte-identical at any shard
+    /// count, including `1`.
     ///
     /// `shards == 0` autodetects from [`std::thread::available_parallelism`].
     ///
@@ -399,49 +482,54 @@ impl<'a> DeltaOverlay<'a> {
         for op in ops {
             self.delta_hash ^= edge_key(op.u, op.v);
         }
-        let chunk = n.div_ceil(shards);
         let base = self.base;
+        // Shard boundaries follow the base's cumulative degree, so the
+        // row-copy work (O(deg) per touched row) splits evenly even when
+        // a few hubs hold most of the adjacency. Each node still lives
+        // in exactly one shard — the only property byte-identity needs.
+        let bounds = base.degree_balanced_bounds(shards);
         let newly_dirty: Vec<Vec<NodeId>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .rows
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(k, slice)| {
-                    scope.spawn(move || {
-                        let lo = k * chunk;
-                        let hi = lo + slice.len();
-                        let mut newly: Vec<NodeId> = Vec::new();
-                        for op in ops {
-                            for (a, b) in [(op.u, op.v), (op.v, op.u)] {
-                                let i = a as usize;
-                                if i < lo || i >= hi {
-                                    continue;
+            let mut handles = Vec::with_capacity(shards);
+            let mut rest: &mut [Option<Vec<NodeId>>] = &mut self.rows;
+            for k in 0..shards {
+                let (lo, hi) = (bounds[k], bounds[k + 1]);
+                let (slice, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                if slice.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    let mut newly: Vec<NodeId> = Vec::new();
+                    for op in ops {
+                        for (a, b) in [(op.u, op.v), (op.v, op.u)] {
+                            let i = a as usize;
+                            if i < lo || i >= hi {
+                                continue;
+                            }
+                            let slot = &mut slice[i - lo];
+                            if slot.is_none() {
+                                *slot = Some(base.neighbors_sorted(a).to_vec());
+                                newly.push(a);
+                            }
+                            // ba-lint: allow(panic-path) -- the branch above fills the slot when it is None, so it is Some here
+                            let row = slot.as_mut().expect("just materialised");
+                            match (row.binary_search(&b), op.added) {
+                                (Err(pos), true) => row.insert(pos, b),
+                                (Ok(pos), false) => {
+                                    row.remove(pos);
                                 }
-                                let slot = &mut slice[i - lo];
-                                if slot.is_none() {
-                                    *slot = Some(base.neighbors_sorted(a).to_vec());
-                                    newly.push(a);
+                                (Ok(_), true) => {
+                                    debug_assert!(false, "op adds an existing edge {op:?}")
                                 }
-                                // ba-lint: allow(panic-path) -- the branch above fills the slot when it is None, so it is Some here
-                                let row = slot.as_mut().expect("just materialised");
-                                match (row.binary_search(&b), op.added) {
-                                    (Err(pos), true) => row.insert(pos, b),
-                                    (Ok(pos), false) => {
-                                        row.remove(pos);
-                                    }
-                                    (Ok(_), true) => {
-                                        debug_assert!(false, "op adds an existing edge {op:?}")
-                                    }
-                                    (Err(_), false) => {
-                                        debug_assert!(false, "op deletes a missing edge {op:?}")
-                                    }
+                                (Err(_), false) => {
+                                    debug_assert!(false, "op deletes a missing edge {op:?}")
                                 }
                             }
                         }
-                        newly
-                    })
-                })
-                .collect();
+                    }
+                    newly
+                }));
+            }
             handles
                 .into_iter()
                 // ba-lint: allow(panic-path) -- a join Err means the shard worker panicked; re-raising preserves the original panic
@@ -766,6 +854,94 @@ mod tests {
             assert_eq!(ov.dirty_rows(), serial.dirty_rows(), "shards={shards}");
             // Compaction of either overlay freezes the same bytes.
             assert_eq!(ov.compact(), serial.compact(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn degree_balanced_bounds_bound_shard_edge_load_on_ba() {
+        // The regression the cumulative-degree bucketing fixes: on a
+        // power-law graph, equal node-count ranges skew, degree-balanced
+        // ranges stay within 2x of each other.
+        let g = crate::generators::barabasi_albert(2000, 5, 17);
+        let csr = CsrGraph::from(&g);
+        let off = csr.offsets();
+        let n = csr.num_nodes();
+        for shards in [2usize, 4, 8] {
+            let bounds = csr.degree_balanced_bounds(shards);
+            assert_eq!(bounds.len(), shards + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(bounds[shards], n);
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+            let loads: Vec<usize> = bounds.windows(2).map(|w| off[w[1]] - off[w[0]]).collect();
+            let max = *loads.iter().max().unwrap();
+            let min = *loads.iter().min().unwrap();
+            assert!(min > 0, "empty shard at shards={shards}: {loads:?}");
+            assert!(
+                max <= 2 * min,
+                "edge-load ratio > 2 at shards={shards}: {loads:?}"
+            );
+        }
+        // The replaced strategy — equal node counts — violates the same
+        // bound on this graph: BA hubs concentrate at low ids.
+        let shards = 8usize;
+        let chunk = n.div_ceil(shards);
+        let naive: Vec<usize> = (0..shards)
+            .map(|k| off[((k + 1) * chunk).min(n)] - off[(k * chunk).min(n)])
+            .collect();
+        let nmax = *naive.iter().max().unwrap();
+        let nmin = *naive.iter().min().unwrap();
+        assert!(
+            nmax > 2 * nmin,
+            "expected contiguous-range skew on BA, got {naive:?}"
+        );
+    }
+
+    #[test]
+    fn degree_balanced_bounds_degenerate_shapes() {
+        // More shards than nodes, and an edgeless graph: bounds stay
+        // monotone and cover the node space; empty shards are allowed.
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let csr = CsrGraph::from(&g);
+        let bounds = csr.degree_balanced_bounds(8);
+        assert_eq!(bounds.len(), 9);
+        assert_eq!(bounds[0], 0);
+        assert_eq!(bounds[8], 3);
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+
+        let empty = CsrGraph::from(&Graph::new(4));
+        let b = empty.degree_balanced_bounds(3);
+        assert_eq!(b[0], 0);
+        assert_eq!(b[3], 4);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sharded_apply_is_byte_identical_on_ba_at_any_shard_count() {
+        // End-to-end check of the degree-bucketed sharding on a graph
+        // where the buckets are genuinely uneven in node count.
+        let g = crate::generators::barabasi_albert(300, 3, 5);
+        let csr = CsrGraph::from(&g);
+        // Derive a consistent op batch from the graph itself: delete two
+        // present edges, add one absent pair per region of the id space.
+        let row0: Vec<NodeId> = csr.neighbors_sorted(0).to_vec();
+        let mut ops = vec![
+            EdgeOp::new(0, row0[0], false),
+            EdgeOp::new(0, row0[1], false),
+        ];
+        for u in [0u32, 100, 200] {
+            let v = (u + 1..300)
+                .rev()
+                .find(|&v| !csr.has_edge(u, v))
+                .expect("some absent pair");
+            ops.push(EdgeOp::new(u, v, true));
+        }
+        let mut serial = DeltaOverlay::new(&csr);
+        EditableGraph::apply_ops(&mut serial, &ops);
+        for shards in [2usize, 3, 5, 16, 300, 1000] {
+            let mut ov = DeltaOverlay::new(&csr);
+            ov.apply_ops_sharded(&ops, shards);
+            assert_eq!(ov.compact(), serial.compact(), "shards={shards}");
+            assert_eq!(ov.delta_hash(), serial.delta_hash(), "shards={shards}");
         }
     }
 

@@ -62,6 +62,146 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     g
 }
 
+/// Streaming [`erdos_renyi`]: yields the same edge set as the in-memory
+/// generator at the same `(n, p, seed)` — the RNG draw sequence is
+/// replicated exactly, one `f64` draw per candidate pair in row-major
+/// `(u, v)` order — without building a [`Graph`]. Edges come out in
+/// lexicographic `(u, v)` order with `u < v`, which is *row-monotone*
+/// (every node's incident edges appear with increasing other-endpoint),
+/// the order [`crate::compact::from_edge_stream`] consumes with O(n)
+/// scratch. Equivalence at matched seeds is pinned by proptest.
+pub fn erdos_renyi_stream(n: usize, p: f64, seed: u64) -> ErdosRenyiStream {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    ErdosRenyiStream {
+        rng: StdRng::seed_from_u64(seed),
+        n: n as NodeId,
+        p,
+        u: 0,
+        v: 1,
+    }
+}
+
+/// Iterator state of [`erdos_renyi_stream`].
+#[derive(Debug, Clone)]
+pub struct ErdosRenyiStream {
+    rng: StdRng,
+    n: NodeId,
+    p: f64,
+    u: NodeId,
+    v: NodeId,
+}
+
+impl Iterator for ErdosRenyiStream {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        while self.u < self.n {
+            while self.v < self.n {
+                let v = self.v;
+                self.v += 1;
+                if self.rng.gen::<f64>() < self.p {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.v = self.u + 1;
+        }
+        None
+    }
+}
+
+/// Streaming [`barabasi_albert`]: yields the same edge set as the
+/// in-memory generator at the same `(n, m, seed)` — identical RNG draw
+/// sequence, including the rejection loop over the repeated-endpoint
+/// list — without building a [`Graph`]. Edges come out in arrival
+/// order: the `m` initial star edges `(0, v)`, then each arriving
+/// node's `m` attachments `(u, v)` with its targets `v` ascending.
+/// That order is row-monotone (an arriving node's targets are all
+/// smaller than it and sorted; later attachments to any node arrive
+/// with increasing attacher id), so
+/// [`crate::compact::from_edge_stream`] builds the compacted CSR from
+/// it directly. Resident state is the `O(n·m)` endpoint list the model
+/// itself requires — the `O(n)` adjacency `Vec`s of the in-memory
+/// path are never allocated.
+pub fn barabasi_albert_stream(n: usize, m: usize, seed: u64) -> BarabasiAlbertStream {
+    assert!(m >= 1, "m must be >= 1");
+    assert!(n > m, "need n > m");
+    BarabasiAlbertStream {
+        rng: StdRng::seed_from_u64(seed),
+        n: n as NodeId,
+        m,
+        endpoints: Vec::with_capacity(2 * n * m),
+        star_v: 1,
+        u: m as NodeId + 1,
+        emit_u: 0,
+        chosen: Vec::with_capacity(m),
+        pos: 0,
+    }
+}
+
+/// Iterator state of [`barabasi_albert_stream`].
+#[derive(Debug, Clone)]
+pub struct BarabasiAlbertStream {
+    rng: StdRng,
+    n: NodeId,
+    m: usize,
+    /// Repeated-endpoint list — mirrors the in-memory generator, so
+    /// uniform sampling from it is degree-proportional sampling.
+    endpoints: Vec<NodeId>,
+    /// Next star leaf to emit (`1..=m`), exhausted first.
+    star_v: NodeId,
+    /// Next node to attach once the current one's edges are drained.
+    u: NodeId,
+    /// The node whose attachments are currently being emitted.
+    emit_u: NodeId,
+    /// Current node's targets, ascending (drained via `pos`).
+    chosen: Vec<NodeId>,
+    pos: usize,
+}
+
+impl Iterator for BarabasiAlbertStream {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        if (self.star_v as usize) <= self.m {
+            let v = self.star_v;
+            self.star_v += 1;
+            self.endpoints.push(0);
+            self.endpoints.push(v);
+            return Some((0, v));
+        }
+        if self.pos >= self.chosen.len() {
+            if self.u >= self.n {
+                return None;
+            }
+            // Draw the next node's targets with exactly the in-memory
+            // generator's rejection loop: the endpoint list holds every
+            // edge emitted so far and none of this node's own, so the
+            // gen_range bounds — and hence the stream — match draw for
+            // draw.
+            let mut set = std::collections::BTreeSet::new();
+            while set.len() < self.m {
+                let pick = self.endpoints[self.rng.gen_range(0..self.endpoints.len())];
+                if pick != self.u {
+                    set.insert(pick);
+                }
+            }
+            self.chosen.clear();
+            self.chosen.extend(set);
+            for &v in &self.chosen {
+                self.endpoints.push(self.u);
+                self.endpoints.push(v);
+            }
+            self.pos = 0;
+            self.emit_u = self.u;
+            self.u += 1;
+        }
+        let v = self.chosen[self.pos];
+        self.pos += 1;
+        Some((self.emit_u, v))
+    }
+}
+
 /// Heavy-tailed graph via a Chung–Lu style model: node weights follow a
 /// power law with exponent `gamma`, and pair `{u,v}` is connected with
 /// probability `min(1, w_u w_v / Σw)`. The expected edge count is then
@@ -428,6 +568,42 @@ mod tests {
         let uncapped = power_law_chung_lu(600, 2400, 2.2, 24);
         let max_uncapped = (0..600).map(|u| uncapped.degree(u)).max().unwrap();
         assert!(max_uncapped > max_deg, "cap had no effect");
+    }
+
+    #[test]
+    fn er_stream_replays_in_memory_edge_set() {
+        let (n, p, seed) = (250, 0.03, 41);
+        let g = erdos_renyi(n, p, seed);
+        let mut streamed: Vec<(NodeId, NodeId)> = erdos_renyi_stream(n, p, seed).collect();
+        assert_eq!(streamed.len(), g.num_edges());
+        // Stream order is lexicographic, which is also the canonical
+        // edge-list order.
+        let sorted = {
+            let mut s = streamed.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(streamed, sorted);
+        streamed.retain(|&(u, v)| !g.has_edge(u, v));
+        assert!(streamed.is_empty(), "stream emitted edges the graph lacks");
+    }
+
+    #[test]
+    fn ba_stream_replays_in_memory_edge_set() {
+        let (n, m, seed) = (400, 4, 42);
+        let g = barabasi_albert(n, m, seed);
+        let streamed: Vec<(NodeId, NodeId)> = barabasi_albert_stream(n, m, seed).collect();
+        assert_eq!(streamed.len(), g.num_edges());
+        let mut canon: Vec<(NodeId, NodeId)> = streamed
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        canon.sort_unstable();
+        canon.dedup();
+        assert_eq!(canon.len(), g.num_edges(), "stream repeated an edge");
+        for &(u, v) in &canon {
+            assert!(g.has_edge(u, v), "stream emitted absent edge ({u},{v})");
+        }
     }
 
     #[test]

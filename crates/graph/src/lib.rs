@@ -33,18 +33,45 @@
 //!     assert!(feats.e[i] >= feats.n[i]);
 //! }
 //! ```
+//!
+//! ## Scaling
+//!
+//! For instances past ~10^5 nodes, the [`compact`] module provides a
+//! u32-compacted CSR ([`CsrGraph32`]) built directly from streamed
+//! generators ([`generators::erdos_renyi_stream`],
+//! [`generators::barabasi_albert_stream`]) without materialising an
+//! edge list; DESIGN.md §13 states the memory model and determinism
+//! contract. Public-API documentation in this crate is enforced twice:
+//! by `#![warn(missing_docs)]` below and by ba-lint's `missing-docs`
+//! rule in CI.
 
+#![warn(missing_docs)]
+
+/// Dense adjacency-matrix helpers for small cross-check graphs.
 pub mod adjacency;
+/// u32-compacted CSR and the streamed two-pass builder (scale model,
+/// DESIGN.md §13).
+pub mod compact;
+/// Frozen CSR representation and its copy-on-write delta overlay.
 pub mod csr;
+/// Egonet feature extraction, batch and incremental.
 pub mod egonet;
+/// Random-graph generators (in-memory and streamed) and anomaly
+/// planting.
 pub mod generators;
 mod graph;
+/// Edge-list reading and writing.
 pub mod io;
+/// Graph statistics: components, clustering, degree distributions.
 pub mod metrics;
+/// BFS subgraph sampling.
 pub mod sample;
+/// The read-only [`GraphView`] interface and sorted-merge kernels.
 pub mod view;
+/// Zobrist edge-set hashing.
 pub mod zobrist;
 
+pub use compact::{CompactError, CsrGraph32};
 pub use csr::{CsrGraph, DeltaOverlay, OverlayEdits};
 pub use graph::{EdgeOp, Graph, NodeId};
 pub use view::{EditableGraph, GraphView};

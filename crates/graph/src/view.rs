@@ -23,6 +23,24 @@ use crate::{EdgeOp, NodeId};
 /// * symmetry: `v ∈ neighbors_sorted(u)` ⇔ `u ∈ neighbors_sorted(v)`;
 /// * `degree(u) == neighbors_sorted(u).len()` and `num_edges` is half the
 ///   total adjacency length.
+///
+/// ```
+/// use ba_graph::{CsrGraph, Graph, GraphView};
+///
+/// fn triangles_at<V: GraphView + ?Sized>(g: &V, u: u32) -> usize {
+///     g.neighbors_sorted(u)
+///         .iter()
+///         .map(|&v| g.common_neighbors(u, v))
+///         .sum::<usize>()
+///         / 2
+/// }
+///
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)]);
+/// let csr = CsrGraph::from(&g);
+/// // The same generic code runs over both representations.
+/// assert_eq!(triangles_at(&g, 2), 1);
+/// assert_eq!(triangles_at(&csr, 2), 1);
+/// ```
 pub trait GraphView {
     /// Number of nodes.
     fn num_nodes(&self) -> usize;
@@ -158,27 +176,80 @@ pub trait EditableGraph: GraphView {
     }
 }
 
+/// When one list is at least this many times longer than the other, the
+/// intersection switches from the linear merge to galloping search: the
+/// short list is scanned and each element binary-searched in the
+/// remaining suffix of the long one. `O(short · log(long))` beats
+/// `O(short + long)` exactly in the hub-vs-leaf pairs power-law graphs
+/// are full of.
+const GALLOP_RATIO: usize = 16;
+
 /// Calls `f(m)` for every element of the intersection of two strictly
 /// increasing slices, in increasing order. The shared kernel behind the
 /// common-neighbour primitives; iteration order is part of the contract —
-/// gradient sums must be bit-reproducible across representations.
+/// gradient sums must be bit-reproducible across representations, so
+/// every strategy below emits the intersection in the same ascending
+/// order (only the number of comparisons differs, never the output).
 #[inline]
 pub fn merge_common(a: &[NodeId], b: &[NodeId], mut f: impl FnMut(NodeId)) {
-    // Galloping would win on very skewed degree pairs; the plain merge is
-    // branch-predictable and already O(deg_i + deg_j), which is what the
-    // gradient-assembly complexity bound needs.
+    if a.len().saturating_mul(GALLOP_RATIO) < b.len() {
+        return gallop_common(a, b, &mut f);
+    }
+    if b.len().saturating_mul(GALLOP_RATIO) < a.len() {
+        return gallop_common(b, a, &mut f);
+    }
+    // Balanced pair: branch-light linear merge. The mismatch arms
+    // advance via comparison results instead of a three-way branch, so
+    // the loop body stays short and mostly branch-predictable even on
+    // near-random id interleavings.
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                f(a[i]);
-                i += 1;
-                j += 1;
-            }
+        let (x, y) = (a[i], b[j]);
+        if x == y {
+            f(x);
+            i += 1;
+            j += 1;
+        } else {
+            i += (x < y) as usize;
+            j += (y < x) as usize;
         }
     }
+}
+
+/// Intersection by galloping: `short` is scanned in order and each
+/// element is binary-searched in the still-unconsumed suffix of `long`.
+/// Emits ascending — identical output to the linear merge.
+fn gallop_common(short: &[NodeId], long: &[NodeId], f: &mut impl FnMut(NodeId)) {
+    let mut suffix = long;
+    for &x in short {
+        let pos = suffix.partition_point(|&y| y < x);
+        suffix = &suffix[pos..];
+        match suffix.first() {
+            Some(&y) if y == x => {
+                f(x);
+                suffix = &suffix[1..];
+            }
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+/// Fused intersection kernel for the pair-gradient engine: returns the
+/// intersection size together with `Σ w[m]` over the common elements
+/// `m`, accumulated in ascending `m` — the same order (and therefore
+/// the same floating-point sum, bit for bit) as feeding
+/// [`merge_common`] into a running total. One pass, no closure
+/// indirection in the hot loop.
+#[inline]
+pub fn merge_count_weighted(a: &[NodeId], b: &[NodeId], w: &[f64]) -> (usize, f64) {
+    let mut count = 0usize;
+    let mut sum = 0.0f64;
+    merge_common(a, b, |m| {
+        count += 1;
+        sum += w[m as usize];
+    });
+    (count, sum)
 }
 
 #[cfg(test)]
@@ -193,6 +264,66 @@ mod tests {
         out.clear();
         merge_common(&[], &[1, 2], |m| out.push(m));
         assert!(out.is_empty());
+    }
+
+    /// Reference two-pointer intersection, kept branch-heavy on purpose:
+    /// the production kernel (branch-light merge + galloping dispatch)
+    /// must emit exactly this sequence.
+    fn reference_intersection(a: &[NodeId], b: &[NodeId]) -> Vec<NodeId> {
+        let (mut i, mut j) = (0, 0);
+        let mut out = Vec::new();
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gallop_path_matches_linear_merge() {
+        // Skewed enough (5 vs 1000, ratio > 16) to take the galloping
+        // path in both argument orders.
+        let short: Vec<NodeId> = vec![3, 40, 41, 500, 999];
+        let long: Vec<NodeId> = (0..1000).collect();
+        for (a, b) in [(&short, &long), (&long, &short)] {
+            let mut got = Vec::new();
+            merge_common(a, b, |m| got.push(m));
+            assert_eq!(got, reference_intersection(a, b));
+        }
+        // Short list with elements past the end of the long one.
+        let tail: Vec<NodeId> = vec![999, 1000, 2000];
+        let mut got = Vec::new();
+        merge_common(&tail, &long, |m| got.push(m));
+        assert_eq!(got, vec![999]);
+        // Disjoint skewed pair.
+        let odd: Vec<NodeId> = (0..50).map(|k| 2 * k + 1).collect();
+        let even: Vec<NodeId> = (0..2000).map(|k| 2 * k).collect();
+        let mut got = Vec::new();
+        merge_common(&odd, &even, |m| got.push(m));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn merge_count_weighted_matches_unfused() {
+        let a: Vec<NodeId> = vec![0, 2, 5, 9, 11];
+        let b: Vec<NodeId> = vec![1, 2, 3, 5, 11, 12];
+        let w: Vec<f64> = (0..13).map(|k| 0.1 + k as f64 * 0.3).collect();
+        let (count, sum) = merge_count_weighted(&a, &b, &w);
+        let mut rcount = 0usize;
+        let mut rsum = 0.0f64;
+        merge_common(&a, &b, |m| {
+            rcount += 1;
+            rsum += w[m as usize];
+        });
+        assert_eq!(count, rcount);
+        assert_eq!(sum.to_bits(), rsum.to_bits());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! path that reached it.
 //!
 //! Here the features are undirected edges. Instead of a materialised
-//! key table (n² entries for a dense pair space), [`edge_key`] derives
+//! key table (n² entries for a dense pair space),
+//! [`edge_key`](crate::zobrist::edge_key) derives
 //! the key arithmetically from the canonical `(min, max)` endpoint pair
 //! through the SplitMix64 finalizer — a fixed-seed, stateless function
 //! of the pair, so keys never have to be stored, shipped, or
@@ -25,8 +26,8 @@
 //! ([`DeltaOverlay::delta_hash`] is the XOR of keys of toggled pairs,
 //! [`DeltaOverlay::edge_set_hash`] folds in the frozen base's hash);
 //! this module owns the key derivation and the from-scratch reference
-//! [`edge_set_hash`] the property tests pin the incremental path
-//! against.
+//! [`edge_set_hash`](crate::zobrist::edge_set_hash) the property tests
+//! pin the incremental path against.
 //!
 //! [`DeltaOverlay`]: crate::DeltaOverlay
 //! [`DeltaOverlay::delta_hash`]: crate::DeltaOverlay::delta_hash

@@ -2,7 +2,8 @@
 
 use ba_graph::egonet::{egonet_features, IncrementalEgonet};
 use ba_graph::{
-    generators, zobrist, CsrGraph, DeltaOverlay, EditableGraph, Graph, GraphView, NodeId,
+    generators, zobrist, CsrGraph, CsrGraph32, DeltaOverlay, EditableGraph, Graph, GraphView,
+    NodeId,
 };
 use proptest::prelude::*;
 
@@ -161,6 +162,55 @@ proptest! {
     fn ba_always_connected(n in 10usize..80, m in 1usize..4, seed in 0u64..20) {
         let g = generators::barabasi_albert(n, m, seed);
         prop_assert_eq!(ba_graph::metrics::connected_components(&g), 1);
+    }
+
+    /// Streamed generators are draw-for-draw replays of the in-memory
+    /// ones: at matched `(n, p/m, seed)` the compacted CSR built from
+    /// the stream must be bit-identical (offsets, columns, hash) to the
+    /// one compacted from the in-memory graph. Sizes up to 2000 nodes —
+    /// past the star core, well into the preferential-attachment
+    /// regime.
+    #[test]
+    fn streamed_er_bit_identical_to_in_memory(
+        n in 2usize..2000,
+        p_mille in 0u32..40,
+        seed in 0u64..1000,
+    ) {
+        let p = p_mille as f64 / 1000.0;
+        let dense = CsrGraph::from(&generators::erdos_renyi(n, p, seed));
+        let streamed = ba_graph::compact::from_edge_stream(n, || {
+            generators::erdos_renyi_stream(n, p, seed)
+        }).unwrap();
+        prop_assert_eq!(&streamed, &CsrGraph32::from_csr(&dense).unwrap());
+        prop_assert_eq!(streamed.promote(), dense);
+    }
+
+    #[test]
+    fn streamed_ba_bit_identical_to_in_memory(
+        n in 8usize..2000,
+        m in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let dense = CsrGraph::from(&generators::barabasi_albert(n, m, seed));
+        let streamed = ba_graph::compact::from_edge_stream(n, || {
+            generators::barabasi_albert_stream(n, m, seed)
+        }).unwrap();
+        prop_assert_eq!(&streamed, &CsrGraph32::from_csr(&dense).unwrap());
+        prop_assert_eq!(streamed.promote(), dense);
+    }
+
+    /// Narrow/widen round-trip on arbitrary graphs: u32 compaction then
+    /// promotion restores the exact CSR, and the narrow view serves the
+    /// same reads.
+    #[test]
+    fn compact_promote_roundtrip(g in arb_graph(40)) {
+        let wide = CsrGraph::from(&g);
+        let narrow = CsrGraph32::from_csr(&wide).unwrap();
+        prop_assert_eq!(narrow.edge_hash(), wide.edge_hash());
+        for u in 0..g.num_nodes() as NodeId {
+            prop_assert_eq!(narrow.neighbors_sorted(u), wide.neighbors_sorted(u));
+        }
+        prop_assert_eq!(narrow.promote(), wide);
     }
 
     /// The incremental Zobrist hash on the overlay must equal the

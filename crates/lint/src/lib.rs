@@ -4,7 +4,7 @@
 //! trees, excluding `src/bin/`, `src/main.rs`, `tests/`, `benches/`,
 //! `examples/`, and `#[cfg(test)]` regions) and enforces the project
 //! contracts as named rules — see [`rules`] for the catalogue,
-//! [`baseline`] for the ratchet, and DESIGN.md §12 for the prose
+//! [`baseline`] for the ratchet, and DESIGN.md §11 for the prose
 //! contract. The binary front-end lives in `src/main.rs`; this library
 //! exists so the fixture suite under `tests/` can drive the engine
 //! directly.
@@ -31,6 +31,9 @@ pub struct LintConfig {
     pub deterministic_path_prefixes: Vec<String>,
     /// R4 applies to every library file of these crates.
     pub wire_crates: Vec<String>,
+    /// R5 applies to every library file of these crates (public items
+    /// must carry doc comments).
+    pub docs_required_crates: Vec<String>,
 }
 
 impl LintConfig {
@@ -46,6 +49,8 @@ impl LintConfig {
     /// "crates/bench/src/runner.rs" = true
     /// [wire-crates]
     /// "ba-net" = true
+    /// [docs-required-crates]
+    /// "ba-graph" = true
     /// ```
     pub fn load(root: PathBuf) -> Result<LintConfig, LintError> {
         let path = root.join("ba-lint.toml");
@@ -58,6 +63,7 @@ impl LintConfig {
             deterministic_crates: Vec::new(),
             deterministic_path_prefixes: Vec::new(),
             wire_crates: Vec::new(),
+            docs_required_crates: Vec::new(),
         };
         let mut section: Option<&mut Vec<String>> = None;
         for (idx, raw) in text.lines().enumerate() {
@@ -74,6 +80,7 @@ impl LintConfig {
                     "deterministic-crates" => Some(&mut config.deterministic_crates),
                     "deterministic-paths" => Some(&mut config.deterministic_path_prefixes),
                     "wire-crates" => Some(&mut config.wire_crates),
+                    "docs-required-crates" => Some(&mut config.docs_required_crates),
                     other => {
                         return Err(LintError::Config(
                             path,
@@ -118,7 +125,7 @@ impl LintConfig {
 
     /// The built-in tag sets for *this* workspace, used when no
     /// `ba-lint.toml` overrides them. Adding a crate to a contract
-    /// means adding it here (and documenting it in DESIGN.md §12).
+    /// means adding it here (and documenting it in DESIGN.md §11).
     pub fn for_workspace(root: PathBuf) -> LintConfig {
         let det = [
             "ba-graph",
@@ -130,6 +137,7 @@ impl LintConfig {
         let det_paths = [
             "crates/bench/src/runner.rs",
             "crates/bench/src/artifact.rs",
+            "crates/bench/src/graphstore.rs",
             "crates/bench/src/experiments/",
             "crates/bench/src/distrib/",
         ];
@@ -138,6 +146,7 @@ impl LintConfig {
             deterministic_crates: det.iter().map(|s| s.to_string()).collect(),
             deterministic_path_prefixes: det_paths.iter().map(|s| s.to_string()).collect(),
             wire_crates: vec!["ba-net".to_string()],
+            docs_required_crates: vec!["ba-graph".to_string()],
         }
     }
 }
@@ -306,6 +315,7 @@ pub fn lint_workspace(config: &LintConfig) -> Result<LintReport, LintError> {
                         .iter()
                         .any(|p| rel_path.starts_with(p.as_str())),
                 wire: config.wire_crates.contains(&crate_name),
+                docs: config.docs_required_crates.contains(&crate_name),
                 rel_path,
             };
             let src_text =

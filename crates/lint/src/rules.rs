@@ -1,6 +1,6 @@
 //! The rule catalogue and the token-stream scanners behind it.
 //!
-//! Four named rules, each enforcing a contract the ROADMAP states in
+//! Five named rules, each enforcing a contract the ROADMAP states in
 //! prose and the test suites check after the fact:
 //!
 //! * **panic-path** (R1) — no `.unwrap()` / `.expect(…)` in non-test,
@@ -17,6 +17,12 @@
 //! * **wire-cast** (R4) — no truncating `as` casts to narrow integer
 //!   types in `ba-net` frame/wire code; use `try_from` so a corrupt
 //!   length fails loudly instead of wrapping.
+//! * **missing-docs** (R5) — every `pub` item (fn, struct, enum,
+//!   trait, mod, type, const, static) in crates that opt in via
+//!   `[docs-required-crates]` must carry a doc comment. Unlike
+//!   `#![warn(missing_docs)]` this is enforced in CI with the same
+//!   ratchet and pragma machinery as the other rules, so a public API
+//!   cannot regress to undocumented silently.
 //!
 //! Every rule is suppressible only by an inline pragma on the same or
 //! the preceding line:
@@ -43,13 +49,16 @@ pub enum Rule {
     FloatOrder,
     /// R4: truncating `as` casts in wire code.
     WireCast,
+    /// R5: undocumented `pub` items in docs-required crates.
+    MissingDocs,
 }
 
-pub const ALL_RULES: [Rule; 4] = [
+pub const ALL_RULES: [Rule; 5] = [
     Rule::PanicPath,
     Rule::Determinism,
     Rule::FloatOrder,
     Rule::WireCast,
+    Rule::MissingDocs,
 ];
 
 impl Rule {
@@ -60,6 +69,7 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::FloatOrder => "float-order",
             Rule::WireCast => "wire-cast",
+            Rule::MissingDocs => "missing-docs",
         }
     }
 
@@ -85,6 +95,8 @@ pub struct FileContext {
     pub deterministic: bool,
     /// R4 applies (frame/wire code).
     pub wire: bool,
+    /// R5 applies (crate opted into required public docs).
+    pub docs: bool,
 }
 
 /// One rule hit at one source line.
@@ -135,6 +147,19 @@ pub fn scan_source(ctx: &FileContext, src: &str) -> (Vec<Violation>, Vec<PragmaE
         if ctx.wire {
             r4_wire_cast(&code, i, &mut raw_hits);
         }
+    }
+
+    // R5 needs the comments (doc adjacency), so it walks the full
+    // stream, masked by the test-region *lines* computed above.
+    if ctx.docs {
+        let test_lines: std::collections::BTreeSet<u32> = code
+            .iter()
+            .zip(&in_test)
+            .filter(|&(_, &t)| t)
+            .map(|(tok, _)| tok.line)
+            .collect();
+        let all: Vec<&Tok> = toks.iter().collect();
+        r5_missing_docs(&all, &test_lines, &mut raw_hits);
     }
 
     let violations = raw_hits
@@ -252,6 +277,98 @@ fn r4_wire_cast(code: &[&Tok], i: usize, out: &mut Vec<(Rule, u32, String)>) {
             code[i].line,
             format!("`as {target}` silently truncates; use try_from so corrupt input fails loudly"),
         ));
+    }
+}
+
+/// Item keywords whose `pub` form must carry a doc comment. Public
+/// fields, `pub use` re-exports, and trait members are deliberately
+/// out of scope — this tracks `#![warn(missing_docs)]`'s high-order
+/// bit (named public items), not its full reach.
+const DOC_ITEM_KEYWORDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union",
+];
+
+/// R5: `pub <item>` with no doc comment. Walks the *full* token stream
+/// tracking whether a doc comment is still pending when a `pub` item
+/// head is reached: doc comments set the flag, attributes (`#[...]`)
+/// pass it through, any other token clears it.
+fn r5_missing_docs(
+    all: &[&Tok],
+    test_lines: &std::collections::BTreeSet<u32>,
+    out: &mut Vec<(Rule, u32, String)>,
+) {
+    let mut documented = false;
+    let mut i = 0;
+    while i < all.len() {
+        match &all[i].kind {
+            TokKind::Comment(text) => {
+                // `/// x` arrives as `/ x` and `/** x` as `* x` —
+                // outer doc comments, which document the next item.
+                // Inner docs (`//! x` → `! x`) document the enclosing
+                // scope, so they *clear* the flag: the crate-level
+                // header must not vouch for the first item after it.
+                // Plain comments neither set nor clear (a pragma
+                // between doc and item must not strip the doc).
+                if text.starts_with(['/', '*']) {
+                    documented = true;
+                } else if text.starts_with('!') {
+                    documented = false;
+                }
+                i += 1;
+            }
+            TokKind::Punct('#') if punct(all, i + 1, '[') => {
+                // Attributes between the doc comment and the item
+                // (`#[derive(...)]`, `#[inline]`) keep the doc alive.
+                match matching(all, i + 1, '[', ']') {
+                    Some(e) => i = e + 1,
+                    None => return,
+                }
+            }
+            TokKind::Ident(kw) if kw == "pub" => {
+                let line = all[i].line;
+                if punct(all, i + 1, '(') {
+                    // `pub(crate)` / `pub(super)`: not public API.
+                    match matching(all, i + 1, '(', ')') {
+                        Some(e) => i = e + 1,
+                        None => return,
+                    }
+                    continue;
+                }
+                // Skip modifiers (`unsafe`, `async`, `extern "C"`,
+                // `const fn`) to reach the item keyword.
+                let mut j = i + 1;
+                loop {
+                    match ident(all, j) {
+                        Some("unsafe") | Some("async") => j += 1,
+                        Some("extern") => {
+                            j += 1;
+                            if matches!(all.get(j).map(|t| &t.kind), Some(TokKind::Lit)) {
+                                j += 1;
+                            }
+                        }
+                        Some("const") if ident(all, j + 1) == Some("fn") => j += 1,
+                        _ => break,
+                    }
+                }
+                if let Some(kw) = ident(all, j) {
+                    if DOC_ITEM_KEYWORDS.contains(&kw) && !documented && !test_lines.contains(&line)
+                    {
+                        let name = ident(all, j + 1).unwrap_or("_");
+                        out.push((
+                            Rule::MissingDocs,
+                            line,
+                            format!("public {kw} `{name}` has no doc comment"),
+                        ));
+                    }
+                }
+                documented = false;
+                i = j.max(i + 1);
+            }
+            _ => {
+                documented = false;
+                i += 1;
+            }
+        }
     }
 }
 
@@ -409,6 +526,14 @@ mod tests {
             rel_path: "crates/test/src/lib.rs".to_string(),
             deterministic,
             wire,
+            docs: false,
+        }
+    }
+
+    fn docs_ctx() -> FileContext {
+        FileContext {
+            docs: true,
+            ..ctx(false, false)
         }
     }
 
@@ -505,6 +630,51 @@ mod tests {
     fn string_literals_never_match() {
         let src = r#"pub fn f() -> &'static str { "call .unwrap() or partial_cmp or HashMap" }"#;
         assert!(hits(&ctx(true, true), src).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_flags_undocumented_pub_items() {
+        let src = "pub fn f() {}\npub struct S;\npub enum E { A }\n";
+        let v = hits(&docs_ctx(), src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|v| v.rule == Rule::MissingDocs));
+        assert!(v[0].message.contains("public fn `f`"), "{}", v[0].message);
+        // Opt-in only: the same source is clean without the docs tag.
+        assert!(hits(&ctx(false, false), src).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_accepts_documented_items() {
+        let src = "/// Does f.\npub fn f() {}\n\n/// S holds state.\n#[derive(Debug)]\npub struct S;\n\n/** block doc */\npub mod m {}\n";
+        assert!(hits(&docs_ctx(), src).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_skips_non_public_shapes() {
+        let src = "fn private() {}\npub(crate) fn semi() {}\npub use other::Thing;\n/// Doc.\npub struct S { pub field: u32 }\n";
+        assert!(hits(&docs_ctx(), src).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_sees_through_attributes_and_modifiers() {
+        let src = "/// Doc.\n#[inline]\n#[must_use]\npub const fn f() -> u32 { 1 }\n/// Doc.\npub unsafe extern \"C\" fn g() {}\n";
+        assert!(hits(&docs_ctx(), src).is_empty());
+        let bare = "#[inline]\npub const fn f() -> u32 { 1 }\n";
+        let v = hits(&docs_ctx(), bare);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("public fn `f`"));
+    }
+
+    #[test]
+    fn missing_docs_ignores_test_regions_and_respects_pragma() {
+        let src = "#[cfg(test)]\npub mod helpers { }\n";
+        assert!(hits(&docs_ctx(), src).is_empty());
+        let pragma =
+            "// ba-lint: allow(missing-docs) -- generated shim, documented at the macro site\npub fn f() {}\n";
+        let (v, e) = scan_source(&docs_ctx(), pragma);
+        assert!(e.is_empty());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].suppressed.is_some());
     }
 
     #[test]

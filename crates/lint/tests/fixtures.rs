@@ -18,11 +18,13 @@ fn fixture_root() -> PathBuf {
 }
 
 /// The fixture workspace's tag sets come from its own `ba-lint.toml`:
-/// `fx-det` is deterministic, `fx-wire` carries wire code.
+/// `fx-det` is deterministic, `fx-wire` carries wire code, `fx-docs`
+/// requires public-API docs.
 fn fixture_config() -> LintConfig {
     let config = LintConfig::load(fixture_root()).expect("fixture ba-lint.toml parses");
     assert_eq!(config.deterministic_crates, vec!["fx-det".to_string()]);
     assert_eq!(config.wire_crates, vec!["fx-wire".to_string()]);
+    assert_eq!(config.docs_required_crates, vec!["fx-docs".to_string()]);
     config
 }
 
@@ -55,6 +57,8 @@ fn fixture_counts_are_exactly_as_designed() {
         ((Rule::FloatOrder, "fx-wire".to_string()), 2),
         // wire/src/lib.rs::narrow: `as usize` + `as u32`.
         ((Rule::WireCast, "fx-wire".to_string()), 2),
+        // docs/src/lib.rs: undocumented fn + attribute-only struct.
+        ((Rule::MissingDocs, "fx-docs".to_string()), 2),
     ]
     .into_iter()
     .collect();
@@ -70,13 +74,14 @@ fn suppressions_carry_their_justifications() {
         .filter(|v| v.suppressed.is_some())
         .collect();
     // Two in fx-panic (same-line + previous-line), one rand::random in
-    // fx-det, one checked cast in fx-wire.
-    assert_eq!(suppressed.len(), 4, "{suppressed:?}");
+    // fx-det, one checked cast in fx-wire, one undocumented mod in
+    // fx-docs.
+    assert_eq!(suppressed.len(), 5, "{suppressed:?}");
     for v in &suppressed {
         let j = v.suppressed.as_deref().expect("justification");
         assert!(j.starts_with("fixture:"), "justification retained: {j}");
     }
-    assert_eq!(report.suppressed_count(), 4);
+    assert_eq!(report.suppressed_count(), 5);
 }
 
 #[test]
@@ -93,17 +98,19 @@ fn bin_code_and_clean_crate_produce_nothing() {
 
 #[test]
 fn rules_are_context_gated() {
-    // With the tags removed, determinism and wire-cast fall silent but
-    // panic-path and float-order still fire.
+    // With the tags removed, determinism, wire-cast, and missing-docs
+    // fall silent but panic-path and float-order still fire.
     let config = LintConfig {
         deterministic_crates: vec![],
         wire_crates: vec![],
+        docs_required_crates: vec![],
         ..fixture_config()
     };
     let report = lint_workspace(&config).expect("lints");
     let cells = active_cells(&report);
     assert!(cells.keys().all(|(r, _)| *r != Rule::Determinism));
     assert!(cells.keys().all(|(r, _)| *r != Rule::WireCast));
+    assert!(cells.keys().all(|(r, _)| *r != Rule::MissingDocs));
     assert_eq!(
         cells.get(&(Rule::FloatOrder, "fx-wire".to_string())),
         Some(&2)
@@ -122,7 +129,7 @@ fn json_matches_bench_report_schema() {
     assert!(json.ends_with("]}\n"));
     assert!(json.contains("{\"metric\":\"panic_path_total\",\"value\":3,\"unit\":\"count\"}"));
     assert!(json.contains("{\"metric\":\"determinism_fx_det\",\"value\":3,\"unit\":\"count\"}"));
-    assert!(json.contains("{\"metric\":\"suppressed_total\",\"value\":4,\"unit\":\"count\"}"));
+    assert!(json.contains("{\"metric\":\"suppressed_total\",\"value\":5,\"unit\":\"count\"}"));
 }
 
 // ---- ratchet semantics through the real binary ----

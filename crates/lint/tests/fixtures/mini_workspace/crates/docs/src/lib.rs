@@ -1,0 +1,28 @@
+//! R5 fixture: public-API documentation in a docs-tagged crate. The
+//! crate-level doc block above must not count as documentation for the
+//! first item below it.
+
+/// NEGATIVE: a documented public function.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+#[derive(Debug)]
+pub struct Bare(pub u32);
+
+/// NEGATIVE: documented, with the attribute between doc and item.
+#[derive(Debug)]
+pub struct Covered;
+
+fn private_is_fine() {}
+
+pub(crate) fn restricted_is_fine() {}
+
+// ba-lint: allow(missing-docs) -- fixture: suppression carries through R5
+pub mod suppressed_mod {}
+
+#[cfg(test)]
+mod tests {
+    // Test-region items are exempt even when public.
+    pub fn undocumented_but_in_tests() {}
+}

@@ -1,0 +1,189 @@
+//! Million-node substrate benchmark — the nightly-tier scaling gate
+//! (DESIGN.md §13, EXPERIMENTS.md "nightly tier").
+//!
+//! Exercises the whole out-of-core path end to end on a Barabási–Albert
+//! graph of ≥ 10^6 nodes / ≥ 10^7 edges (default `n = 1_000_000`,
+//! `m = 11`):
+//!
+//! 1. **verify** — at a small `n`, the streamed generator + u32
+//!    builder are cross-checked bit-identical (offsets, columns, edge
+//!    hash) against the in-memory generator + u64 CSR; a mismatch
+//!    aborts before any timing is reported.
+//! 2. **gen** — `barabasi_albert_stream` → `compact::from_edge_stream`:
+//!    the graph is born directly in u32 CSR form, never existing as an
+//!    edge list or mutable adjacency.
+//! 3. **store** — `graphstore::write_chunked` to disk, an out-of-core
+//!    chunk fold (`fold_degree_stats`, whose hash must equal the
+//!    manifest's), and a fully verified `read_chunked` reload.
+//! 4. **score** — `StreamEngine::from_csr` over the promoted graph:
+//!    egonet features + OddBall fit + top-k AScore ranking at full
+//!    scale, then one event batch through the sharded ingest pipeline.
+//!
+//! The degree-balanced shard bounds are reported as a max/min edge-load
+//! ratio (gate: ≤ 2 on the BA graph, the same invariant the unit suite
+//! pins). `--quick` runs a ~100k-node profile for CI smoke; `--json
+//! PATH` writes the `BENCH_large.json` perf-trend artifact.
+
+use ba_bench::graphstore;
+use ba_bench::report::BenchReport;
+use ba_graph::compact::from_edge_stream;
+use ba_graph::{generators, CsrGraph, CsrGraph32, GraphView};
+use ba_stream::{synthetic_stream, StreamConfig, StreamEngine};
+use std::time::Instant;
+
+const SEED: u64 = 0x5ca1e;
+const MAX_SHARD_LOAD_RATIO: f64 = 2.0;
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+}
+
+/// Cross-check the streamed u32 path against the in-memory u64 path at
+/// a size where both fit comfortably; abort on any divergence.
+fn verify_small(n: usize, m: usize) {
+    let wide = CsrGraph::from(&generators::barabasi_albert(n, m, SEED));
+    let narrow = from_edge_stream(n, || generators::barabasi_albert_stream(n, m, SEED))
+        .expect("streamed build failed");
+    assert_eq!(
+        narrow,
+        CsrGraph32::from_csr(&wide).expect("u32 compaction failed"),
+        "streamed u32 CSR diverges from in-memory u64 CSR"
+    );
+    assert_eq!(narrow.promote(), wide, "promotion is not the inverse");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    // m = 11 puts the default instance past 10^7 edges:
+    // m + (n - m - 1) * m = 10_999_879.
+    let n = arg_value(&args, "--n").unwrap_or(if quick { 100_000 } else { 1_000_000 });
+    let m = arg_value(&args, "--m").unwrap_or(11);
+    let shards = arg_value(&args, "--shards").unwrap_or(8);
+    let batch = arg_value(&args, "--batch").unwrap_or(if quick { 2_000 } else { 10_000 });
+    let store_dir = std::env::temp_dir().join(format!("ba_large_bench_{n}_{m}"));
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    eprintln!("[verify] small-n bit-identity (streamed u32 vs in-memory u64)");
+    verify_small(3_000, m);
+
+    eprintln!("[gen] BA n = {n}, m = {m} via streamed builder");
+    let t0 = Instant::now();
+    let g32 = from_edge_stream(n, || generators::barabasi_albert_stream(n, m, SEED))
+        .expect("streamed build failed");
+    let gen_s = t0.elapsed().as_secs_f64();
+    let edges = g32.num_edges();
+    let resident_bytes = 4 * (n + 1 + 2 * edges);
+    eprintln!(
+        "      {edges} edges in {gen_s:.2}s ({:.0} edges/s), {:.1} MiB resident CSR",
+        edges as f64 / gen_s,
+        resident_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let chunk_rows = 65_536;
+    let t0 = Instant::now();
+    let meta = graphstore::write_chunked(&store_dir, &g32, chunk_rows).expect("store write failed");
+    let write_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[store] wrote {} chunks ({chunk_rows} rows each) in {write_s:.2}s",
+        meta.num_chunks
+    );
+
+    let t0 = Instant::now();
+    let (max_deg, deg_sum, fold_hash) =
+        graphstore::fold_degree_stats(&store_dir).expect("chunk fold failed");
+    let fold_s = t0.elapsed().as_secs_f64();
+    assert_eq!(deg_sum, 2 * edges, "chunk fold lost entries");
+    assert_eq!(fold_hash, g32.edge_hash(), "chunk fold hash mismatch");
+    eprintln!("[store] out-of-core fold in {fold_s:.2}s (max degree {max_deg})");
+
+    let t0 = Instant::now();
+    let reloaded = graphstore::read_chunked(&store_dir).expect("store read failed");
+    let read_s = t0.elapsed().as_secs_f64();
+    assert_eq!(reloaded, g32, "store round-trip changed the graph");
+    eprintln!("[store] verified full reload in {read_s:.2}s");
+    drop(reloaded);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let t0 = Instant::now();
+    let wide = g32.promote();
+    let promote_s = t0.elapsed().as_secs_f64();
+    drop(g32);
+
+    // Degree-balanced sharding invariant at full scale.
+    let bounds = wide.degree_balanced_bounds(shards);
+    let loads: Vec<usize> = (0..shards)
+        .map(|k| {
+            (bounds[k]..bounds[k + 1])
+                .map(|u| wide.degree(u as u32))
+                .sum()
+        })
+        .collect();
+    let (lo, hi) = (
+        *loads.iter().min().expect("shards >= 1"),
+        *loads.iter().max().expect("shards >= 1"),
+    );
+    let load_ratio = hi as f64 / lo.max(1) as f64;
+    eprintln!(
+        "[shard] {shards} shards, edge-load ratio {load_ratio:.3} (gate ≤ {MAX_SHARD_LOAD_RATIO})"
+    );
+
+    eprintln!("[score] OddBall fit + top-k at full scale");
+    let events = synthetic_stream(&wide, batch, SEED + 1);
+    let t0 = Instant::now();
+    let mut engine = StreamEngine::from_csr(
+        wide,
+        StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        },
+    );
+    let fit_s = t0.elapsed().as_secs_f64();
+    let top = engine.top_k(10).expect("fit degenerate at scale");
+    eprintln!(
+        "      fit in {fit_s:.2}s; top AScore node {} ({:.3})",
+        top[0].0, top[0].1
+    );
+
+    let t0 = Instant::now();
+    let summary = engine.ingest_batch(&events);
+    let ingest_s = t0.elapsed().as_secs_f64();
+    assert!(summary.params.is_ok(), "refit degenerate after batch");
+    eprintln!(
+        "[ingest] {} events ({} applied, {} dirty rows) in {ingest_s:.2}s",
+        events.len(),
+        summary.applied,
+        summary.dirty_rows
+    );
+
+    BenchReport::new("large")
+        .metric("n", n as f64, "count")
+        .metric("m_edges", edges as f64, "count")
+        .metric("resident_csr_bytes", resident_bytes as f64, "bytes")
+        .metric("max_degree", max_deg as f64, "count")
+        .metric("gen_s", gen_s, "s")
+        .metric("gen_edges_per_sec", edges as f64 / gen_s, "edges/s")
+        .metric("store_write_s", write_s, "s")
+        .metric("store_fold_s", fold_s, "s")
+        .metric("store_read_s", read_s, "s")
+        .metric("promote_s", promote_s, "s")
+        .metric("fit_s", fit_s, "s")
+        .metric("ingest_s", ingest_s, "s")
+        .metric(
+            "ingest_events_per_sec",
+            events.len() as f64 / ingest_s,
+            "events/s",
+        )
+        .metric("shards", shards as f64, "count")
+        .metric("shard_load_ratio", load_ratio, "x")
+        .write_if_requested(&args)
+        .expect("write bench json");
+
+    if load_ratio > MAX_SHARD_LOAD_RATIO {
+        eprintln!("FAIL: shard edge-load ratio {load_ratio:.3} > {MAX_SHARD_LOAD_RATIO}");
+        std::process::exit(1);
+    }
+}

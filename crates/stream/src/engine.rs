@@ -99,7 +99,7 @@ pub struct BatchSummary {
 /// live engine. Every field is a pure function of (initial graph,
 /// ingested event prefix), never of shard count or timing, which is
 /// what makes epoch-pinned responses replayable byte-for-byte.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochSnapshot {
     /// Epoch number: the count of batches ingested when frozen (the
     /// initial fit, before any ingest, is epoch 0).
@@ -164,6 +164,16 @@ impl StreamEngine {
             0,
             0,
         )
+    }
+
+    /// Builds the engine directly over a prebuilt frozen [`CsrGraph`],
+    /// skipping the [`CsrGraph::from_view`] copy [`StreamEngine::new`]
+    /// pays. This is the bootstrap path for million-node bases that
+    /// were streamed straight into CSR form (`ba_graph::compact`) and
+    /// never existed as a mutable graph — features and the initial fit
+    /// are derived exactly as `new` would.
+    pub fn from_csr(base: CsrGraph, cfg: StreamConfig) -> Self {
+        Self::from_parts(base, OverlayEdits::default(), cfg, 0, 0, 0)
     }
 
     /// Rebuilds an engine from snapshot parts: the frozen base, the
@@ -445,6 +455,21 @@ mod tests {
     use crate::event::synthetic_stream;
     use ba_graph::generators;
     use ba_oddball::OddBall;
+
+    #[test]
+    fn from_csr_matches_new_bitwise() {
+        let g = generators::barabasi_albert(200, 3, 31);
+        let cfg = StreamConfig::default();
+        let mut a = StreamEngine::new(&g, cfg);
+        let mut b = StreamEngine::from_csr(CsrGraph::from_view(&g), cfg);
+        assert_eq!(a.epoch_snapshot(), b.epoch_snapshot());
+        // And they stay locked together under ingest.
+        let events = synthetic_stream(&g, 120, 5);
+        for batch in events.chunks(40) {
+            assert_eq!(a.ingest_batch(batch), b.ingest_batch(batch));
+        }
+        assert_eq!(a.epoch_snapshot(), b.epoch_snapshot());
+    }
 
     fn engine_over_er(shards: usize, compact_fraction: f64) -> (ba_graph::Graph, StreamEngine) {
         let g = generators::erdos_renyi(150, 0.04, 7);
